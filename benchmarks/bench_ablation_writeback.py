@@ -1,0 +1,59 @@
+"""Ablation: reordered write-back (Section 4.2).
+
+The paper's claim: handling the row shuffle with a fused reordered write-back
+makes Shfl-BW essentially free (0.97-1.02x of plain vector-wise).  The
+ablation compares three kernels on the Transformer GEMM shapes:
+
+* our vector-wise kernel (no shuffle at all),
+* Shfl-BW with the fused reordered write-back (the paper's design),
+* Shfl-BW without it (separate permutation pass over the output).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.speedup import model_time
+from repro.gpu.arch import get_gpu
+from repro.kernels.shflbw import ShflBWKernel
+from repro.kernels.vector_wise import VectorWiseKernel
+from repro.models.shapes import transformer_layers
+
+ARCH = get_gpu("V100")
+LAYERS = transformer_layers()
+DENSITY = 0.25
+
+
+@pytest.fixture(scope="module")
+def times():
+    return {
+        "vector-wise": model_time(VectorWiseKernel(vector_size=64), ARCH, LAYERS, DENSITY),
+        "shfl-bw (fused write-back)": model_time(
+            ShflBWKernel(vector_size=64, reordered_write_back=True), ARCH, LAYERS, DENSITY
+        ),
+        "shfl-bw (separate pass)": model_time(
+            ShflBWKernel(vector_size=64, reordered_write_back=False), ARCH, LAYERS, DENSITY
+        ),
+    }
+
+
+def test_writeback_ablation(benchmark, times):
+    benchmark.pedantic(
+        model_time,
+        args=(ShflBWKernel(vector_size=64), ARCH, LAYERS, DENSITY),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    base = times["vector-wise"]
+    for name, value in times.items():
+        print(f"  {name:<28} {value * 1e3:8.3f} ms  ({value / base:.3f}x of vector-wise)")
+
+
+def test_fused_writeback_is_essentially_free(times):
+    ratio = times["shfl-bw (fused write-back)"] / times["vector-wise"]
+    assert 0.97 <= ratio <= 1.05
+
+
+def test_separate_permutation_pass_costs_measurably_more(times):
+    assert times["shfl-bw (separate pass)"] > times["shfl-bw (fused write-back)"] * 1.03

@@ -1,0 +1,58 @@
+"""Section 3.2 analysis: flexibility (candidate counting) and computation
+efficiency (maximum data reuse), including the paper's M=512 / V=128
+``e^700`` example and the ``sqrt(alpha)`` reuse ceiling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    compare_patterns,
+    log_candidates_blockwise,
+    log_candidates_shflbw,
+    log_candidates_unstructured,
+    log_candidates_vectorwise,
+    log_row_shuffle_multiplier,
+)
+from repro.gpu.arch import get_gpu
+from repro.gpu.roofline import max_reuse_dense, max_reuse_unstructured
+
+
+def test_flexibility_analysis(benchmark):
+    result = benchmark(compare_patterns, get_gpu("V100"), 2048, 2048, 0.1, 64)
+    print()
+    for analysis in result:
+        print(
+            f"  {analysis.pattern:<14} ln(candidates)={analysis.log_candidates:12.3g}"
+            f"  reuse={analysis.max_reuse_flop_per_byte:7.1f} flop/B"
+            f"  vs dense={analysis.reuse_vs_dense:.2f}"
+        )
+
+
+def test_row_shuffle_multiplier_paper_example(benchmark):
+    value = benchmark(log_row_shuffle_multiplier, 512, 128)
+    assert value > 700.0  # Section 3.2.1
+
+
+def test_candidate_count_ordering():
+    m, k, v, density = 2048, 2048, 64, 0.25
+    unstructured = log_candidates_unstructured(m, k, density)
+    shfl = log_candidates_shflbw(m, k, v, density)
+    vw = log_candidates_vectorwise(m, k, v, density)
+    bw = log_candidates_blockwise(m, k, v, density)
+    assert unstructured > shfl > vw > bw
+
+
+def test_sqrt_alpha_reuse_ceiling():
+    arch = get_gpu("A100")
+    dense = max_reuse_dense(arch)
+    for alpha in (0.5, 0.25, 0.1):
+        assert max_reuse_unstructured(arch, alpha) == pytest.approx(math.sqrt(alpha) * dense)
+
+
+def test_blockwise_reuse_beats_unstructured_at_dnn_sparsity():
+    analyses = {a.pattern: a for a in compare_patterns(get_gpu("V100"), 2048, 2048, 0.1, 64)}
+    assert analyses["shflbw"].max_reuse_flop_per_byte > analyses["unstructured"].max_reuse_flop_per_byte
+    assert analyses["shflbw"].log_candidates > analyses["vectorwise"].log_candidates

@@ -1,0 +1,67 @@
+"""Figure 1: SpMM throughput vs density on the Figure-1 GEMM shape
+(M/N/K = 2048/128/2048, V100), normalised to the CUDA-core dense GEMM.
+
+Regenerates the four curves of the figure and checks the qualitative
+relationships the paper draws from it (regions A/B/C).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.speedup import spmm_throughput_sweep
+
+DENSITIES = (0.02, 0.05, 0.10, 0.15, 0.25, 0.35, 0.50)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return spmm_throughput_sweep(densities=DENSITIES)
+
+
+def test_figure1_sweep(benchmark):
+    result = benchmark.pedantic(
+        spmm_throughput_sweep, kwargs={"densities": DENSITIES}, rounds=1, iterations=1
+    )
+    print()
+    header = f"{'density':>8} " + " ".join(f"{name:>26}" for name in result)
+    print(header)
+    for density in DENSITIES:
+        row = f"{density:>8.2f} " + " ".join(f"{result[name][density]:>26.2f}" for name in result)
+        print(row)
+
+
+def test_tensor_core_dense_above_cuda_core_dense(curves):
+    for density in DENSITIES:
+        assert curves["Tensor-Core"][density] > 1.3
+
+
+def test_region_a_cuda_sparse_needs_high_sparsity(curves):
+    """Region A: CUDA-core sparse only beats CUDA-core dense at high sparsity
+    (paper: ~65 %; the analytical model lands in the 65-90 % range)."""
+    assert curves["Cuda-Core Sparse"][0.50] < 1.0
+    assert curves["Cuda-Core Sparse"][0.02] > 1.0
+
+
+def test_region_b_cuda_sparse_vs_tensor_dense(curves):
+    """Region B: CUDA-core sparse only beats the tensor-core dense GEMM at
+    extreme sparsity (paper: ~95 %)."""
+    tc = curves["Tensor-Core"]
+    cc_sparse = curves["Cuda-Core Sparse"]
+    assert cc_sparse[0.25] < tc[0.25]
+    assert cc_sparse[0.02] > tc[0.02]
+
+
+def test_region_c_tensor_sparse_lowers_threshold(curves):
+    """Region C: our tensor-core sparse kernel beats the tensor-core dense
+    baseline at far lower sparsity than CUDA-core sparse kernels do."""
+    tc = curves["Tensor-Core"]
+    ours = curves["Tensor-Core Sparse (Ours)"]
+    assert ours[0.25] > tc[0.25]
+    assert ours[0.50] > 1.0  # already above the CUDA-core dense reference
+
+
+def test_tensor_sparse_throughput_monotone_in_sparsity(curves):
+    ours = curves["Tensor-Core Sparse (Ours)"]
+    ordered = [ours[d] for d in sorted(DENSITIES, reverse=True)]
+    assert ordered[-1] >= ordered[0]

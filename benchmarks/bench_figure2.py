@@ -1,0 +1,63 @@
+"""Figure 2: accuracy-speedup trade-off for GNMT on V100.
+
+Combines the proxy-GNMT accuracy protocol with the kernel speedups on the
+real GNMT layer shapes.  The benchmark runs the tiny accuracy setting; the
+fuller curve for EXPERIMENTS.md comes from ``python -m repro.eval figure2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.accuracy import AccuracyConfig, PatternSpec
+from repro.eval.tradeoff import figure2_sweep
+
+SPECS = [
+    PatternSpec("Unstructured", "unstructured"),
+    PatternSpec("VW, V=32", "vectorwise", 32),
+    PatternSpec("Shfl-BW, V=32", "shflbw", 32),
+    PatternSpec("Shfl-BW, V=64", "shflbw", 64),
+]
+CONFIG = AccuracyConfig(quick=True, tiny=True)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return figure2_sweep(sparsities=(0.80,), config=CONFIG, specs=SPECS)
+
+
+def test_figure2_sweep(benchmark):
+    result = benchmark.pedantic(
+        figure2_sweep,
+        kwargs={"sparsities": (0.80,), "config": CONFIG, "specs": SPECS},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for point in result:
+        print(
+            f"  {point.label:<16} @ {point.sparsity:.0%}: "
+            f"BLEU {point.accuracy:6.2f}  speedup {point.speedup:5.2f}x"
+        )
+    assert len(result) == len(SPECS)
+
+
+def test_unstructured_has_no_practical_speedup(points):
+    unstructured = [p for p in points if p.label == "Unstructured"]
+    assert unstructured and all(p.speedup < 1.0 for p in unstructured)
+
+
+def test_shflbw_achieves_real_speedup(points):
+    shfl = [p for p in points if p.label.startswith("Shfl-BW")]
+    assert shfl and all(p.speedup > 1.0 for p in shfl)
+
+
+def test_larger_v_gives_no_less_speedup(points):
+    by_label = {p.label: p for p in points}
+    assert by_label["Shfl-BW, V=64"].speedup >= by_label["Shfl-BW, V=32"].speedup * 0.95
+
+
+def test_shflbw_speedup_close_to_vector_wise(points):
+    by_label = {p.label: p for p in points}
+    ratio = by_label["Shfl-BW, V=32"].speedup / by_label["VW, V=32"].speedup
+    assert 0.9 <= ratio <= 1.1

@@ -1,0 +1,75 @@
+"""Table 1: accuracy of pruned proxy models per pattern and sparsity.
+
+The real experiment (WMT / ImageNet scale) is replaced by the proxy protocol
+of :mod:`repro.eval.accuracy`; the benchmark runs it at the tiny setting so
+the suite stays fast and checks that the protocol produces metrics for every
+configuration.  ``python -m repro.eval table1`` runs the fuller version whose
+numbers are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.accuracy import AccuracyConfig, PatternSpec, evaluate_model_accuracy
+
+SPECS = [
+    PatternSpec("BW, V=32", "blockwise", 32),
+    PatternSpec("VW, V=32", "vectorwise", 32),
+    PatternSpec("Shfl-BW, V=32", "shflbw", 32),
+    PatternSpec("Shfl-BW, V=64", "shflbw", 64),
+]
+CONFIG = AccuracyConfig(quick=True, tiny=True)
+
+
+@pytest.fixture(scope="module")
+def transformer_result():
+    return evaluate_model_accuracy("transformer", (0.80,), SPECS, CONFIG)
+
+
+def test_table1_transformer(benchmark):
+    result = benchmark.pedantic(
+        evaluate_model_accuracy,
+        args=("transformer", (0.80,), SPECS, CONFIG),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"  dense {result.metric_name}: {result.dense_metric:.2f}")
+    for (label, sparsity), value in sorted(result.results.items()):
+        print(f"  {label:<16} @ {sparsity:.0%}: {value:.2f}")
+    assert len(result.results) == len(SPECS)
+
+
+def test_table1_gnmt(benchmark):
+    result = benchmark.pedantic(
+        evaluate_model_accuracy,
+        args=("gnmt", (0.80,), SPECS[:3], CONFIG),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.metric_name == "BLEU"
+    assert all(0.0 <= v <= 100.0 for v in result.results.values())
+
+
+def test_table1_resnet(benchmark):
+    result = benchmark.pedantic(
+        evaluate_model_accuracy,
+        args=("resnet50", (0.80,), SPECS[1:3], CONFIG),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.metric_name.startswith("Top-1")
+    assert all(0.0 <= v <= 100.0 for v in result.results.values())
+
+
+def test_pruned_metrics_do_not_exceed_dense_by_much(transformer_result):
+    """Pruning at 80 % should not magically beat the dense model (noise
+    tolerance aside) — a sanity check on the protocol."""
+    for value in transformer_result.results.values():
+        assert value <= transformer_result.dense_metric + 15.0
+
+
+def test_all_configurations_present(transformer_result):
+    labels = {label for (label, _) in transformer_result.results}
+    assert labels == {spec.label for spec in SPECS}

@@ -1,0 +1,50 @@
+"""Kernel speedups on the real Transformer layer shapes (Figure 6 style).
+
+Sweeps the paper's sparsity grid and vector sizes on the computation-intensive
+GEMM layers of the Transformer, for every kernel in the paper's line-up, on
+V100 / T4 / A100.
+
+Run with::
+
+    python examples/transformer_kernel_speedup.py
+"""
+
+from __future__ import annotations
+
+from repro.eval.speedup import PAPER_SPARSITIES, headline_speedups, model_speedup
+from repro.gpu import get_gpu
+from repro.kernels import make_kernel, paper_baselines
+from repro.models import transformer_layers
+
+
+def main() -> None:
+    layers = transformer_layers(tokens=256)
+    dense = make_kernel("dense")
+    lineup = paper_baselines(vector_sizes=(32, 64))
+
+    for gpu in ("V100", "T4", "A100"):
+        arch = get_gpu(gpu)
+        print(f"\n=== Transformer GEMM layers on {gpu} (speedup over dense) ===")
+        header = f"{'kernel':<26}" + "".join(f"{s:>9.0%}" for s in PAPER_SPARSITIES)
+        print(header)
+        for label, kernel in lineup.items():
+            if label == "Dense (tensor-core)":
+                continue
+            supported = getattr(kernel, "supported_archs", None)
+            cells = []
+            for sparsity in PAPER_SPARSITIES:
+                if supported is not None and arch.name not in supported:
+                    cells.append(f"{'-':>9}")
+                    continue
+                point = model_speedup(kernel, dense, arch, layers, sparsity)
+                cells.append(f"{'-':>9}" if point is None else f"{point.speedup:>8.2f}x")
+            print(f"{label:<26}" + "".join(cells))
+
+    print("\n=== Section 6.2 headline (Shfl-BW V=64 at 75% sparsity) ===")
+    paper = {"V100": 1.81, "T4": 4.18, "A100": 1.90}
+    for gpu, value in headline_speedups().items():
+        print(f"  {gpu:>5}: measured {value:.2f}x   (paper {paper[gpu]:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""Capacity-constrained (balanced) k-means for row-mask clustering.
+
+The Shfl-BW pattern search (Section 5, Figure 5) clusters the rows of a binary
+importance mask into groups of exactly ``V`` rows, so that rows keeping
+weights in similar columns end up in the same group.  Standard k-means does
+not respect the fixed group size, so this module implements a balanced
+variant:
+
+1. centroids are seeded with k-means++ over the binary rows,
+2. each iteration assigns rows to centroids greedily in ascending distance
+   order subject to a per-cluster capacity of ``V``,
+3. centroids are recomputed as the mean of their assigned rows.
+
+Distances are squared Euclidean, which on binary vectors equals the Hamming
+distance; everything is deterministic given the ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["balanced_kmeans", "kmeans_plusplus_init"]
+
+
+def kmeans_plusplus_init(
+    points: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread the initial centroids across the data."""
+    n = points.shape[0]
+    if num_clusters <= 0 or num_clusters > n:
+        raise ValueError("num_clusters must be in [1, n_points]")
+    centroids = np.empty((num_clusters, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    closest = np.sum((points - centroids[0]) ** 2, axis=1)
+    for c in range(1, num_clusters):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with an existing centroid.
+            idx = int(rng.integers(n))
+        else:
+            probs = closest / total
+            idx = int(rng.choice(n, p=probs))
+        centroids[c] = points[idx]
+        closest = np.minimum(closest, np.sum((points - centroids[c]) ** 2, axis=1))
+    return centroids
+
+
+def _balanced_assignment(
+    points: np.ndarray, centroids: np.ndarray, capacity: int
+) -> np.ndarray:
+    """Greedy capacity-constrained assignment.
+
+    Returns an array ``assign`` with ``assign[i]`` the cluster of row ``i``;
+    every cluster receives exactly ``capacity`` rows.
+    """
+    n = points.shape[0]
+    k = centroids.shape[0]
+    # (n, k) squared distances.
+    dists = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    order = np.argsort(dists, axis=None, kind="stable")
+    assign = np.full(n, -1, dtype=np.int64)
+    remaining = np.full(k, capacity, dtype=np.int64)
+    assigned = 0
+    for flat in order:
+        row, cluster = divmod(int(flat), k)
+        if assign[row] != -1 or remaining[cluster] == 0:
+            continue
+        assign[row] = cluster
+        remaining[cluster] -= 1
+        assigned += 1
+        if assigned == n:
+            break
+    return assign
+
+
+def balanced_kmeans(
+    points: np.ndarray,
+    group_size: int,
+    *,
+    num_iters: int = 10,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Cluster ``points`` (rows) into groups of exactly ``group_size``.
+
+    Parameters
+    ----------
+    points:
+        ``(M, K)`` array; for the pattern search this is the binary mask from
+        the reduced-sparsity unstructured pruning step.
+    group_size:
+        Required rows per group (the vector size ``V``); ``M`` must be a
+        multiple of it.
+    num_iters:
+        Lloyd iterations (each with a balanced assignment).
+    seed:
+        Seed for the k-means++ initialisation.
+
+    Returns
+    -------
+    list of arrays
+        ``M / group_size`` arrays of row indices, each of length
+        ``group_size``, sorted within each group; groups are ordered by their
+        smallest member so the output is deterministic.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    m = points.shape[0]
+    if group_size <= 0 or m % group_size:
+        raise ValueError(f"M={m} must be a positive multiple of group_size={group_size}")
+    num_clusters = m // group_size
+    if num_clusters == 1:
+        return [np.arange(m, dtype=np.int64)]
+
+    rng = np.random.default_rng(seed)
+    centroids = kmeans_plusplus_init(points, num_clusters, rng)
+    assign = _balanced_assignment(points, centroids, group_size)
+    for _ in range(max(0, num_iters - 1)):
+        for c in range(num_clusters):
+            members = points[assign == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+        new_assign = _balanced_assignment(points, centroids, group_size)
+        if np.array_equal(new_assign, assign):
+            break
+        assign = new_assign
+
+    groups = [
+        np.sort(np.nonzero(assign == c)[0]).astype(np.int64)
+        for c in range(num_clusters)
+    ]
+    groups.sort(key=lambda g: int(g[0]))
+    return groups

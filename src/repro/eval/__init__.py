@@ -1,0 +1,49 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .accuracy import (
+    AccuracyConfig,
+    AccuracyResult,
+    PatternSpec,
+    evaluate_model_accuracy,
+    table1_pattern_specs,
+    table1_sweep,
+)
+from .experiments import available_experiments, run_experiment
+from .report import Report, Table
+from .speedup import (
+    PAPER_GPUS,
+    PAPER_SPARSITIES,
+    SpeedupPoint,
+    figure6_sweep,
+    headline_speedups,
+    kernel_time,
+    model_speedup,
+    model_time,
+    spmm_throughput_sweep,
+)
+from .tradeoff import TradeoffPoint, figure2_pattern_specs, figure2_sweep
+
+__all__ = [
+    "AccuracyConfig",
+    "AccuracyResult",
+    "PatternSpec",
+    "evaluate_model_accuracy",
+    "table1_pattern_specs",
+    "table1_sweep",
+    "available_experiments",
+    "run_experiment",
+    "Report",
+    "Table",
+    "PAPER_GPUS",
+    "PAPER_SPARSITIES",
+    "SpeedupPoint",
+    "figure6_sweep",
+    "headline_speedups",
+    "kernel_time",
+    "model_speedup",
+    "model_time",
+    "spmm_throughput_sweep",
+    "TradeoffPoint",
+    "figure2_pattern_specs",
+    "figure2_sweep",
+]

@@ -1,0 +1,62 @@
+"""Command-line entry point: ``python -m repro.eval <experiment> [options]``.
+
+Examples
+--------
+Regenerate the Figure 6 speedup tables::
+
+    python -m repro.eval figure6
+
+Run the Table 1 accuracy protocol at full scale (slower)::
+
+    python -m repro.eval table1 --full
+
+List the available experiments::
+
+    python -m repro.eval --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import available_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's tables and figures on the simulated substrate.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment id ({', '.join(available_experiments())})",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run accuracy experiments at full scale (slower, smoother numbers)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown instead of plain text"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        print("Available experiments:")
+        for name in available_experiments():
+            print(f"  {name}")
+        return 0
+
+    kwargs = {}
+    if args.experiment in ("table1", "figure2"):
+        kwargs["quick"] = not args.full
+    report = run_experiment(args.experiment, **kwargs)
+    print(report.to_markdown() if args.markdown else report.to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Pruned-model accuracy experiments (Table 1 of the paper).
+
+The paper reports BLEU (Transformer, GNMT) and ImageNet top-1 (ResNet50) for
+block-wise, vector-wise and Shfl-BW pruning at 80 % and 90 % sparsity.  The
+datasets and model scale are not reproducible offline, so the experiment runs
+the same protocol on the proxy models of :mod:`repro.models`:
+
+1. train a dense proxy on its synthetic task,
+2. for every pattern configuration, prune the trained weights and fine-tune
+   with the masks held fixed,
+3. report the task metric per configuration.
+
+Because the proxy layers are 8-16x narrower than the real models, the paper's
+vector sizes are scaled down by ``vector_scale`` (default 4: paper V=32/64 ->
+proxy V=8/16) so the *relative* granularity of the patterns is preserved.
+What the experiment is expected to reproduce is the ordering — Shfl-BW >=
+vector-wise >= block-wise at equal sparsity, and Shfl-BW at the larger V
+competitive with vector-wise at the smaller V — not the absolute BLEU /
+accuracy values of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.gnmt import GNMTConfig, GNMTProxy
+from ..models.resnet import ResNetConfig, ResNetProxy
+from ..models.transformer import TransformerConfig, TransformerProxy
+from ..nn.data import SyntheticClassificationTask, SyntheticTranslationTask
+from ..nn.train import TrainConfig, build_masks, train_model
+from ..pruning.patterns import make_pruner
+
+__all__ = [
+    "AccuracyConfig",
+    "PatternSpec",
+    "AccuracyResult",
+    "table1_pattern_specs",
+    "evaluate_model_accuracy",
+    "table1_sweep",
+]
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """One row configuration of Table 1."""
+
+    label: str
+    pattern: str
+    paper_vector_size: int | None = None
+
+    def proxy_vector_size(self, vector_scale: int) -> int | None:
+        if self.paper_vector_size is None:
+            return None
+        return max(4, self.paper_vector_size // vector_scale)
+
+
+@dataclass(frozen=True)
+class AccuracyConfig:
+    """Scale of the proxy accuracy experiments.
+
+    ``quick`` keeps runtimes in the tens of seconds for the evaluation CLI;
+    the full setting trains longer for smoother numbers.  ``tiny`` shrinks
+    both the tasks and the training budget to a few seconds per configuration
+    and exists for the automated test/benchmark suites (the resulting metrics
+    are noisy and only good for smoke-checking the protocol).
+    """
+
+    quick: bool = True
+    tiny: bool = False
+    vector_scale: int = 4
+    seed: int = 0
+
+    @property
+    def train_config(self) -> TrainConfig:
+        if self.tiny:
+            return TrainConfig(epochs=2, batch_size=64, learning_rate=3.0e-3, seed=self.seed)
+        if self.quick:
+            return TrainConfig(epochs=6, batch_size=64, learning_rate=3.0e-3, seed=self.seed)
+        return TrainConfig(epochs=16, batch_size=64, learning_rate=3.0e-3, seed=self.seed)
+
+    @property
+    def finetune_config(self) -> TrainConfig:
+        if self.tiny:
+            return TrainConfig(epochs=1, batch_size=64, learning_rate=1.5e-3, seed=self.seed + 1)
+        if self.quick:
+            return TrainConfig(epochs=3, batch_size=64, learning_rate=1.5e-3, seed=self.seed + 1)
+        return TrainConfig(epochs=8, batch_size=64, learning_rate=1.5e-3, seed=self.seed + 1)
+
+    @property
+    def resnet_train_config(self) -> TrainConfig:
+        epochs = 1 if self.tiny else (4 if self.quick else 10)
+        return TrainConfig(epochs=epochs, batch_size=32, learning_rate=2.0e-3, seed=self.seed)
+
+    @property
+    def resnet_finetune_config(self) -> TrainConfig:
+        epochs = 1 if self.tiny else (2 if self.quick else 6)
+        return TrainConfig(epochs=epochs, batch_size=32, learning_rate=1.0e-3, seed=self.seed + 1)
+
+
+@dataclass
+class AccuracyResult:
+    """Metrics of one model across pattern configurations."""
+
+    model: str
+    metric_name: str
+    dense_metric: float
+    results: dict[tuple[str, float], float] = field(default_factory=dict)
+
+    def metric(self, label: str, sparsity: float) -> float | None:
+        return self.results.get((label, sparsity))
+
+
+def table1_pattern_specs() -> list[PatternSpec]:
+    """The pattern configurations of Table 1 (plus the unstructured reference
+    used by Figure 2)."""
+    return [
+        PatternSpec("Unstructured", "unstructured"),
+        PatternSpec("BW, V=32", "blockwise", 32),
+        PatternSpec("VW, V=32", "vectorwise", 32),
+        PatternSpec("Shfl-BW, V=32", "shflbw", 32),
+        PatternSpec("Shfl-BW, V=64", "shflbw", 64),
+    ]
+
+
+def _build_model_and_task(model_name: str, config: AccuracyConfig):
+    """Fresh proxy model + synthetic task + train/finetune configs."""
+    seed = config.seed
+    num_train = 256 if config.tiny else 1024
+    if model_name == "transformer":
+        task = SyntheticTranslationTask(seed=seed, num_train=num_train)
+        model = TransformerProxy(TransformerConfig(vocab_size=task.vocab_size, seed=seed))
+        return model, task, config.train_config, config.finetune_config
+    if model_name == "gnmt":
+        task = SyntheticTranslationTask(seed=seed, num_train=num_train)
+        model = GNMTProxy(GNMTConfig(vocab_size=task.vocab_size, seed=seed))
+        return model, task, config.train_config, config.finetune_config
+    if model_name in ("resnet", "resnet50"):
+        task = SyntheticClassificationTask(
+            seed=seed, num_train=128 if config.tiny else 256, num_valid=128
+        )
+        model = ResNetProxy(ResNetConfig(width=32, num_blocks=1, seed=seed))
+        return model, task, config.resnet_train_config, config.resnet_finetune_config
+    raise ValueError(f"unknown model {model_name!r}")
+
+
+def _make_pruner_for(spec: PatternSpec, config: AccuracyConfig, seed: int):
+    v = spec.proxy_vector_size(config.vector_scale)
+    if spec.pattern == "unstructured":
+        return make_pruner("unstructured")
+    if spec.pattern == "blockwise":
+        return make_pruner("blockwise", block_size=v)
+    if spec.pattern == "vectorwise":
+        return make_pruner("vectorwise", vector_size=v)
+    if spec.pattern == "shflbw":
+        return make_pruner("shflbw", vector_size=v, seed=seed)
+    raise ValueError(f"unsupported pattern {spec.pattern!r}")
+
+
+def evaluate_model_accuracy(
+    model_name: str,
+    sparsities: tuple[float, ...] = (0.80, 0.90),
+    specs: list[PatternSpec] | None = None,
+    config: AccuracyConfig | None = None,
+) -> AccuracyResult:
+    """Run the Table 1 protocol for one model.
+
+    Trains a dense proxy once, then prunes + fine-tunes a copy per
+    (pattern, sparsity) configuration.
+    """
+    config = config or AccuracyConfig()
+    specs = specs if specs is not None else table1_pattern_specs()
+
+    model, task, train_cfg, finetune_cfg = _build_model_and_task(model_name, config)
+    dense_result = train_model(model, task, train_cfg)
+    dense_state = model.state_dict()
+
+    out = AccuracyResult(
+        model=model_name,
+        metric_name=model.metric_name,
+        dense_metric=dense_result.final_metric,
+    )
+    for spec in specs:
+        for sparsity in sparsities:
+            model.load_state_dict(dense_state)
+            pruner = _make_pruner_for(spec, config, seed=config.seed)
+            masks, _ = build_masks(model, pruner, sparsity)
+            finetuned = train_model(model, task, finetune_cfg, masks=masks)
+            out.results[(spec.label, sparsity)] = finetuned.final_metric
+    # Restore the dense weights so callers can keep using the model.
+    model.load_state_dict(dense_state)
+    return out
+
+
+def table1_sweep(
+    models: tuple[str, ...] = ("transformer", "gnmt", "resnet50"),
+    sparsities: tuple[float, ...] = (0.80, 0.90),
+    config: AccuracyConfig | None = None,
+    specs: list[PatternSpec] | None = None,
+) -> dict[str, AccuracyResult]:
+    """Table 1: every model x pattern x sparsity configuration."""
+    config = config or AccuracyConfig()
+    specs = specs if specs is not None else [s for s in table1_pattern_specs() if s.label != "Unstructured"]
+    return {
+        model: evaluate_model_accuracy(model, sparsities, specs, config) for model in models
+    }

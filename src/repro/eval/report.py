@@ -1,0 +1,100 @@
+"""Report containers and plain-text rendering for the experiment harness.
+
+Every experiment in :mod:`repro.eval.experiments` returns a :class:`Report`
+— a titled collection of tables (rows of labelled values) — which renders to
+aligned plain text for the console and to Markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "Report", "format_value"]
+
+
+def format_value(value) -> str:
+    """Human-friendly cell formatting."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> "Table":
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+        return self
+
+    def to_text(self) -> str:
+        cells = [[format_value(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(row[i]) for row in cells)) if cells else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title, ""]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(format_value(v) for v in row) + " |")
+        return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """A titled collection of tables plus free-form notes."""
+
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> "Report":
+        self.tables.append(table)
+        return self
+
+    def add_note(self, note: str) -> "Report":
+        self.notes.append(note)
+        return self
+
+    def to_text(self) -> str:
+        parts = [f"=== {self.title} ==="]
+        for table in self.tables:
+            parts.append(table.to_text())
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n\n".join(parts)
+
+    def to_markdown(self) -> str:
+        parts = [f"## {self.title}"]
+        for table in self.tables:
+            parts.append(table.to_markdown())
+        if self.notes:
+            parts.append("\n".join(f"- {note}" for note in self.notes))
+        return "\n\n".join(parts)

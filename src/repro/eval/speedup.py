@@ -1,0 +1,193 @@
+"""Kernel-speedup experiments (Figure 1, Figure 6 and the Section 6.2
+headline numbers).
+
+Everything here runs on the GPU timing model with the real layer shapes of
+the three workloads; no model training is involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.arch import GPUArch, get_gpu
+from ..kernels.base import GEMMShape, KernelNotApplicableError, SpMMKernel
+from ..kernels.registry import make_kernel, paper_baselines
+from ..models.shapes import LayerShape, model_layers
+
+__all__ = [
+    "SpeedupPoint",
+    "kernel_time",
+    "model_time",
+    "model_speedup",
+    "spmm_throughput_sweep",
+    "figure6_sweep",
+    "headline_speedups",
+    "PAPER_SPARSITIES",
+    "PAPER_GPUS",
+]
+
+#: The sparsity grid of Figure 6.
+PAPER_SPARSITIES = (0.50, 0.75, 0.85, 0.95)
+#: The GPUs of the evaluation (Section 6.1).
+PAPER_GPUS = ("V100", "T4", "A100")
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One kernel at one operating point, relative to the dense baseline."""
+
+    kernel: str
+    arch: str
+    sparsity: float
+    time_s: float
+    dense_time_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.time_s <= 0:
+            return float("inf")
+        return self.dense_time_s / self.time_s
+
+
+def kernel_time(kernel: SpMMKernel, arch: GPUArch, shape: GEMMShape, density: float) -> float:
+    """Estimated execution time of one kernel on one GEMM shape."""
+    return kernel.estimate(arch, shape, density).total_time_s
+
+
+def model_time(
+    kernel: SpMMKernel, arch: GPUArch, layers: list[LayerShape], density: float
+) -> float:
+    """Total time over all (weighted) layers of a workload.
+
+    Raises :class:`KernelNotApplicableError` if the kernel cannot run any of
+    the layers (e.g. balanced 2:4 at a density other than 0.5, or a baseline
+    without a convolution implementation).
+    """
+    total = 0.0
+    for layer in layers:
+        if layer.kind == "conv" and not kernel.supports_conv and kernel.pattern.value != "dense":
+            raise KernelNotApplicableError(
+                f"kernel {kernel.name!r} has no convolution implementation"
+            )
+        total += kernel_time(kernel, arch, layer.gemm, density) * layer.count
+    return total
+
+
+def model_speedup(
+    kernel: SpMMKernel,
+    dense_kernel: SpMMKernel,
+    arch: GPUArch,
+    layers: list[LayerShape],
+    sparsity: float,
+) -> SpeedupPoint | None:
+    """Speedup of a sparse kernel over the dense baseline on a workload.
+
+    Returns ``None`` when the kernel is not applicable at this operating
+    point (mirroring the missing bars in Figure 6).
+    """
+    density = 1.0 - sparsity
+    try:
+        sparse_time = model_time(kernel, arch, layers, density)
+    except (KernelNotApplicableError, ValueError):
+        return None
+    dense_time = model_time(dense_kernel, arch, layers, 1.0)
+    return SpeedupPoint(
+        kernel=kernel.name,
+        arch=arch.name,
+        sparsity=sparsity,
+        time_s=sparse_time,
+        dense_time_s=dense_time,
+    )
+
+
+def spmm_throughput_sweep(
+    gpu: str = "V100",
+    *,
+    m: int = 2048,
+    n: int = 128,
+    k: int = 2048,
+    densities: tuple[float, ...] = (0.02, 0.05, 0.10, 0.15, 0.25, 0.35, 0.50),
+    vector_size: int = 64,
+) -> dict[str, dict[float, float]]:
+    """Figure 1: SpMM throughput vs density, normalised to CUDA-core dense.
+
+    Returns ``{curve_name: {density: normalised_throughput}}`` with the four
+    curves of the figure: tensor-core dense, CUDA-core dense, CUDA-core
+    sparse (Sputnik) and tensor-core sparse (Shfl-BW, ours).
+    """
+    arch = get_gpu(gpu)
+    shape = GEMMShape(m=m, n=n, k=k)
+    dense_tc = make_kernel("dense")
+    dense_cc = make_kernel("dense-cudacore")
+    sparse_cc = make_kernel("sputnik")
+    sparse_tc = make_kernel("shfl-bw", vector_size=vector_size)
+
+    cc_time = kernel_time(dense_cc, arch, shape, 1.0)
+    tc_time = kernel_time(dense_tc, arch, shape, 1.0)
+
+    curves: dict[str, dict[float, float]] = {
+        "Cuda-Core": {d: 1.0 for d in densities},
+        "Tensor-Core": {d: cc_time / tc_time for d in densities},
+        "Cuda-Core Sparse": {},
+        "Tensor-Core Sparse (Ours)": {},
+    }
+    for density in densities:
+        curves["Cuda-Core Sparse"][density] = cc_time / kernel_time(
+            sparse_cc, arch, shape, density
+        )
+        curves["Tensor-Core Sparse (Ours)"][density] = cc_time / kernel_time(
+            sparse_tc, arch, shape, density
+        )
+    return curves
+
+
+def figure6_sweep(
+    models: tuple[str, ...] = ("transformer", "gnmt", "resnet50"),
+    gpus: tuple[str, ...] = PAPER_GPUS,
+    sparsities: tuple[float, ...] = PAPER_SPARSITIES,
+    vector_sizes: tuple[int, ...] = (32, 64),
+) -> dict[tuple[str, str], dict[str, dict[float, float | None]]]:
+    """Figure 6: speedup over the dense baseline for every kernel line-up.
+
+    Returns ``{(model, gpu): {kernel_label: {sparsity: speedup_or_None}}}``.
+    Kernels that are not applicable (wrong GPU, fixed-density patterns,
+    missing convolution support) report ``None``, matching the bars missing
+    from the paper's figure.
+    """
+    dense_kernel = make_kernel("dense")
+    results: dict[tuple[str, str], dict[str, dict[float, float | None]]] = {}
+    for model in models:
+        layers = model_layers(model)
+        for gpu in gpus:
+            arch = get_gpu(gpu)
+            kernel_lineup = paper_baselines(vector_sizes)
+            per_kernel: dict[str, dict[float, float | None]] = {}
+            for label, kernel in kernel_lineup.items():
+                if label == "Dense (tensor-core)":
+                    continue
+                supported = getattr(kernel, "supported_archs", None)
+                per_kernel[label] = {}
+                for sparsity in sparsities:
+                    if supported is not None and arch.name not in supported:
+                        per_kernel[label][sparsity] = None
+                        continue
+                    point = model_speedup(kernel, dense_kernel, arch, layers, sparsity)
+                    per_kernel[label][sparsity] = None if point is None else point.speedup
+            results[(model, gpu)] = per_kernel
+    return results
+
+
+def headline_speedups(
+    sparsity: float = 0.75, vector_size: int = 64, model: str = "transformer"
+) -> dict[str, float]:
+    """Section 6.2 headline: Shfl-BW speedup on the Transformer GEMM layers at
+    75 % sparsity on each GPU (paper: 1.81x / 4.18x / 1.90x)."""
+    layers = model_layers(model)
+    dense_kernel = make_kernel("dense")
+    kernel = make_kernel("shfl-bw", vector_size=vector_size)
+    out: dict[str, float] = {}
+    for gpu in PAPER_GPUS:
+        arch = get_gpu(gpu)
+        point = model_speedup(kernel, dense_kernel, arch, layers, sparsity)
+        out[gpu] = point.speedup if point is not None else float("nan")
+    return out

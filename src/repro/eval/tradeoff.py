@@ -1,0 +1,101 @@
+"""Accuracy-speedup trade-off (Figure 2 of the paper).
+
+Figure 2 plots, for GNMT on V100, the BLEU score against the kernel speedup
+over the tensor-core dense baseline for several sparsity patterns and vector
+sizes at 80 % and 90 % sparsity.  The reproduction combines:
+
+* the kernel-speedup side from the GPU timing model on the *real* GNMT layer
+  shapes (:func:`repro.eval.speedup.model_speedup`), and
+* the accuracy side from the proxy-GNMT protocol of
+  :mod:`repro.eval.accuracy`.
+
+The paper's qualitative claims to check: unstructured sparsity sits below
+1x speedup (no tensor cores) despite the best accuracy; Shfl-BW reaches real
+speedup at small accuracy cost and dominates vector-wise; larger V trades a
+little accuracy for more speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.arch import get_gpu
+from ..kernels.registry import make_kernel
+from ..models.shapes import gnmt_layers
+from .accuracy import AccuracyConfig, PatternSpec, evaluate_model_accuracy
+from .speedup import model_speedup
+
+__all__ = ["TradeoffPoint", "figure2_pattern_specs", "figure2_sweep"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the Figure 2 scatter: a pattern at a sparsity level."""
+
+    label: str
+    sparsity: float
+    accuracy: float
+    speedup: float
+
+
+def figure2_pattern_specs() -> list[PatternSpec]:
+    """The pattern line-up of Figure 2 (GNMT on V100)."""
+    return [
+        PatternSpec("Unstructured", "unstructured"),
+        PatternSpec("VW, V=32", "vectorwise", 32),
+        PatternSpec("Shfl-BW, V=32", "shflbw", 32),
+        PatternSpec("Shfl-BW, V=64", "shflbw", 64),
+        PatternSpec("Shfl-BW, V=128", "shflbw", 128),
+    ]
+
+
+def _kernel_for_spec(spec: PatternSpec):
+    if spec.pattern == "unstructured":
+        return make_kernel("sputnik")
+    if spec.pattern == "vectorwise":
+        return make_kernel("vector-wise", vector_size=spec.paper_vector_size)
+    if spec.pattern == "shflbw":
+        return make_kernel("shfl-bw", vector_size=spec.paper_vector_size)
+    if spec.pattern == "blockwise":
+        return make_kernel("cusparse-bsr", block_size=spec.paper_vector_size)
+    raise ValueError(f"no kernel mapping for pattern {spec.pattern!r}")
+
+
+def figure2_sweep(
+    gpu: str = "V100",
+    sparsities: tuple[float, ...] = (0.80, 0.90),
+    config: AccuracyConfig | None = None,
+    specs: list[PatternSpec] | None = None,
+) -> list[TradeoffPoint]:
+    """Compute the accuracy-speedup points of Figure 2.
+
+    Speedups use the real GNMT layer shapes on the requested GPU; accuracies
+    come from the proxy-GNMT pruning protocol.
+    """
+    config = config or AccuracyConfig()
+    specs = specs if specs is not None else figure2_pattern_specs()
+    arch = get_gpu(gpu)
+    layers = gnmt_layers()
+    dense_kernel = make_kernel("dense")
+
+    accuracy = evaluate_model_accuracy("gnmt", sparsities, specs, config)
+
+    points: list[TradeoffPoint] = []
+    for spec in specs:
+        kernel = _kernel_for_spec(spec)
+        for sparsity in sparsities:
+            metric = accuracy.metric(spec.label, sparsity)
+            if metric is None:
+                continue
+            point = model_speedup(kernel, dense_kernel, arch, layers, sparsity)
+            if point is None:
+                continue
+            points.append(
+                TradeoffPoint(
+                    label=spec.label,
+                    sparsity=sparsity,
+                    accuracy=metric,
+                    speedup=point.speedup,
+                )
+            )
+    return points

@@ -1,0 +1,181 @@
+"""Memory-traffic model for the GPU kernel simulator.
+
+The model follows the paper's framing (Section 3.2.2): kernel performance on
+tensor-core GPUs is dominated by how many bytes have to cross the DRAM
+interface per floating point operation.  We therefore describe a kernel's
+memory behaviour as a :class:`TrafficBreakdown` of DRAM bytes by operand, plus
+an *access efficiency* per operand that captures how well the access pattern
+uses the memory system (coalescing, transaction granularity).
+
+A light-weight L2 model is included: operand streams whose per-wave working
+set fits in the L2 cache are only charged DRAM traffic once per wave, which is
+what makes small-N GEMMs (the shapes of real DNN layers, Figure 6) memory
+bound on the weight matrix rather than on the activation re-reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .arch import GPUArch
+
+#: Bytes per FP16 value; the paper evaluates half precision throughout.
+BYTES_FP16 = 2
+#: Bytes per FP32 value (accumulators, some metadata).
+BYTES_FP32 = 4
+#: Bytes per column-index / row-index metadata entry.
+BYTES_INDEX = 4
+#: DRAM transaction (cache line) granularity in bytes.
+TRANSACTION_BYTES = 32
+
+
+@dataclass
+class OperandTraffic:
+    """DRAM traffic contributed by one operand of a kernel.
+
+    Attributes
+    ----------
+    name:
+        Operand label, e.g. ``"weight"`` or ``"activation"``.
+    bytes:
+        Unique bytes of this operand touched by the kernel (its footprint).
+    reads:
+        Number of times the footprint is streamed from memory *before* any
+        cache filtering (e.g. an activation tile re-read once per row-tile).
+    access_efficiency:
+        Fraction of each memory transaction that carries useful data.  1.0 for
+        perfectly coalesced streaming access, lower for gather-style access
+        (e.g. unstructured SpMM loading scattered activation rows).
+    is_write:
+        Whether the traffic is a store stream (writes are not L2-filtered in
+        this model).
+    """
+
+    name: str
+    bytes: float
+    reads: float = 1.0
+    access_efficiency: float = 1.0
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0:
+            raise ValueError(f"operand {self.name!r} has negative bytes")
+        if self.reads < 0:
+            raise ValueError(f"operand {self.name!r} has negative read count")
+        if not 0.0 < self.access_efficiency <= 1.0:
+            raise ValueError(
+                f"operand {self.name!r} access efficiency must be in (0, 1]"
+            )
+
+    @property
+    def raw_bytes(self) -> float:
+        """Total bytes requested by the kernel before cache filtering."""
+        return self.bytes * self.reads
+
+    def dram_bytes(self, arch: GPUArch) -> float:
+        """DRAM bytes after L2 filtering and access-efficiency penalties.
+
+        Re-reads of an operand whose footprint fits within half of the L2
+        capacity hit in L2 and cost no extra DRAM traffic; larger footprints
+        degrade smoothly (the fraction of the footprint resident in L2 is
+        filtered, the rest spills to DRAM on every re-read).  Stores always go
+        to DRAM (write-through approximation).
+        """
+        effective_reads = self.reads
+        if not self.is_write and self.reads > 1.0 and self.bytes > 0:
+            usable_l2 = arch.l2_capacity / 2
+            hit_fraction = min(1.0, usable_l2 / self.bytes)
+            effective_reads = 1.0 + (self.reads - 1.0) * (1.0 - hit_fraction)
+        return (self.bytes * effective_reads) / self.access_efficiency
+
+
+@dataclass
+class TrafficBreakdown:
+    """Collection of operand traffic streams for one kernel launch."""
+
+    operands: list[OperandTraffic] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        bytes: float,
+        *,
+        reads: float = 1.0,
+        access_efficiency: float = 1.0,
+        is_write: bool = False,
+    ) -> "TrafficBreakdown":
+        """Append one operand stream and return ``self`` for chaining."""
+        self.operands.append(
+            OperandTraffic(
+                name=name,
+                bytes=bytes,
+                reads=reads,
+                access_efficiency=access_efficiency,
+                is_write=is_write,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def total_raw_bytes(self) -> float:
+        """Bytes requested before any cache filtering."""
+        return sum(op.raw_bytes for op in self.operands)
+
+    def total_dram_bytes(self, arch: GPUArch) -> float:
+        """DRAM bytes after L2 filtering / efficiency penalties."""
+        return sum(op.dram_bytes(arch) for op in self.operands)
+
+    def dram_time(self, arch: GPUArch, *, bandwidth_efficiency: float = 1.0) -> float:
+        """Time to move the DRAM traffic at (a fraction of) peak bandwidth."""
+        if not 0.0 < bandwidth_efficiency <= 1.0:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+        return self.total_dram_bytes(arch) / (
+            arch.dram_bandwidth * bandwidth_efficiency
+        )
+
+    def l2_time(self, arch: GPUArch, *, bandwidth_efficiency: float = 1.0) -> float:
+        """Time to move the *raw* (pre-filter) traffic through the L2 cache.
+
+        Re-reads filtered out of DRAM still consume last-level-cache
+        bandwidth; kernels with poor reuse (small tiles / small ``V``) become
+        L2-bandwidth bound even when their DRAM footprint is small — this is
+        the "63 MACs per loaded value" argument of Section 2.1.
+        """
+        if not 0.0 < bandwidth_efficiency <= 1.0:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+        return self.total_raw_bytes() / (arch.l2_bandwidth * bandwidth_efficiency)
+
+    def memory_time(self, arch: GPUArch, *, bandwidth_efficiency: float = 1.0) -> float:
+        """Combined memory-stream time: the slower of DRAM and L2 delivery."""
+        return max(
+            self.dram_time(arch, bandwidth_efficiency=bandwidth_efficiency),
+            self.l2_time(arch, bandwidth_efficiency=bandwidth_efficiency),
+        )
+
+    def by_operand(self, arch: GPUArch) -> dict[str, float]:
+        """DRAM bytes per operand name (merging duplicates)."""
+        out: dict[str, float] = {}
+        for op in self.operands:
+            out[op.name] = out.get(op.name, 0.0) + op.dram_bytes(arch)
+        return out
+
+    def operation_intensity(self, flops: float, arch: GPUArch) -> float:
+        """FLOPs per DRAM byte for this traffic under ``arch``."""
+        dram = self.total_dram_bytes(arch)
+        if dram <= 0:
+            return float("inf")
+        return flops / dram
+
+
+def gather_access_efficiency(contiguous_bytes: float) -> float:
+    """Efficiency of gather-style access with a given contiguous run length.
+
+    A gather that touches ``contiguous_bytes`` of useful data per memory
+    transaction wastes the remainder of the :data:`TRANSACTION_BYTES` line.
+    Runs longer than a transaction are fully efficient.
+    """
+    if contiguous_bytes <= 0:
+        raise ValueError("contiguous_bytes must be positive")
+    return min(1.0, contiguous_bytes / TRANSACTION_BYTES)

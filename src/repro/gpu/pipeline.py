@@ -1,0 +1,153 @@
+"""Software-pipeline latency model (Algorithm 1 of the paper).
+
+A Shfl-BW SpMM main loop interleaves three streams of work per K-step:
+
+1. ``BulkLoadMeta`` — load the column indices (metadata) of future weight
+   tiles, issued once every ``MetaPrefetchStage`` steps,
+2. ``StitchTile`` — load/gather the weight values and the activation rows
+   named by the metadata into shared memory,
+3. ``WarpMMA`` — tensor-core computation on a previously loaded buffer.
+
+With enough pipeline stages the per-iteration time is the *maximum* of the
+overlapping streams; without prefetching, the metadata load serialises with
+the data load because the stitch cannot start until the indices are known
+(the dependency called out in Section 4.4).  This module exposes both
+behaviours so the metadata-prefetch ablation benchmark can quantify the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Per-iteration latencies of the main-loop streams, in seconds.
+
+    Attributes
+    ----------
+    compute_time:
+        Tensor-core (or CUDA-core) time per K-step.
+    load_time:
+        Shared-memory fill time per K-step (weights + stitched activations).
+    meta_time:
+        Metadata (column index) load time per K-step, *before* bulk
+        aggregation.
+    k_steps:
+        Number of main-loop iterations.
+    pipeline_stages:
+        Number of buffers available for overlap; 1 disables overlap entirely.
+    meta_prefetch_steps:
+        ``MetaPrefetchStage`` from Algorithm 1 — how many iterations' worth of
+        metadata are fetched in one bulk load.  1 disables bulk prefetching.
+    meta_bulk_efficiency:
+        Bandwidth-efficiency bonus of aggregating small metadata loads into
+        bulk transfers (Section 4.4 notes metadata is small and benefits from
+        aggregation); applied when ``meta_prefetch_steps > 1``.
+    """
+
+    compute_time: float
+    load_time: float
+    meta_time: float = 0.0
+    k_steps: int = 1
+    pipeline_stages: int = 2
+    meta_prefetch_steps: int = 4
+    meta_bulk_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.compute_time < 0 or self.load_time < 0 or self.meta_time < 0:
+            raise ValueError("stream times must be non-negative")
+        if self.k_steps < 1:
+            raise ValueError("k_steps must be >= 1")
+        if self.pipeline_stages < 1:
+            raise ValueError("pipeline_stages must be >= 1")
+        if self.meta_prefetch_steps < 1:
+            raise ValueError("meta_prefetch_steps must be >= 1")
+        if not 0.0 < self.meta_bulk_efficiency <= 1.0:
+            raise ValueError("meta_bulk_efficiency must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Outcome of the pipeline model."""
+
+    total_time: float
+    steady_state_time: float
+    prologue_time: float
+    bound: str  # "compute", "memory" or "serial"
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Ratio of the perfectly-overlapped lower bound to the estimate."""
+        if self.total_time <= 0:
+            return 1.0
+        return self.steady_state_time / self.total_time
+
+
+def pipeline_time(spec: PipelineSpec, *, prefetch_metadata: bool = True) -> PipelineEstimate:
+    """Estimate main-loop time for a threadblock under the pipeline model.
+
+    Parameters
+    ----------
+    spec:
+        Stream latencies and pipeline configuration.
+    prefetch_metadata:
+        When ``True`` (the paper's design), metadata for
+        ``meta_prefetch_steps`` future iterations is loaded in bulk and
+        overlaps with compute, so the per-iteration cost is
+        ``max(compute, load + meta/prefetch_steps)``.  When ``False``, the
+        metadata load serialises in front of the data load:
+        ``max(compute, meta + load)`` with no bulk-aggregation benefit.
+    """
+    if prefetch_metadata and spec.meta_prefetch_steps > 1:
+        # Bulk-prefetched metadata joins the pipelined memory stream and can
+        # hide behind compute like any other load.
+        memory_stream = spec.load_time + spec.meta_time * spec.meta_bulk_efficiency
+        serial_meta = 0.0
+    else:
+        # Serial dependency (Section 4.4): the column indices must arrive
+        # before the stitch of the same tile can start, and the stitch must
+        # finish before the MMA, so the metadata latency cannot be hidden
+        # behind either stream.
+        memory_stream = spec.load_time
+        serial_meta = spec.meta_time
+
+    if spec.pipeline_stages >= 2:
+        steady = serial_meta + max(spec.compute_time, memory_stream)
+        bound = "compute" if spec.compute_time >= memory_stream + serial_meta else "memory"
+    else:
+        steady = serial_meta + spec.compute_time + memory_stream
+        bound = "serial"
+
+    # Pipeline prologue: the first (stages - 1) buffers must be filled before
+    # the first MMA can issue; the epilogue drains symmetric to the prologue
+    # and is folded into the same term.
+    warmup_iters = min(spec.pipeline_stages - 1, spec.k_steps)
+    prologue = warmup_iters * memory_stream
+
+    total = prologue + spec.k_steps * steady
+    return PipelineEstimate(
+        total_time=total,
+        steady_state_time=spec.k_steps * steady,
+        prologue_time=prologue,
+        bound=bound,
+    )
+
+
+def dense_pipeline_time(
+    compute_time: float,
+    load_time: float,
+    k_steps: int,
+    *,
+    pipeline_stages: int = 3,
+) -> PipelineEstimate:
+    """Convenience wrapper for dense kernels, which carry no sparse metadata."""
+    spec = PipelineSpec(
+        compute_time=compute_time,
+        load_time=load_time,
+        meta_time=0.0,
+        k_steps=k_steps,
+        pipeline_stages=pipeline_stages,
+        meta_prefetch_steps=1,
+    )
+    return pipeline_time(spec, prefetch_metadata=False)

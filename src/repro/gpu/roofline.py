@@ -1,0 +1,136 @@
+"""Roofline and operation-intensity utilities (Section 3.2.2 of the paper).
+
+The paper argues about sparse-kernel efficiency purely in terms of operation
+intensity (FLOPs per byte loaded from global memory) against the machine
+balance of each GPU.  These helpers expose that argument directly so the
+analysis benchmarks can regenerate the paper's ``Max_reuse`` results and so
+kernels can sanity-check the timing model against the roofline bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .arch import GPUArch
+from .memory import BYTES_FP16, BYTES_FP32
+from .tiling import optimal_tile_extent
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A kernel placed on the roofline of a particular GPU."""
+
+    arch: str
+    operation_intensity: float
+    attainable_flops: float
+    peak_flops: float
+    memory_bound: bool
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of peak throughput attainable at this intensity."""
+        if self.peak_flops <= 0:
+            return 0.0
+        return self.attainable_flops / self.peak_flops
+
+
+def machine_balance(arch: GPUArch, *, use_tensor_core: bool = True) -> float:
+    """FLOPs per DRAM byte needed to reach peak throughput on ``arch``."""
+    return arch.peak_flops(use_tensor_core) / arch.dram_bandwidth
+
+
+def attainable_flops(
+    arch: GPUArch, operation_intensity: float, *, use_tensor_core: bool = True
+) -> RooflinePoint:
+    """Classic roofline: ``min(peak, intensity * bandwidth)``."""
+    if operation_intensity < 0:
+        raise ValueError("operation intensity must be non-negative")
+    peak = arch.peak_flops(use_tensor_core)
+    bw_limited = operation_intensity * arch.dram_bandwidth
+    attainable = min(peak, bw_limited)
+    return RooflinePoint(
+        arch=arch.name,
+        operation_intensity=operation_intensity,
+        attainable_flops=attainable,
+        peak_flops=peak,
+        memory_bound=bw_limited < peak,
+    )
+
+
+def dense_gemm_intensity(m: int, n: int, k: int, *, bytes_per_value: int = BYTES_FP16) -> float:
+    """Operation intensity of a dense GEMM that streams each operand once."""
+    if min(m, n, k) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    flops = 2.0 * m * n * k
+    data = bytes_per_value * (m * k + k * n + m * n)
+    return flops / data
+
+
+def dense_tile_reuse(
+    tile_m: int, tile_n: int, *, bytes_per_value: int = BYTES_FP16
+) -> float:
+    """Reuse (FLOP per byte) of a dense ``TM x TN`` output tile.
+
+    For a K-step of size ``TK`` the tile loads ``(TM + TN) * TK`` values and
+    performs ``2 * TM * TN * TK`` FLOPs, so the reuse is independent of
+    ``TK``:  ``2 * TM * TN / (TM + TN)`` FLOP per value.
+    """
+    if tile_m <= 0 or tile_n <= 0:
+        raise ValueError("tile dimensions must be positive")
+    values = tile_m + tile_n
+    flops = 2.0 * tile_m * tile_n
+    return flops / (values * bytes_per_value)
+
+
+def max_reuse_dense(arch: GPUArch, *, accumulator_bytes: int = BYTES_FP32) -> float:
+    """``Reuse_dense = T_opt / 2`` FLOP per byte (Section 3.2.2).
+
+    Derived from a square ``T_opt x T_opt`` output tile where
+    ``T_opt = sqrt(Size_regfile / accumulator_bytes)``.
+    """
+    t_opt = optimal_tile_extent(arch, accumulator_bytes=accumulator_bytes)
+    return dense_tile_reuse(int(t_opt), int(t_opt))
+
+
+def max_reuse_unstructured(
+    arch: GPUArch, density: float, *, accumulator_bytes: int = BYTES_FP32
+) -> float:
+    """``Max_reuse = sqrt(alpha) * Reuse_dense`` for unstructured / balanced
+    sparsity (Section 3.2.2), where ``alpha`` is the non-zero ratio."""
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    return math.sqrt(density) * max_reuse_dense(arch, accumulator_bytes=accumulator_bytes)
+
+
+def max_reuse_blockwise(
+    arch: GPUArch,
+    block_size: int,
+    *,
+    accumulator_bytes: int = BYTES_FP32,
+) -> float:
+    """Reuse attainable by block-wise / vector-wise / Shfl-BW sparsity.
+
+    If the block (vector) size ``V`` is at least ``T_opt`` the dense-tile reuse
+    is fully recovered; smaller ``V`` caps the output-tile extent along M at
+    ``V`` (the sparse side), while the dense side can still use ``T_opt``.
+    """
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    t_opt = optimal_tile_extent(arch, accumulator_bytes=accumulator_bytes)
+    tile_m = min(block_size, int(t_opt))
+    tile_n = int(t_opt)
+    return dense_tile_reuse(tile_m, tile_n)
+
+
+def reuse_ratio_vs_dense(arch: GPUArch, pattern: str, density: float, block_size: int = 32) -> float:
+    """Convenience: reuse of ``pattern`` relative to the dense maximum."""
+    dense = max_reuse_dense(arch)
+    pattern = pattern.lower()
+    if pattern in ("unstructured", "balanced"):
+        return max_reuse_unstructured(arch, density) / dense
+    if pattern in ("blockwise", "block-wise", "vectorwise", "vector-wise", "shflbw", "shfl-bw"):
+        return max_reuse_blockwise(arch, block_size) / dense
+    if pattern == "dense":
+        return 1.0
+    raise ValueError(f"unknown sparsity pattern {pattern!r}")

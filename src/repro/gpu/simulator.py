@@ -1,0 +1,249 @@
+"""Analytical kernel-timing simulator.
+
+This is the substitute for running the paper's CUDA kernels on real V100 / T4
+/ A100 hardware.  Every kernel in :mod:`repro.kernels` describes one launch as
+a :class:`KernelLaunch` — how many useful FLOPs it performs, how many bytes it
+moves (per operand, after format-specific compression), how it tiles the
+problem and which execution unit it uses — and the simulator turns that into a
+time estimate by combining:
+
+* the tensor-core / CUDA-core compute model (:mod:`repro.gpu.tensorcore`),
+* the DRAM traffic + L2 model (:mod:`repro.gpu.memory`),
+* occupancy and wave quantisation (:mod:`repro.gpu.tiling`),
+* the software-pipeline / metadata-prefetch model (:mod:`repro.gpu.pipeline`).
+
+The absolute numbers are approximations; what the model is designed to get
+right are the *relationships* the paper's evaluation hinges on — dense vs
+sparse crossover points, tensor-core vs CUDA-core gaps, the effect of block
+size ``V`` on data reuse, and the near-zero cost of the Shfl-BW row shuffle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .arch import GPUArch
+from .memory import TrafficBreakdown
+from .pipeline import PipelineSpec, pipeline_time
+from .tensorcore import (
+    ComputeEstimate,
+    cuda_core_time,
+    sparse_tensor_core_time,
+    tensor_core_time,
+)
+from .tiling import TileConfig, concurrent_tiles, wave_count
+
+
+class ComputeUnit(enum.Enum):
+    """Execution unit a kernel maps its inner product onto."""
+
+    TENSOR_CORE = "tensor_core"
+    CUDA_CORE = "cuda_core"
+    SPARSE_TENSOR_CORE = "sparse_tensor_core"
+
+
+@dataclass
+class KernelLaunch:
+    """Complete description of one kernel launch for the timing model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable kernel name (for reports).
+    useful_flops:
+        FLOPs that contribute to the mathematical result.
+    traffic:
+        DRAM traffic of the data operands (weights, activations, outputs).
+    meta_traffic:
+        DRAM traffic of sparse metadata (column indices, row indices);
+        kept separate so the metadata-prefetch pipeline model can act on it.
+    tile:
+        Threadblock tiling configuration.
+    num_tiles:
+        Number of output tiles (threadblocks) in the grid.
+    k_steps:
+        Main-loop iterations per threadblock.
+    compute_unit:
+        Which execution unit performs the MACs.
+    compute_efficiency:
+        Fraction of the unit's peak the inner loop sustains.
+    bandwidth_efficiency:
+        Fraction of peak DRAM bandwidth the access pattern sustains.
+    prefetch_metadata:
+        Whether the kernel bulk-prefetches metadata (Algorithm 1).
+    meta_prefetch_steps:
+        Bulk size of the metadata prefetch.
+    extra_overhead_s:
+        Additional fixed overhead (e.g. multi-stream synchronisation for the
+        TileWise baseline, format conversion done on the device, etc.).
+    launches:
+        Number of device kernel launches this logical operation needs (1 for
+        fused kernels, larger for multi-stream / multi-pass baselines).
+    """
+
+    name: str
+    useful_flops: float
+    traffic: TrafficBreakdown
+    tile: TileConfig
+    num_tiles: int
+    k_steps: int
+    compute_unit: ComputeUnit = ComputeUnit.TENSOR_CORE
+    meta_traffic: TrafficBreakdown = field(default_factory=TrafficBreakdown)
+    compute_efficiency: float = 0.85
+    bandwidth_efficiency: float = 0.85
+    prefetch_metadata: bool = True
+    meta_prefetch_steps: int = 4
+    extra_overhead_s: float = 0.0
+    launches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.useful_flops < 0:
+            raise ValueError("useful_flops must be non-negative")
+        if self.num_tiles < 1:
+            raise ValueError("num_tiles must be >= 1")
+        if self.k_steps < 1:
+            raise ValueError("k_steps must be >= 1")
+        if self.launches < 1:
+            raise ValueError("launches must be >= 1")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0.0 < self.bandwidth_efficiency <= 1.0:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing estimate returned by :func:`simulate`."""
+
+    kernel: str
+    arch: str
+    total_time_s: float
+    compute_time_s: float
+    memory_time_s: float
+    meta_time_s: float
+    overhead_s: float
+    waves: int
+    bound: str
+    useful_flops: float
+    dram_bytes: float
+    compute_utilization: float
+
+    @property
+    def achieved_tflops(self) -> float:
+        """Achieved useful throughput in TFLOP/s."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.useful_flops / self.total_time_s / 1.0e12
+
+    @property
+    def achieved_bandwidth_gbs(self) -> float:
+        """Achieved DRAM bandwidth in GB/s."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.dram_bytes / self.total_time_s / 1.0e9
+
+    def speedup_over(self, other: "KernelTiming") -> float:
+        """Speedup of this kernel relative to ``other`` (>1 means faster)."""
+        if self.total_time_s <= 0:
+            return float("inf")
+        return other.total_time_s / self.total_time_s
+
+
+def _compute_estimate(arch: GPUArch, launch: KernelLaunch) -> ComputeEstimate:
+    """Per-launch compute estimate on the requested execution unit."""
+    total_fragments = launch.num_tiles * launch.k_steps
+    if launch.compute_unit is ComputeUnit.TENSOR_CORE:
+        return tensor_core_time(
+            arch,
+            launch.useful_flops,
+            tile_m=launch.tile.tile_m,
+            tile_n=launch.tile.tile_n,
+            tile_k=launch.tile.tile_k,
+            num_tiles=total_fragments,
+            efficiency=launch.compute_efficiency,
+        )
+    if launch.compute_unit is ComputeUnit.SPARSE_TENSOR_CORE:
+        return sparse_tensor_core_time(
+            arch,
+            launch.useful_flops,
+            tile_m=launch.tile.tile_m,
+            tile_n=launch.tile.tile_n,
+            tile_k=launch.tile.tile_k,
+            num_tiles=total_fragments,
+            efficiency=launch.compute_efficiency,
+        )
+    return cuda_core_time(
+        arch,
+        launch.useful_flops,
+        efficiency=launch.compute_efficiency,
+    )
+
+
+def simulate(arch: GPUArch, launch: KernelLaunch) -> KernelTiming:
+    """Estimate the execution time of ``launch`` on ``arch``.
+
+    The whole-kernel compute time (peak-throughput model, de-rated by grid
+    under-utilisation and wave quantisation) and the whole-kernel DRAM /
+    metadata traffic times feed the software-pipeline model, which decides how
+    much of the memory latency hides behind compute; fixed launch overheads
+    are added on top.
+    """
+    compute = _compute_estimate(arch, launch)
+
+    data_bytes = launch.traffic.total_dram_bytes(arch)
+    meta_bytes = launch.meta_traffic.total_dram_bytes(arch)
+    total_bytes = data_bytes + meta_bytes
+
+    memory_time = launch.traffic.memory_time(
+        arch, bandwidth_efficiency=launch.bandwidth_efficiency
+    )
+    meta_time = launch.meta_traffic.memory_time(
+        arch, bandwidth_efficiency=launch.bandwidth_efficiency
+    )
+
+    waves = wave_count(arch, launch.tile, launch.num_tiles)
+    # Fraction of the chip's compute resources the grid can actually keep
+    # busy: an SM's execution units are saturated once one threadblock is
+    # resident (extra occupancy only hides latency), so what matters is how
+    # many SMs receive work in the average wave.  Small grids (fewer tiles
+    # than SMs) and ragged final waves both lower it.  The peak-throughput
+    # compute estimate is stretched by the inverse of this factor.
+    tiles_per_wave = launch.num_tiles / waves
+    grid_utilization = min(1.0, tiles_per_wave / arch.sm_count)
+    effective_compute_time = compute.time_s / grid_utilization
+
+    spec = PipelineSpec(
+        compute_time=effective_compute_time / launch.k_steps,
+        load_time=memory_time / launch.k_steps,
+        meta_time=meta_time / launch.k_steps,
+        k_steps=launch.k_steps,
+        pipeline_stages=launch.tile.pipeline_stages,
+        meta_prefetch_steps=launch.meta_prefetch_steps,
+    )
+    pipe = pipeline_time(spec, prefetch_metadata=launch.prefetch_metadata)
+
+    overhead = (
+        arch.kernel_launch_overhead_s * launch.launches + launch.extra_overhead_s
+    )
+    # The pipeline prologue (filling the first buffers) is paid per resident
+    # threadblock, not once per whole-kernel "step": dividing by the number of
+    # concurrently resident tiles scales the whole-kernel-granularity estimate
+    # back to a per-tile warm-up.
+    resident = max(1, min(launch.num_tiles, concurrent_tiles(arch, launch.tile)))
+    total = pipe.steady_state_time + pipe.prologue_time / resident + overhead
+
+    return KernelTiming(
+        kernel=launch.name,
+        arch=arch.name,
+        total_time_s=total,
+        compute_time_s=effective_compute_time,
+        memory_time_s=memory_time,
+        meta_time_s=meta_time,
+        overhead_s=overhead,
+        waves=waves,
+        bound=pipe.bound,
+        useful_flops=launch.useful_flops,
+        dram_bytes=total_bytes,
+        compute_utilization=compute.utilization,
+    )

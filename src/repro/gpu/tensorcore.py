@@ -1,0 +1,168 @@
+"""Compute-throughput model for tensor-core and CUDA-core execution.
+
+Tensor cores consume work in fixed ``m x n x k`` MMA granules (Section 2.1 of
+the paper).  A threadblock tile whose dimensions are not multiples of the MMA
+shape still has to issue whole instructions, so small or ragged tiles waste
+throughput.  This module converts a tile's logical FLOPs into issued-MMA
+FLOPs, and provides the analogous (much simpler) model for CUDA-core FMA
+execution used by unstructured-sparsity baselines such as Sputnik.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .arch import GPUArch, MMAShape
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for positive operands."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class ComputeEstimate:
+    """Result of estimating the compute time of a block of work.
+
+    Attributes
+    ----------
+    time_s:
+        Estimated execution time in seconds at the modelled efficiency.
+    issued_flops:
+        FLOPs actually issued to the execution units, including padding waste.
+    useful_flops:
+        FLOPs that contribute to the result.
+    utilization:
+        ``useful_flops / issued_flops`` (1.0 means no quantisation waste).
+    """
+
+    time_s: float
+    issued_flops: float
+    useful_flops: float
+
+    @property
+    def utilization(self) -> float:
+        if self.issued_flops <= 0:
+            return 0.0
+        return self.useful_flops / self.issued_flops
+
+
+def mma_instructions_for_tile(tile_m: int, tile_n: int, tile_k: int, mma: MMAShape) -> int:
+    """Number of MMA instructions needed to cover a ``tile_m x tile_n x tile_k``
+    matrix-multiply fragment, padding each dimension up to the MMA granule."""
+    if min(tile_m, tile_n, tile_k) <= 0:
+        raise ValueError("tile dimensions must be positive")
+    return (
+        ceil_div(tile_m, mma.m)
+        * ceil_div(tile_n, mma.n)
+        * ceil_div(tile_k, mma.k)
+    )
+
+
+def tensor_core_tile_flops(tile_m: int, tile_n: int, tile_k: int, mma: MMAShape) -> float:
+    """Issued FLOPs (including padding) for one tile on tensor cores."""
+    return mma_instructions_for_tile(tile_m, tile_n, tile_k, mma) * mma.flops
+
+
+def tensor_core_time(
+    arch: GPUArch,
+    useful_flops: float,
+    *,
+    tile_m: int,
+    tile_n: int,
+    tile_k: int,
+    num_tiles: float,
+    efficiency: float = 1.0,
+) -> ComputeEstimate:
+    """Estimate tensor-core compute time for ``num_tiles`` tiles of work.
+
+    Parameters
+    ----------
+    arch:
+        Target GPU.
+    useful_flops:
+        Total useful FLOPs across all tiles.
+    tile_m, tile_n, tile_k:
+        Per-MMA-loop fragment shape used by the kernel; quantisation waste is
+        charged when these are not multiples of the MMA granule.
+    num_tiles:
+        Number of such fragments issued over the whole kernel (may be
+        fractional when derived from averages).
+    efficiency:
+        Fraction of peak tensor throughput achievable by this kernel's inner
+        loop (instruction mix, bank conflicts, etc.).
+    """
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError("efficiency must be in (0, 1]")
+    issued = tensor_core_tile_flops(tile_m, tile_n, tile_k, arch.mma) * num_tiles
+    issued = max(issued, useful_flops)
+    time = issued / (arch.tensor_flops * efficiency)
+    return ComputeEstimate(time_s=time, issued_flops=issued, useful_flops=useful_flops)
+
+
+def cuda_core_time(
+    arch: GPUArch,
+    useful_flops: float,
+    *,
+    efficiency: float = 1.0,
+    vector_width: int = 1,
+    occupancy: float = 1.0,
+) -> ComputeEstimate:
+    """Estimate CUDA-core (FMA pipeline) compute time.
+
+    Unstructured sparse kernels execute scalar or short-vector FMAs; there is
+    no instruction-shape quantisation but irregular control flow and low
+    occupancy reduce achieved throughput, captured by ``efficiency`` and
+    ``occupancy``.
+    """
+    if not 0.0 < efficiency <= 1.0:
+        raise ValueError("efficiency must be in (0, 1]")
+    if not 0.0 < occupancy <= 1.0:
+        raise ValueError("occupancy must be in (0, 1]")
+    if vector_width < 1:
+        raise ValueError("vector_width must be >= 1")
+    # Short vectors below the 32-wide warp SIMD width waste lanes.
+    lane_utilization = min(1.0, vector_width / 1.0) if vector_width >= 1 else 1.0
+    achieved = arch.cuda_core_flops * efficiency * occupancy * lane_utilization
+    time = useful_flops / achieved
+    return ComputeEstimate(
+        time_s=time, issued_flops=useful_flops, useful_flops=useful_flops
+    )
+
+
+def sparse_tensor_core_time(
+    arch: GPUArch,
+    useful_flops: float,
+    *,
+    tile_m: int,
+    tile_n: int,
+    tile_k: int,
+    num_tiles: float,
+    efficiency: float = 1.0,
+) -> ComputeEstimate:
+    """Compute time using the A100 sparse tensor cores (2:4 structured sparsity).
+
+    The sparse tensor core doubles the effective MAC rate for matrices in the
+    2-in-4 balanced format; architectures without the feature fall back to the
+    dense tensor-core rate (the metadata selection then brings no compute
+    benefit, matching cuSPARSELt behaviour on pre-Ampere parts).
+    """
+    dense = tensor_core_time(
+        arch,
+        useful_flops,
+        tile_m=tile_m,
+        tile_n=tile_n,
+        tile_k=tile_k,
+        num_tiles=num_tiles,
+        efficiency=efficiency,
+    )
+    if not arch.supports_sparse_tensor_core:
+        return dense
+    return ComputeEstimate(
+        time_s=dense.time_s / 2.0,
+        issued_flops=dense.issued_flops,
+        useful_flops=dense.useful_flops,
+    )

@@ -1,0 +1,182 @@
+"""Threadblock tiling, occupancy and wave-quantisation model.
+
+The paper's efficiency analysis (Section 3.2.2) rests on how large an output
+tile a threadblock can accumulate in the register file: the larger the
+``TM x TN`` output tile, the more FLOPs are performed per byte loaded.  This
+module provides:
+
+* :class:`TileConfig` — a threadblock tile shape plus pipeline depth,
+* occupancy estimation from shared-memory and register usage,
+* wave quantisation: a grid of ``num_tiles`` threadblocks executes in
+  ``ceil(num_tiles / concurrent_tiles)`` waves and the last, partially filled
+  wave still takes a full wave's time,
+* the register-file-limited optimal tile size ``T_opt = sqrt(regfile/accum)``
+  used in the Max_reuse derivation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .arch import GPUArch
+from .memory import BYTES_FP16, BYTES_FP32
+from .tensorcore import ceil_div
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """A threadblock tiling configuration for a GEMM-like kernel.
+
+    Attributes
+    ----------
+    tile_m, tile_n, tile_k:
+        Per-threadblock tile extents along the GEMM M, N and K dimensions.
+        The threadblock iterates over K in steps of ``tile_k``.
+    threads:
+        Threads per threadblock.
+    pipeline_stages:
+        Number of in-flight shared-memory buffers (double/triple buffering).
+    accumulator_bytes:
+        Bytes per output accumulator element held in registers (FP32 by
+        default, matching tensor-core accumulation).
+    """
+
+    tile_m: int
+    tile_n: int
+    tile_k: int
+    threads: int = 128
+    pipeline_stages: int = 2
+    accumulator_bytes: int = BYTES_FP32
+
+    def __post_init__(self) -> None:
+        if min(self.tile_m, self.tile_n, self.tile_k) <= 0:
+            raise ValueError("tile dimensions must be positive")
+        if self.threads <= 0 or self.threads % 32 != 0:
+            raise ValueError("threads must be a positive multiple of 32")
+        if self.pipeline_stages < 1:
+            raise ValueError("pipeline_stages must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    # Resource usage
+    # ------------------------------------------------------------------ #
+    @property
+    def smem_bytes_per_stage(self) -> int:
+        """Shared memory for one pipeline stage (A tile + B tile, FP16)."""
+        a_tile = self.tile_m * self.tile_k * BYTES_FP16
+        b_tile = self.tile_k * self.tile_n * BYTES_FP16
+        return a_tile + b_tile
+
+    @property
+    def smem_bytes(self) -> int:
+        """Total shared memory used by the threadblock."""
+        return self.smem_bytes_per_stage * self.pipeline_stages
+
+    @property
+    def accumulator_bytes_total(self) -> int:
+        """Register bytes holding the output tile accumulators."""
+        return self.tile_m * self.tile_n * self.accumulator_bytes
+
+    @property
+    def register_bytes(self) -> int:
+        """Total register usage estimate (accumulators + staging fragments)."""
+        # Staging fragments for A and B plus address arithmetic; a flat 25 %
+        # overhead over the accumulators is a reasonable CUTLASS-like figure.
+        return int(self.accumulator_bytes_total * 1.25)
+
+    @property
+    def flops_per_k_step(self) -> int:
+        """Useful FLOPs performed per K-iteration of the main loop."""
+        return 2 * self.tile_m * self.tile_n * self.tile_k
+
+    @property
+    def load_bytes_per_k_step(self) -> int:
+        """Bytes loaded from global memory per K-iteration (dense operands)."""
+        return self.smem_bytes_per_stage
+
+    def grid_tiles(self, m: int, n: int) -> int:
+        """Number of threadblocks needed to cover an ``m x n`` output."""
+        if m <= 0 or n <= 0:
+            raise ValueError("problem dimensions must be positive")
+        return ceil_div(m, self.tile_m) * ceil_div(n, self.tile_n)
+
+    def k_steps(self, k: int) -> int:
+        """Number of main-loop iterations over a reduction length ``k``."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return ceil_div(k, self.tile_k)
+
+
+def occupancy(arch: GPUArch, tile: TileConfig) -> int:
+    """Concurrent threadblocks per SM, limited by shared memory, registers
+    and the thread-count ceiling.  Always at least 1 (a tile that exceeds an
+    SM's resources is treated as running alone, serialised)."""
+    by_smem = arch.shared_mem_per_sm // max(tile.smem_bytes, 1)
+    by_regs = arch.register_file_per_sm // max(tile.register_bytes, 1)
+    by_threads = arch.max_threads_per_sm // tile.threads
+    return max(1, min(by_smem, by_regs, by_threads))
+
+
+def concurrent_tiles(arch: GPUArch, tile: TileConfig) -> int:
+    """Threadblocks resident across the whole chip at once."""
+    return occupancy(arch, tile) * arch.sm_count
+
+
+def wave_count(arch: GPUArch, tile: TileConfig, num_tiles: int) -> int:
+    """Number of waves needed to run ``num_tiles`` threadblocks."""
+    if num_tiles <= 0:
+        raise ValueError("num_tiles must be positive")
+    return ceil_div(num_tiles, concurrent_tiles(arch, tile))
+
+
+def wave_efficiency(arch: GPUArch, tile: TileConfig, num_tiles: int) -> float:
+    """Fraction of the last wave that is actually occupied.
+
+    A grid of 130 tiles on a machine that runs 128 concurrently takes two
+    waves but the second wave is only 2/128 full; overall efficiency is
+    ``130 / 256``.  Small grids (fewer tiles than SMs) are the main reason
+    dense tensor-core GEMMs under-perform on narrow DNN layer shapes, which
+    in turn is part of why sparse kernels can exceed the naive ``1/density``
+    speedup bound on T4 (Section 6.2).
+    """
+    waves = wave_count(arch, tile, num_tiles)
+    return num_tiles / (waves * concurrent_tiles(arch, tile))
+
+
+def optimal_tile_extent(arch: GPUArch, *, accumulator_bytes: int = BYTES_FP32) -> float:
+    """``T_opt = sqrt(Size_regfile / accum_bytes)`` from Section 3.2.2.
+
+    This is the square output-tile edge that maximises data reuse subject to
+    the register file holding the accumulators; block/vector sizes ``V`` at or
+    above this value allow a sparse kernel to reach dense-level reuse.
+    """
+    return math.sqrt(arch.register_file_per_sm / accumulator_bytes)
+
+
+def default_gemm_tile(m: int, n: int, k: int, *, min_tiles: int = 96) -> TileConfig:
+    """Pick a reasonable dense-GEMM threadblock tile for a problem shape.
+
+    Mirrors the heuristics of vendor GEMM libraries: prefer 128x128 tiles for
+    large problems, but shrink the tile (M first, then N, floor 32) until the
+    grid has at least ``min_tiles`` threadblocks so narrow DNN-layer shapes do
+    not leave most of the chip idle.  Dimensions smaller than the tile shrink
+    to the next power of two.
+    """
+
+    def _fit(dim: int, preferred: int) -> int:
+        if dim >= preferred:
+            return preferred
+        return max(16, 1 << (max(dim, 1) - 1).bit_length())
+
+    tile_m = _fit(m, 128)
+    tile_n = _fit(n, 128)
+    tile_k = _fit(k, 64)
+
+    def grid(tm: int, tn: int) -> int:
+        return ceil_div(m, tm) * ceil_div(n, tn)
+
+    while grid(tile_m, tile_n) < min_tiles and tile_m > 32:
+        tile_m //= 2
+    while grid(tile_m, tile_n) < min_tiles and tile_n > 32:
+        tile_n //= 2
+    return TileConfig(tile_m=tile_m, tile_n=tile_n, tile_k=tile_k)

@@ -1,0 +1,236 @@
+"""Kernel interface shared by every SpMM / convolution implementation.
+
+Each kernel pairs a *functional* implementation (numpy, bit-exact against a
+dense reference) with a *performance* description that the GPU timing model
+(:mod:`repro.gpu.simulator`) turns into an execution-time estimate.  The two
+halves share the same structural assumptions — storage format, tile shapes,
+metadata layout — so the timing story cannot drift away from what the kernel
+actually computes.
+
+The reduction convention follows the paper: the weight matrix ``A`` has shape
+``(M, K)`` and is the (possibly sparse) left operand, the activation matrix
+``B`` has shape ``(K, N)`` where ``N`` is the batch (token) dimension, and the
+output ``C`` is ``(M, N)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pattern import PatternKind
+from ..gpu.arch import GPUArch
+from ..gpu.memory import BYTES_FP16, BYTES_INDEX, TrafficBreakdown
+from ..gpu.simulator import KernelLaunch, KernelTiming, simulate
+from ..gpu.tensorcore import ceil_div
+from ..sparse.spconv import Conv2dSpec
+
+__all__ = [
+    "GEMMShape",
+    "KernelNotApplicableError",
+    "SpMMKernel",
+    "weight_traffic",
+    "activation_traffic",
+    "output_traffic",
+    "conv_to_gemm_shape",
+]
+
+
+class KernelNotApplicableError(RuntimeError):
+    """Raised when a kernel cannot run a given problem (unsupported density,
+    architecture or pattern)."""
+
+
+@dataclass(frozen=True)
+class GEMMShape:
+    """Shape of one (Sp)GEMM problem: ``C[M, N] = A[M, K] @ B[K, N]``."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise ValueError("GEMM dimensions must be positive")
+
+    @property
+    def flops(self) -> float:
+        """Dense FLOP count (MAC = 2 ops)."""
+        return 2.0 * self.m * self.n * self.k
+
+    def sparse_flops(self, density: float) -> float:
+        """Useful FLOPs when the weight matrix has the given non-zero ratio."""
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+        return self.flops * density
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"M{self.m}/N{self.n}/K{self.k}"
+
+
+def conv_to_gemm_shape(spec: Conv2dSpec, batch: int, height: int, width: int) -> GEMMShape:
+    """Implicit-GEMM shape of a convolution layer (Section 4.1)."""
+    if batch <= 0 or height <= 0 or width <= 0:
+        raise ValueError("batch and spatial dimensions must be positive")
+    oh, ow = spec.output_hw(height, width)
+    return GEMMShape(m=spec.gemm_m, n=batch * oh * ow, k=spec.gemm_k)
+
+
+# --------------------------------------------------------------------------- #
+# Shared traffic builders
+# --------------------------------------------------------------------------- #
+def weight_traffic(
+    shape: GEMMShape,
+    density: float,
+    *,
+    column_tiles: int = 1,
+    value_bytes: int = BYTES_FP16,
+    access_efficiency: float = 1.0,
+) -> TrafficBreakdown:
+    """Traffic of the (compressed) weight values.
+
+    ``column_tiles`` is how many times the weight stream is replayed because
+    the output is processed in separate N-tiles (usually 1: the weight either
+    fits in L2 or the kernel keeps it resident across the N dimension).
+    """
+    traffic = TrafficBreakdown()
+    traffic.add(
+        "weight",
+        shape.m * shape.k * density * value_bytes,
+        reads=float(column_tiles),
+        access_efficiency=access_efficiency,
+    )
+    return traffic
+
+
+def activation_traffic(
+    shape: GEMMShape,
+    *,
+    row_tile: int,
+    kept_fraction: float = 1.0,
+    value_bytes: int = BYTES_FP16,
+    access_efficiency: float = 1.0,
+) -> TrafficBreakdown:
+    """Traffic of the dense activation matrix ``B``.
+
+    Each tile of ``row_tile`` weight rows streams the activation rows it needs
+    (``kept_fraction`` of the K dimension), so the full activation footprint is
+    re-read ``ceil(M / row_tile) * kept_fraction`` times before cache
+    filtering.  Larger ``row_tile`` (larger ``V``) means more reuse — this is
+    where the pattern's computation-efficiency advantage materialises.
+    """
+    if row_tile <= 0:
+        raise ValueError("row_tile must be positive")
+    if not 0.0 < kept_fraction <= 1.0:
+        raise ValueError("kept_fraction must be in (0, 1]")
+    reads = ceil_div(shape.m, row_tile) * kept_fraction
+    traffic = TrafficBreakdown()
+    traffic.add(
+        "activation",
+        shape.k * shape.n * value_bytes,
+        reads=max(1.0, reads),
+        access_efficiency=access_efficiency,
+    )
+    return traffic
+
+
+def output_traffic(shape: GEMMShape, *, value_bytes: int = BYTES_FP16) -> TrafficBreakdown:
+    """Traffic of the output matrix ``C`` (written once)."""
+    traffic = TrafficBreakdown()
+    traffic.add("output", shape.m * shape.n * value_bytes, is_write=True)
+    return traffic
+
+
+def merge_traffic(*parts: TrafficBreakdown) -> TrafficBreakdown:
+    """Combine several traffic breakdowns into one."""
+    merged = TrafficBreakdown()
+    for part in parts:
+        merged.operands.extend(part.operands)
+    return merged
+
+
+# --------------------------------------------------------------------------- #
+# Kernel interface
+# --------------------------------------------------------------------------- #
+class SpMMKernel(abc.ABC):
+    """A weight-sparse (or dense) matrix-multiplication kernel.
+
+    Concrete kernels provide three things:
+
+    * :meth:`prepare` — compress a dense (pruned) weight matrix into the
+      kernel's storage format,
+    * :meth:`run` — functional execution ``C = A @ B`` on numpy arrays,
+    * :meth:`build_launch` — the performance description consumed by the GPU
+      timing model.
+    """
+
+    #: Human-readable kernel name used in benchmark tables.
+    name: str = "abstract"
+    #: Sparsity pattern the kernel consumes.
+    pattern: PatternKind = PatternKind.DENSE
+    #: Whether the kernel has an implicit-GEMM convolution variant
+    #: (the paper's baselines all lack one; ours and the dense library have it).
+    supports_conv: bool = False
+
+    # -------------------------- functional side -------------------------- #
+    @abc.abstractmethod
+    def prepare(self, weight: np.ndarray, **kwargs):
+        """Compress a pruned dense weight matrix into the kernel's format."""
+
+    @abc.abstractmethod
+    def run(self, prepared, activations: np.ndarray) -> np.ndarray:
+        """Execute the kernel functionally: return ``A @ B``."""
+
+    def matmul(self, weight: np.ndarray, activations: np.ndarray, **kwargs) -> np.ndarray:
+        """Convenience: ``prepare`` + ``run`` in one call."""
+        return self.run(self.prepare(weight, **kwargs), activations)
+
+    # -------------------------- performance side ------------------------- #
+    @abc.abstractmethod
+    def build_launch(
+        self, arch: GPUArch, shape: GEMMShape, density: float, **kwargs
+    ) -> KernelLaunch:
+        """Describe one launch of this kernel for the timing model."""
+
+    def estimate(
+        self, arch: GPUArch, shape: GEMMShape, density: float, **kwargs
+    ) -> KernelTiming:
+        """Estimate the execution time of the kernel on ``arch``."""
+        launch = self.build_launch(arch, shape, density, **kwargs)
+        return simulate(arch, launch)
+
+    def estimate_conv(
+        self,
+        arch: GPUArch,
+        spec: Conv2dSpec,
+        density: float,
+        *,
+        batch: int,
+        height: int,
+        width: int,
+        **kwargs,
+    ) -> KernelTiming:
+        """Estimate an implicit-GEMM convolution with this kernel.
+
+        The unfolding adds activation traffic (each input value is read
+        ``KH * KW`` times across output positions, largely caught on chip),
+        which we approximate with a small fixed overhead on top of the GEMM
+        estimate.
+        """
+        if not self.supports_conv:
+            raise KernelNotApplicableError(
+                f"kernel {self.name!r} has no convolution implementation"
+            )
+        shape = conv_to_gemm_shape(spec, batch, height, width)
+        timing = self.estimate(arch, shape, density, **kwargs)
+        return timing
+
+    # ------------------------------ misc -------------------------------- #
+    def metadata_bytes(self, shape: GEMMShape, density: float, **kwargs) -> float:
+        """Bytes of sparse metadata the format needs (0 for dense kernels)."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} pattern={self.pattern.value}>"

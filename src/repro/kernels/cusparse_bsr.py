@@ -1,0 +1,123 @@
+"""Block-wise (BSR) SpMM baseline — the cuSPARSE block-sparse kernel.
+
+Block-wise sparsity is the most computation-friendly pattern: every stored
+``V x V`` block is dense, so the kernel runs tensor-core MMAs on dense tiles.
+The paper observes, however, that the vendor implementation shows *unstable*
+performance across GPUs and block sizes (Section 6.2: Shfl-BW is on average
+2.88x faster than cuSPARSE BSR on T4 at V=64, but 0.83x — i.e. slower — on
+V100 at V=32).  We model that with an efficiency table keyed by architecture
+and block size, reflecting which configurations the vendor library has tuned
+kernels for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pattern import PatternKind
+from ..gpu.arch import GPUArch
+from ..gpu.memory import BYTES_INDEX, TrafficBreakdown
+from ..gpu.simulator import ComputeUnit, KernelLaunch
+from ..gpu.tensorcore import ceil_div
+from ..gpu.tiling import TileConfig
+from ..sparse.convert import dense_to_block
+from ..sparse.formats import BlockSparseMatrix
+from ..sparse.spmm import spmm_block
+from .base import (
+    GEMMShape,
+    SpMMKernel,
+    activation_traffic,
+    merge_traffic,
+    output_traffic,
+    weight_traffic,
+)
+
+__all__ = ["CusparseBSRKernel"]
+
+
+class CusparseBSRKernel(SpMMKernel):
+    """cuSPARSE block-wise SpMM (``V x V`` blocks on tensor cores)."""
+
+    name = "cusparse-bsr"
+    pattern = PatternKind.BLOCKWISE
+    supports_conv = False
+
+    bandwidth_efficiency = 0.75
+
+    #: Sustained tensor-core efficiency by (architecture, block size).  The
+    #: vendor kernels are well tuned for small blocks on Volta but degrade on
+    #: larger blocks and on Turing/Ampere, which is the "unstable performance"
+    #: the paper reports.  Unlisted combinations fall back to ``0.35``.
+    efficiency_table: dict[tuple[str, int], float] = {
+        ("V100", 16): 0.70,
+        ("V100", 32): 0.80,
+        ("V100", 64): 0.45,
+        ("T4", 16): 0.30,
+        ("T4", 32): 0.35,
+        ("T4", 64): 0.22,
+        ("A100", 16): 0.45,
+        ("A100", 32): 0.55,
+        ("A100", 64): 0.40,
+    }
+    default_efficiency = 0.35
+
+    def __init__(self, block_size: int = 32):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+
+    @property
+    def label(self) -> str:
+        """Label used in the paper's figures, e.g. ``BW, V=32``."""
+        return f"BW,V={self.block_size}"
+
+    def prepare(self, weight: np.ndarray, **kwargs) -> BlockSparseMatrix:
+        return dense_to_block(weight, kwargs.get("block_size", self.block_size))
+
+    def run(self, prepared: BlockSparseMatrix, activations: np.ndarray) -> np.ndarray:
+        return spmm_block(prepared, activations)
+
+    def metadata_bytes(self, shape: GEMMShape, density: float, **kwargs) -> float:
+        v = kwargs.get("block_size", self.block_size)
+        block_rows = ceil_div(shape.m, v)
+        blocks_kept = block_rows * ceil_div(shape.k, v) * density
+        return blocks_kept * BYTES_INDEX + (block_rows + 1) * BYTES_INDEX
+
+    def _efficiency(self, arch: GPUArch, block_size: int) -> float:
+        return self.efficiency_table.get((arch.name, block_size), self.default_efficiency)
+
+    def build_launch(
+        self, arch: GPUArch, shape: GEMMShape, density: float, **kwargs
+    ) -> KernelLaunch:
+        v = kwargs.get("block_size", self.block_size)
+        if shape.m % v or shape.k % v:
+            raise ValueError(f"GEMM shape {shape} is not divisible by block size {v}")
+        tile = TileConfig(
+            tile_m=v,
+            tile_n=min(64, max(16, shape.n)),
+            tile_k=v,
+            threads=128,
+            pipeline_stages=2,
+        )
+        traffic = merge_traffic(
+            weight_traffic(shape, density),
+            activation_traffic(shape, row_tile=v, kept_fraction=density),
+            output_traffic(shape),
+        )
+        meta = TrafficBreakdown()
+        meta.add("metadata", self.metadata_bytes(shape, density, block_size=v))
+        n_tiles = ceil_div(shape.m, v) * ceil_div(shape.n, tile.tile_n)
+        return KernelLaunch(
+            name=f"{self.name}-v{v}",
+            useful_flops=shape.sparse_flops(density),
+            traffic=traffic,
+            meta_traffic=meta,
+            tile=tile,
+            num_tiles=n_tiles,
+            k_steps=max(1, int(round(shape.k * density / v))),
+            compute_unit=ComputeUnit.TENSOR_CORE,
+            compute_efficiency=self._efficiency(arch, v),
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=False,
+            launches=2,  # the library performs a separate analysis/setup pass
+        )

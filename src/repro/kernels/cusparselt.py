@@ -1,0 +1,106 @@
+"""Balanced 2:4 SpMM baseline (cuSPARSELt on A100 sparse tensor cores).
+
+The A100 sparse tensor core doubles the MMA rate for matrices pruned to the
+2-in-4 balanced pattern.  The paper highlights two limitations (Sections 1 and
+6.2): the sparsity level is fixed at 50 %, and the kernel remains memory bound
+because the dense activation operand is loaded in full before the effective
+operands are selected — so the measured speedup is only 1.07-1.16x on A100.
+Architectures without sparse tensor cores gain no compute benefit at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pattern import PatternKind
+from ..gpu.arch import GPUArch
+from ..gpu.memory import TrafficBreakdown
+from ..gpu.simulator import ComputeUnit, KernelLaunch
+from ..gpu.tensorcore import ceil_div
+from ..gpu.tiling import TileConfig, default_gemm_tile
+from ..sparse.convert import dense_to_balanced
+from ..sparse.formats import Balanced24Matrix
+from ..sparse.spmm import spmm_balanced
+from .base import (
+    GEMMShape,
+    KernelNotApplicableError,
+    SpMMKernel,
+    activation_traffic,
+    merge_traffic,
+    output_traffic,
+    weight_traffic,
+)
+
+__all__ = ["CusparseLtKernel"]
+
+
+class CusparseLtKernel(SpMMKernel):
+    """cuSPARSELt balanced 2:4 SpMM."""
+
+    name = "cusparselt-2in4"
+    pattern = PatternKind.BALANCED
+    supports_conv = False
+
+    compute_efficiency = 0.80
+    bandwidth_efficiency = 0.85
+
+    #: The pattern keeps exactly 2 of every 4 values.
+    fixed_density = 0.5
+    #: Metadata is a 2-bit position index per kept value.
+    metadata_bits_per_kept = 2
+
+    def prepare(self, weight: np.ndarray, **kwargs) -> Balanced24Matrix:
+        return dense_to_balanced(weight)
+
+    def run(self, prepared: Balanced24Matrix, activations: np.ndarray) -> np.ndarray:
+        return spmm_balanced(prepared, activations)
+
+    def metadata_bytes(self, shape: GEMMShape, density: float = 0.5, **kwargs) -> float:
+        kept = shape.m * shape.k * self.fixed_density
+        return kept * self.metadata_bits_per_kept / 8.0
+
+    def check_applicable(self, arch: GPUArch, density: float) -> None:
+        """Raise if the configuration cannot run on the balanced pattern."""
+        if abs(density - self.fixed_density) > 1e-9:
+            raise KernelNotApplicableError(
+                f"balanced 2:4 sparsity only supports density {self.fixed_density}, "
+                f"got {density}"
+            )
+        if not arch.supports_sparse_tensor_core:
+            raise KernelNotApplicableError(
+                f"{arch.name} has no sparse tensor cores; cuSPARSELt 2:4 SpMM "
+                "is only evaluated on A100 in the paper"
+            )
+
+    def build_launch(
+        self, arch: GPUArch, shape: GEMMShape, density: float = 0.5, **kwargs
+    ) -> KernelLaunch:
+        self.check_applicable(arch, density)
+        tile = default_gemm_tile(shape.m, shape.n, shape.k)
+        n_tiles_m = ceil_div(shape.m, tile.tile_m)
+        n_tiles_n = ceil_div(shape.n, tile.tile_n)
+        traffic = merge_traffic(
+            # Compressed weight values (half the dense size).
+            weight_traffic(shape, self.fixed_density, column_tiles=n_tiles_n),
+            # The dense activation operand is loaded in full; operand
+            # selection happens after the load (the memory-bound issue the
+            # paper points out).
+            activation_traffic(shape, row_tile=tile.tile_m, kept_fraction=1.0),
+            output_traffic(shape),
+        )
+        meta = TrafficBreakdown()
+        meta.add("metadata", self.metadata_bytes(shape))
+        return KernelLaunch(
+            name=self.name,
+            useful_flops=shape.sparse_flops(self.fixed_density),
+            traffic=traffic,
+            meta_traffic=meta,
+            tile=tile,
+            num_tiles=n_tiles_m * n_tiles_n,
+            k_steps=tile.k_steps(shape.k),
+            compute_unit=ComputeUnit.SPARSE_TENSOR_CORE,
+            compute_efficiency=self.compute_efficiency,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=True,
+            meta_prefetch_steps=4,
+        )

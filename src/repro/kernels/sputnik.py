@@ -1,0 +1,143 @@
+"""Unstructured-sparsity SpMM baselines (CUDA cores, no tensor cores).
+
+Two baselines from the paper's evaluation:
+
+* :class:`SputnikKernel` — Gale et al.'s Sputnik, the best published
+  unstructured SpMM for DNN sparsity levels; used for the "Cuda-Core Sparse"
+  curve of Figure 1 and the "Unstructured" bars of Figure 6,
+* :class:`CusparseCSRKernel` — the vendor cuSPARSE CSR SpMM, which needs
+  > 98 % sparsity before it beats dense (Section 1).
+
+Both are CUDA-core kernels: unstructured non-zero positions provide no dense
+sub-tiles to feed tensor-core MMA instructions, and their activation reuse is
+limited by the small row tile a CUDA-core kernel can afford (the
+``sqrt(alpha)`` ceiling of Section 3.2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pattern import PatternKind
+from ..gpu.arch import GPUArch
+from ..gpu.memory import BYTES_FP16, BYTES_INDEX, TrafficBreakdown
+from ..gpu.simulator import ComputeUnit, KernelLaunch
+from ..gpu.tensorcore import ceil_div
+from ..gpu.tiling import TileConfig
+from ..sparse.convert import dense_to_csr
+from ..sparse.formats import CSRMatrix
+from ..sparse.spmm import spmm_csr
+from .base import (
+    GEMMShape,
+    SpMMKernel,
+    activation_traffic,
+    merge_traffic,
+    output_traffic,
+    weight_traffic,
+)
+
+__all__ = ["SputnikKernel", "CusparseCSRKernel", "unstructured_union_fraction"]
+
+
+def unstructured_union_fraction(density: float, rows: int) -> float:
+    """Expected fraction of activation rows touched by ``rows`` weight rows
+    with independent non-zero positions at the given density.
+
+    A tile of ``rows`` unstructured rows needs activation row ``j`` whenever
+    *any* of them keeps column ``j``: ``1 - (1 - density) ** rows``.  This is
+    what prevents unstructured tiles from reaching block-wise reuse.
+    """
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must be in (0, 1]")
+    if rows <= 0:
+        raise ValueError("rows must be positive")
+    return 1.0 - (1.0 - density) ** rows
+
+
+class _UnstructuredKernel(SpMMKernel):
+    """Shared functional/perf structure of the CSR-based baselines."""
+
+    pattern = PatternKind.UNSTRUCTURED
+    supports_conv = False
+
+    #: Rows of the sparse matrix processed by one threadblock.
+    row_tile = 8
+    #: Columns of B per threadblock.
+    col_tile = 64
+    compute_efficiency = 0.35
+    bandwidth_efficiency = 0.75
+    activation_access_efficiency = 0.8
+
+    def prepare(self, weight: np.ndarray, **kwargs) -> CSRMatrix:
+        return dense_to_csr(weight)
+
+    def run(self, prepared: CSRMatrix, activations: np.ndarray) -> np.ndarray:
+        return spmm_csr(prepared, activations)
+
+    def metadata_bytes(self, shape: GEMMShape, density: float, **kwargs) -> float:
+        nnz = shape.m * shape.k * density
+        return nnz * BYTES_INDEX + (shape.m + 1) * BYTES_INDEX
+
+    def build_launch(
+        self, arch: GPUArch, shape: GEMMShape, density: float, **kwargs
+    ) -> KernelLaunch:
+        tile = TileConfig(
+            tile_m=self.row_tile,
+            tile_n=min(self.col_tile, max(8, shape.n)),
+            tile_k=32,
+            threads=128,
+            pipeline_stages=2,
+        )
+        kept = unstructured_union_fraction(density, self.row_tile)
+        traffic = merge_traffic(
+            weight_traffic(shape, density),
+            activation_traffic(
+                shape,
+                row_tile=self.row_tile,
+                kept_fraction=kept,
+                access_efficiency=self.activation_access_efficiency,
+            ),
+            output_traffic(shape),
+        )
+        meta = TrafficBreakdown()
+        meta.add("metadata", self.metadata_bytes(shape, density))
+        n_tiles = ceil_div(shape.m, tile.tile_m) * ceil_div(shape.n, tile.tile_n)
+        return KernelLaunch(
+            name=self.name,
+            useful_flops=shape.sparse_flops(density),
+            traffic=traffic,
+            meta_traffic=meta,
+            tile=tile,
+            num_tiles=n_tiles,
+            k_steps=tile.k_steps(shape.k),
+            compute_unit=ComputeUnit.CUDA_CORE,
+            compute_efficiency=self.compute_efficiency,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=True,
+            meta_prefetch_steps=2,
+        )
+
+
+class SputnikKernel(_UnstructuredKernel):
+    """Sputnik-style unstructured SpMM, tuned for DNN-level moderate sparsity.
+
+    The efficiency constants are calibrated so the dense-vs-sparse crossover
+    points of Figure 1 land near the paper's: Sputnik overtakes the CUDA-core
+    dense GEMM at roughly 65-70 % sparsity and the tensor-core dense GEMM
+    only above ~90 % sparsity.
+    """
+
+    name = "sputnik"
+    compute_efficiency = 0.42
+    bandwidth_efficiency = 0.55
+    row_tile = 16
+
+
+class CusparseCSRKernel(_UnstructuredKernel):
+    """cuSPARSE CSR SpMM: general-purpose, poorly suited to moderate sparsity."""
+
+    name = "cusparse-csr"
+    compute_efficiency = 0.12
+    bandwidth_efficiency = 0.6
+    activation_access_efficiency = 0.5
+    row_tile = 4

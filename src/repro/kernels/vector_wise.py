@@ -1,0 +1,113 @@
+"""Our vector-wise SpMM kernel (the ``VW`` bars of Figure 6).
+
+cuSPARSE provides no vector-wise kernels, so the paper implements its own:
+each group of ``V`` consecutive rows shares a column support, the kept columns
+are stitched into dense ``V x T_K`` tiles, and tensor-core MMAs run on the
+stitched tiles.  The Shfl-BW kernel (:mod:`repro.kernels.shflbw`) adds the
+row-shuffle handling on top of exactly this structure, which is why the paper
+reports Shfl-BW at 0.97-1.02x of vector-wise — the shuffle is free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pattern import PatternKind
+from ..gpu.arch import GPUArch
+from ..gpu.memory import BYTES_INDEX, TrafficBreakdown
+from ..gpu.simulator import ComputeUnit, KernelLaunch
+from ..gpu.tensorcore import ceil_div
+from ..gpu.tiling import TileConfig
+from ..sparse.convert import dense_to_vector_wise
+from ..sparse.formats import VectorSparseMatrix
+from ..sparse.spmm import spmm_vector_wise
+from .base import (
+    GEMMShape,
+    SpMMKernel,
+    activation_traffic,
+    merge_traffic,
+    output_traffic,
+    weight_traffic,
+)
+
+__all__ = ["VectorWiseKernel"]
+
+
+class VectorWiseKernel(SpMMKernel):
+    """Tensor-core vector-wise SpMM with in-buffer stitching (ours)."""
+
+    name = "vector-wise"
+    pattern = PatternKind.VECTORWISE
+    supports_conv = True
+
+    compute_efficiency = 0.80
+    bandwidth_efficiency = 0.85
+    #: Stitched reduction-tile width (columns gathered per main-loop step).
+    stitch_tile_k = 32
+    #: Output-tile width along N.
+    tile_n = 64
+
+    def __init__(self, vector_size: int = 32):
+        if vector_size <= 0:
+            raise ValueError("vector_size must be positive")
+        self.vector_size = vector_size
+
+    @property
+    def label(self) -> str:
+        """Label used in the paper's figures, e.g. ``VW, V=32``."""
+        return f"VW,V={self.vector_size}"
+
+    # -------------------------- functional side -------------------------- #
+    def prepare(self, weight: np.ndarray, **kwargs) -> VectorSparseMatrix:
+        return dense_to_vector_wise(weight, kwargs.get("vector_size", self.vector_size))
+
+    def run(self, prepared: VectorSparseMatrix, activations: np.ndarray) -> np.ndarray:
+        return spmm_vector_wise(prepared, activations)
+
+    # -------------------------- performance side ------------------------- #
+    def metadata_bytes(self, shape: GEMMShape, density: float, **kwargs) -> float:
+        """Column indices: one per kept column per row group."""
+        v = kwargs.get("vector_size", self.vector_size)
+        groups = ceil_div(shape.m, v)
+        kept_cols = shape.k * density
+        return groups * kept_cols * BYTES_INDEX
+
+    def _tile(self, shape: GEMMShape, vector_size: int) -> TileConfig:
+        return TileConfig(
+            tile_m=vector_size,
+            tile_n=min(self.tile_n, max(16, shape.n)),
+            tile_k=self.stitch_tile_k,
+            threads=128,
+            pipeline_stages=3,
+        )
+
+    def build_launch(
+        self, arch: GPUArch, shape: GEMMShape, density: float, **kwargs
+    ) -> KernelLaunch:
+        v = kwargs.get("vector_size", self.vector_size)
+        if shape.m % v:
+            raise ValueError(f"M={shape.m} is not divisible by V={v}")
+        tile = self._tile(shape, v)
+        traffic = merge_traffic(
+            weight_traffic(shape, density),
+            activation_traffic(shape, row_tile=v, kept_fraction=density),
+            output_traffic(shape),
+        )
+        meta = TrafficBreakdown()
+        meta.add("metadata", self.metadata_bytes(shape, density, vector_size=v))
+        n_tiles = ceil_div(shape.m, v) * ceil_div(shape.n, tile.tile_n)
+        kept_per_group = max(1, int(round(shape.k * density)))
+        return KernelLaunch(
+            name=f"{self.name}-v{v}",
+            useful_flops=shape.sparse_flops(density),
+            traffic=traffic,
+            meta_traffic=meta,
+            tile=tile,
+            num_tiles=n_tiles,
+            k_steps=max(1, ceil_div(kept_per_group, tile.tile_k)),
+            compute_unit=ComputeUnit.TENSOR_CORE,
+            compute_efficiency=self.compute_efficiency,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=True,
+            meta_prefetch_steps=4,
+        )

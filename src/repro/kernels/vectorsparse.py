@@ -1,0 +1,43 @@
+"""VectorSparse baseline (Chen et al., SC'21): fine-grained vector-wise SpMM.
+
+VectorSparse targets tensor cores with *small* vectors (``V <= 8``).  The
+paper finds it consistently slower than our kernels because the small vector
+size caps the output-tile height at 8 rows, which limits data reuse: every
+group of 8 weight rows re-gathers its activation columns, so the activation
+stream crosses the L2 far more often than with ``V = 32``/``64`` tiles, and
+each 8-row MMA fragment wastes half of a 16-row tensor-core instruction.
+Both effects fall directly out of the shared timing model — this class only
+pins the vector size and a slightly lower sustained efficiency (reduced
+precision handling in their kernels).
+"""
+
+from __future__ import annotations
+
+from ..core.pattern import PatternKind
+from .vector_wise import VectorWiseKernel
+
+__all__ = ["VectorSparseKernel"]
+
+
+class VectorSparseKernel(VectorWiseKernel):
+    """VectorSparse: vector-wise SpMM with ``V = 8`` vectors."""
+
+    name = "vectorsparse"
+    pattern = PatternKind.VECTORWISE
+    supports_conv = False
+
+    compute_efficiency = 0.65
+    bandwidth_efficiency = 0.8
+
+    #: VectorSparse is only compiled/tuned for Volta in the paper's
+    #: experiments (Section 6.2).
+    supported_archs = ("V100",)
+
+    def __init__(self, vector_size: int = 8):
+        if vector_size > 8:
+            raise ValueError("VectorSparse supports vector sizes up to 8")
+        super().__init__(vector_size=vector_size)
+
+    @property
+    def label(self) -> str:
+        return f"VectorSparse(VW,V={self.vector_size})"

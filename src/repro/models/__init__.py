@@ -1,0 +1,32 @@
+"""Workload definitions: real Transformer / GNMT / ResNet50 layer shapes for
+the kernel-speedup experiments, and small proxy models (trained on synthetic
+tasks) for the accuracy experiments."""
+
+from .gnmt import GNMTConfig, GNMTProxy
+from .resnet import ResidualBlock, ResNetConfig, ResNetProxy
+from .shapes import (
+    MODEL_NAMES,
+    LayerShape,
+    gnmt_layers,
+    model_layers,
+    resnet50_layers,
+    transformer_layers,
+)
+from .transformer import TransformerBlock, TransformerConfig, TransformerProxy
+
+__all__ = [
+    "GNMTConfig",
+    "GNMTProxy",
+    "ResidualBlock",
+    "ResNetConfig",
+    "ResNetProxy",
+    "MODEL_NAMES",
+    "LayerShape",
+    "gnmt_layers",
+    "model_layers",
+    "resnet50_layers",
+    "transformer_layers",
+    "TransformerBlock",
+    "TransformerConfig",
+    "TransformerProxy",
+]

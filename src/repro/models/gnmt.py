@@ -1,0 +1,80 @@
+"""GNMT proxy model for the accuracy experiments.
+
+A small recurrent sequence model (embedding, stacked LSTM, output projection)
+standing in for GNMT's LSTM encoder-decoder.  Its prunable weights are the
+LSTM gate matrices and the output projection — the GEMMs the paper prunes in
+the real GNMT — and it is evaluated with BLEU on the synthetic translation
+task, which is what Figure 2's accuracy-speedup trade-off needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import Batch
+from ..nn.functional import cross_entropy
+from ..nn.layers import Embedding, LSTM, Linear, Module
+from ..nn.metrics import bleu_score
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["GNMTConfig", "GNMTProxy"]
+
+
+class GNMTConfig:
+    """Hyper-parameters of the proxy GNMT model."""
+
+    def __init__(
+        self,
+        vocab_size: int = 16,
+        embed_dim: int = 64,
+        hidden_size: int = 128,
+        num_layers: int = 2,
+        seed: int = 0,
+    ):
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.seed = seed
+
+
+class GNMTProxy(Module):
+    """Stacked-LSTM sequence transducer (GNMT stand-in)."""
+
+    metric_name = "BLEU"
+
+    def __init__(self, config: GNMTConfig | None = None):
+        super().__init__()
+        self.config = config or GNMTConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.embedding = Embedding(self.config.vocab_size, self.config.embed_dim, rng=rng)
+        self.lstms = []
+        input_size = self.config.embed_dim
+        for idx in range(self.config.num_layers):
+            lstm = LSTM(input_size, self.config.hidden_size, rng=rng)
+            self.lstms.append(lstm)
+            setattr(self, f"lstm{idx}", lstm)
+            input_size = self.config.hidden_size
+        self.output = Linear(self.config.hidden_size, self.config.vocab_size, rng=rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        x = self.embedding(np.asarray(token_ids, dtype=np.int64))
+        for lstm in self.lstms:
+            x, _ = lstm(x)
+        return self.output(x)
+
+    def loss(self, batch: Batch) -> Tensor:
+        logits = self.forward(batch.inputs)
+        return cross_entropy(logits, batch.targets)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        with no_grad():
+            logits = self.forward(inputs)
+        return logits.data.argmax(axis=-1)
+
+    def evaluate(self, batch: Batch) -> float:
+        """Corpus BLEU of the predicted sequences against the targets."""
+        predictions = self.predict(batch.inputs)
+        return bleu_score(batch.targets, predictions)

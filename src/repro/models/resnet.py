@@ -1,0 +1,106 @@
+"""ResNet proxy model for the accuracy experiments.
+
+A small residual CNN (conv stem, two residual stages with batch-norm, global
+average pooling and a linear classifier) standing in for ResNet50.  Its
+prunable weights are the convolution weights in implicit-GEMM layout — the
+matrices the Shfl-BW convolution kernel prunes — and it is evaluated with
+top-1 accuracy on the synthetic classification task, mirroring the ResNet50
+column of Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import Batch
+from ..nn.functional import cross_entropy
+from ..nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+)
+from ..nn.metrics import top1_accuracy
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["ResNetConfig", "ResidualBlock", "ResNetProxy"]
+
+
+class ResNetConfig:
+    """Hyper-parameters of the proxy ResNet."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        width: int = 64,
+        num_blocks: int = 2,
+        seed: int = 0,
+    ):
+        if width <= 0 or num_blocks <= 0:
+            raise ValueError("width and num_blocks must be positive")
+        self.num_classes = num_classes
+        self.in_channels = in_channels
+        self.width = width
+        self.num_blocks = num_blocks
+        self.seed = seed
+
+
+class ResidualBlock(Module):
+    """Two 3x3 convolutions with batch norm and an identity skip."""
+
+    def __init__(self, channels: int, rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(channels)
+        self.conv2 = Conv2d(channels, channels, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + x).relu()
+
+
+class ResNetProxy(Module):
+    """Small residual CNN classifier (ResNet50 stand-in)."""
+
+    metric_name = "Top-1 Acc.%"
+
+    def __init__(self, config: ResNetConfig | None = None):
+        super().__init__()
+        self.config = config or ResNetConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.stem = Conv2d(
+            self.config.in_channels, self.config.width, 3, padding=1, bias=False, rng=rng
+        )
+        self.stem_bn = BatchNorm2d(self.config.width)
+        self.blocks = [ResidualBlock(self.config.width, rng) for _ in range(self.config.num_blocks)]
+        for idx, block in enumerate(self.blocks):
+            setattr(self, f"block{idx}", block)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(self.config.width, self.config.num_classes, rng=rng)
+
+    def forward(self, images: np.ndarray | Tensor) -> Tensor:
+        x = images if isinstance(images, Tensor) else Tensor(np.asarray(images, dtype=np.float64))
+        x = self.stem_bn(self.stem(x)).relu()
+        for block in self.blocks:
+            x = block(x)
+        features = self.pool(x)
+        return self.classifier(features)
+
+    def loss(self, batch: Batch) -> Tensor:
+        logits = self.forward(batch.inputs)
+        return cross_entropy(logits, batch.targets)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        with no_grad():
+            logits = self.forward(inputs)
+        return logits.data.argmax(axis=-1)
+
+    def evaluate(self, batch: Batch) -> float:
+        """Top-1 accuracy (percent) on a batch."""
+        predictions = self.predict(batch.inputs)
+        return top1_accuracy(batch.targets, predictions)

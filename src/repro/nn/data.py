@@ -1,0 +1,134 @@
+"""Synthetic datasets for the proxy accuracy experiments.
+
+The paper evaluates on WMT translation (Transformer, GNMT) and ImageNet
+classification (ResNet50); neither dataset is available offline, so the
+accuracy experiments use synthetic tasks that exercise the same model
+families and loss surfaces:
+
+* :class:`SyntheticTranslationTask` — sequence-to-sequence token mapping with
+  a per-position dependency (the target is a vocabulary permutation of the
+  source combined with its neighbour), scored with BLEU like the paper's
+  translation models,
+* :class:`SyntheticClassificationTask` — image classification over classes
+  defined by localised spatial patterns plus noise, scored with top-1
+  accuracy like ResNet50.
+
+Both generators are deterministic given their seed, and both expose
+train/validation splits of (inputs, targets) numpy batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Batch", "SyntheticTranslationTask", "SyntheticClassificationTask"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One batch of inputs and targets."""
+
+    inputs: np.ndarray
+    targets: np.ndarray
+
+
+@dataclass
+class SyntheticTranslationTask:
+    """Token-sequence "translation": position-dependent vocabulary mapping.
+
+    The source is a random token sequence; the target at position ``t`` is
+    ``perm[(src[t] + t) % vocab]`` — the model has to combine the token
+    identity with its position, which requires the (prunable) intermediate
+    layers rather than a plain embedding-to-output shortcut, so pruning
+    damage shows up as BLEU loss while the task remains learnable in seconds
+    at proxy scale.
+    """
+
+    vocab_size: int = 16
+    seq_len: int = 12
+    num_train: int = 1024
+    num_valid: int = 128
+    seed: int = 0
+    _perm: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 4 or self.seq_len < 2:
+            raise ValueError("vocab_size must be >= 4 and seq_len >= 2")
+        rng = np.random.default_rng(self.seed)
+        self._perm = rng.permutation(self.vocab_size)
+
+    def _make_split(self, count: int, seed: int) -> Batch:
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, self.vocab_size, size=(count, self.seq_len))
+        positions = np.arange(self.seq_len)[None, :]
+        tgt = self._perm[(src + positions) % self.vocab_size]
+        return Batch(inputs=src, targets=tgt)
+
+    def train_split(self) -> Batch:
+        return self._make_split(self.num_train, self.seed + 1)
+
+    def valid_split(self) -> Batch:
+        return self._make_split(self.num_valid, self.seed + 2)
+
+    def batches(self, split: Batch, batch_size: int, *, rng: np.random.Generator | None = None):
+        """Yield shuffled mini-batches from a split."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        rng = rng or np.random.default_rng(self.seed + 3)
+        order = rng.permutation(len(split.inputs))
+        for start in range(0, len(order), batch_size):
+            idx = order[start : start + batch_size]
+            yield Batch(inputs=split.inputs[idx], targets=split.targets[idx])
+
+
+@dataclass
+class SyntheticClassificationTask:
+    """Tiny image-classification task standing in for ImageNet.
+
+    Each class is defined by a distinct spatial template; an example is its
+    class template plus Gaussian noise, so a small CNN can learn it but the
+    decision boundary degrades gracefully as weights are pruned.
+    """
+
+    num_classes: int = 10
+    image_size: int = 8
+    channels: int = 3
+    num_train: int = 512
+    num_valid: int = 128
+    noise: float = 0.6
+    seed: int = 0
+    _templates: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError("need at least two classes")
+        rng = np.random.default_rng(self.seed)
+        self._templates = rng.normal(
+            0.0, 1.0, size=(self.num_classes, self.channels, self.image_size, self.image_size)
+        )
+
+    def _make_split(self, count: int, seed: int) -> Batch:
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, self.num_classes, size=count)
+        images = self._templates[labels] + rng.normal(
+            0.0, self.noise, size=(count, self.channels, self.image_size, self.image_size)
+        )
+        return Batch(inputs=images, targets=labels)
+
+    def train_split(self) -> Batch:
+        return self._make_split(self.num_train, self.seed + 1)
+
+    def valid_split(self) -> Batch:
+        return self._make_split(self.num_valid, self.seed + 2)
+
+    def batches(self, split: Batch, batch_size: int, *, rng: np.random.Generator | None = None):
+        """Yield shuffled mini-batches from a split."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        rng = rng or np.random.default_rng(self.seed + 3)
+        order = rng.permutation(len(split.inputs))
+        for start in range(0, len(order), batch_size):
+            idx = order[start : start + batch_size]
+            yield Batch(inputs=split.inputs[idx], targets=split.targets[idx])

@@ -1,0 +1,203 @@
+"""Training and masked fine-tuning loops for the proxy models.
+
+The accuracy experiments follow the classic prune-then-fine-tune recipe: train
+a dense proxy, prune its prunable weight matrices with one of the pattern
+pruners, then fine-tune with the masks held fixed (masked gradients).  The
+proxy models in :mod:`repro.models` expose two methods used here:
+
+* ``loss(batch) -> Tensor`` — differentiable training loss for a batch,
+* ``evaluate(batch) -> float`` — the task metric (BLEU or top-1 accuracy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pruning.base import Pruner
+from .layers import Module
+from .optim import Adam, Optimizer, SGD, clip_grad_norm
+from .tensor import no_grad
+
+__all__ = [
+    "TrainConfig",
+    "TrainResult",
+    "collect_prunable",
+    "build_masks",
+    "apply_masks",
+    "mask_gradients",
+    "train_model",
+    "prune_model",
+    "prune_and_finetune",
+]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of one training / fine-tuning run."""
+
+    epochs: int = 5
+    batch_size: int = 32
+    learning_rate: float = 1.0e-3
+    optimizer: str = "adam"
+    grad_clip: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    losses: list[float]
+    final_metric: float
+    epochs: int
+
+
+def _make_optimizer(model: Module, config: TrainConfig) -> Optimizer:
+    if config.optimizer == "adam":
+        return Adam(model.parameters(), lr=config.learning_rate)
+    return SGD(model.parameters(), lr=config.learning_rate, momentum=0.9)
+
+
+def collect_prunable(model: Module) -> dict[str, np.ndarray]:
+    """Current values of every prunable weight matrix, keyed by name."""
+    return {name: param.data.copy() for name, param in model.prunable_parameters()}
+
+
+def build_masks(
+    model: Module,
+    pruner: Pruner,
+    sparsity: float,
+    *,
+    min_rows: int = 1,
+) -> tuple[dict[str, np.ndarray], dict[str, dict]]:
+    """Prune every prunable weight of ``model`` and return the masks.
+
+    Layers with fewer than ``min_rows`` rows (or rows not divisible by the
+    pruner's vector size, for pattern pruners that require it) are skipped,
+    mirroring the common practice of leaving tiny layers dense.
+
+    Returns
+    -------
+    (masks, infos)
+        ``masks[name]`` is the boolean keep-mask; ``infos[name]`` carries the
+        pruner's pattern-specific extras (e.g. Shfl-BW row indices).
+    """
+    masks: dict[str, np.ndarray] = {}
+    infos: dict[str, dict] = {}
+    vector_size = getattr(pruner, "vector_size", None) or getattr(pruner, "block_size", None)
+    for name, param in model.prunable_parameters():
+        rows = param.data.shape[0]
+        if rows < min_rows:
+            continue
+        if vector_size is not None and rows % vector_size:
+            continue
+        try:
+            result = pruner.prune(param.data, sparsity)
+        except ValueError:
+            # Layers whose shape cannot hold the pattern (e.g. a stem conv
+            # whose reduction length is not divisible by the block size) are
+            # left dense, matching common pruning practice.
+            continue
+        masks[name] = result.mask
+        infos[name] = result.info
+    return masks, infos
+
+
+def apply_masks(model: Module, masks: dict[str, np.ndarray]) -> None:
+    """Zero out pruned weights in-place."""
+    for name, param in model.prunable_parameters():
+        if name in masks:
+            param.data = param.data * masks[name]
+
+
+def mask_gradients(model: Module, masks: dict[str, np.ndarray]) -> None:
+    """Zero gradients of pruned weights so fine-tuning keeps the pattern."""
+    for name, param in model.prunable_parameters():
+        if name in masks and param.grad is not None:
+            param.grad = param.grad * masks[name]
+
+
+def train_model(
+    model: Module,
+    task,
+    config: TrainConfig,
+    *,
+    masks: dict[str, np.ndarray] | None = None,
+) -> TrainResult:
+    """Train (or fine-tune) a proxy model on a synthetic task.
+
+    Parameters
+    ----------
+    model:
+        A proxy model exposing ``loss(batch)`` and ``evaluate(batch)``.
+    task:
+        A dataset from :mod:`repro.nn.data` exposing ``train_split`` /
+        ``valid_split`` / ``batches``.
+    config:
+        Training hyper-parameters.
+    masks:
+        Optional pruning masks; when given, weights and gradients are masked
+        every step so the sparsity pattern is preserved.
+    """
+    optimizer = _make_optimizer(model, config)
+    rng = np.random.default_rng(config.seed)
+    train_split = task.train_split()
+    valid_split = task.valid_split()
+
+    if masks:
+        apply_masks(model, masks)
+
+    losses: list[float] = []
+    model.train()
+    for _ in range(config.epochs):
+        for batch in task.batches(train_split, config.batch_size, rng=rng):
+            optimizer.zero_grad()
+            loss = model.loss(batch)
+            loss.backward()
+            if masks:
+                mask_gradients(model, masks)
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            if masks:
+                apply_masks(model, masks)
+            losses.append(float(loss.data))
+
+    model.eval()
+    with no_grad():
+        metric = model.evaluate(valid_split)
+    return TrainResult(losses=losses, final_metric=float(metric), epochs=config.epochs)
+
+
+def prune_model(model: Module, pruner: Pruner, sparsity: float) -> dict[str, np.ndarray]:
+    """One-shot prune the model in place; returns the masks used."""
+    masks, _ = build_masks(model, pruner, sparsity)
+    apply_masks(model, masks)
+    return masks
+
+
+def prune_and_finetune(
+    model: Module,
+    task,
+    pruner: Pruner,
+    sparsity: float,
+    *,
+    finetune: TrainConfig | None = None,
+) -> tuple[float, dict[str, np.ndarray]]:
+    """Prune a trained model and fine-tune it with the masks held fixed.
+
+    Returns the post-fine-tuning validation metric and the masks.
+    """
+    masks = prune_model(model, pruner, sparsity)
+    config = finetune or TrainConfig(epochs=2)
+    result = train_model(model, task, config, masks=masks)
+    return result.final_metric, masks

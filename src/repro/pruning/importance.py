@@ -1,0 +1,45 @@
+"""Weight-importance scores used by the pruners.
+
+The paper uses weight magnitude as the importance score (Section 5, citing
+Han et al.); gradient-based saliency is provided as well because the ADMM and
+grow-and-prune workflows (Section 6.1) can use it when gradients are
+available from the training substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["magnitude_scores", "gradient_scores", "taylor_scores", "normalize_scores"]
+
+
+def magnitude_scores(weights: np.ndarray) -> np.ndarray:
+    """Absolute value of each weight (the paper's criterion)."""
+    return np.abs(np.asarray(weights, dtype=np.float64))
+
+
+def gradient_scores(weights: np.ndarray, gradients: np.ndarray) -> np.ndarray:
+    """Saliency ``|w * g|`` — first-order Taylor expansion of the loss change."""
+    weights = np.asarray(weights, dtype=np.float64)
+    gradients = np.asarray(gradients, dtype=np.float64)
+    if weights.shape != gradients.shape:
+        raise ValueError("weights and gradients must have the same shape")
+    return np.abs(weights * gradients)
+
+
+def taylor_scores(weights: np.ndarray, gradients: np.ndarray) -> np.ndarray:
+    """Second-order-free Taylor criterion ``(w * g)^2``."""
+    weights = np.asarray(weights, dtype=np.float64)
+    gradients = np.asarray(gradients, dtype=np.float64)
+    if weights.shape != gradients.shape:
+        raise ValueError("weights and gradients must have the same shape")
+    return (weights * gradients) ** 2
+
+
+def normalize_scores(scores: np.ndarray) -> np.ndarray:
+    """Scale scores to sum to 1 (useful when comparing retained fractions)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    total = scores.sum()
+    if total <= 0:
+        return np.full_like(scores, 1.0 / scores.size)
+    return scores / total

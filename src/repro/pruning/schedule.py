@@ -1,0 +1,91 @@
+"""Sparsity schedules for gradual / iterative pruning workflows.
+
+The ADMM and grow-and-prune workflows raise sparsity over several rounds
+rather than in one shot.  A :class:`SparsitySchedule` maps a step (or round)
+index to the sparsity target to apply at that point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SparsitySchedule", "constant_schedule", "linear_schedule", "cubic_schedule"]
+
+
+@dataclass(frozen=True)
+class SparsitySchedule:
+    """Sparsity as a function of the training/pruning step.
+
+    Attributes
+    ----------
+    initial_sparsity, final_sparsity:
+        Sparsity at ``begin_step`` and at/after ``end_step``.
+    begin_step, end_step:
+        Steps between which the sparsity ramps.
+    exponent:
+        Ramp shape: 1.0 is linear; 3.0 is the cubic "automated gradual
+        pruning" schedule commonly used with magnitude pruning.
+    """
+
+    initial_sparsity: float = 0.0
+    final_sparsity: float = 0.75
+    begin_step: int = 0
+    end_step: int = 1
+    exponent: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("initial_sparsity", self.initial_sparsity),
+            ("final_sparsity", self.final_sparsity),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.end_step < self.begin_step:
+            raise ValueError("end_step must be >= begin_step")
+        if self.exponent <= 0:
+            raise ValueError("exponent must be positive")
+
+    def sparsity_at(self, step: int) -> float:
+        """Sparsity target at the given step."""
+        if step <= self.begin_step:
+            return self.initial_sparsity
+        if step >= self.end_step or self.end_step == self.begin_step:
+            return self.final_sparsity
+        progress = (step - self.begin_step) / (self.end_step - self.begin_step)
+        ramp = 1.0 - (1.0 - progress) ** self.exponent
+        return self.initial_sparsity + (self.final_sparsity - self.initial_sparsity) * ramp
+
+    def targets(self, num_steps: int) -> list[float]:
+        """Sparsity targets for steps ``0 .. num_steps - 1``."""
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        return [self.sparsity_at(step) for step in range(num_steps)]
+
+
+def constant_schedule(sparsity: float) -> SparsitySchedule:
+    """A schedule that always returns the same sparsity."""
+    return SparsitySchedule(
+        initial_sparsity=sparsity, final_sparsity=sparsity, begin_step=0, end_step=0
+    )
+
+
+def linear_schedule(final_sparsity: float, num_steps: int, *, initial_sparsity: float = 0.0) -> SparsitySchedule:
+    """Linear ramp from ``initial_sparsity`` to ``final_sparsity``."""
+    return SparsitySchedule(
+        initial_sparsity=initial_sparsity,
+        final_sparsity=final_sparsity,
+        begin_step=0,
+        end_step=max(1, num_steps - 1),
+        exponent=1.0,
+    )
+
+
+def cubic_schedule(final_sparsity: float, num_steps: int, *, initial_sparsity: float = 0.0) -> SparsitySchedule:
+    """Cubic ("automated gradual pruning") ramp."""
+    return SparsitySchedule(
+        initial_sparsity=initial_sparsity,
+        final_sparsity=final_sparsity,
+        begin_step=0,
+        end_step=max(1, num_steps - 1),
+        exponent=3.0,
+    )

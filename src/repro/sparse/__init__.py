@@ -1,0 +1,71 @@
+"""Sparse matrix formats, conversions and functional reference kernels."""
+
+from .convert import (
+    dense_to_balanced,
+    dense_to_block,
+    dense_to_csr,
+    dense_to_shflbw,
+    dense_to_vector_wise,
+    identity_row_indices,
+    shflbw_to_vector_wise,
+    vector_wise_to_block,
+)
+from .formats import (
+    Balanced24Matrix,
+    BlockSparseMatrix,
+    CSRMatrix,
+    ShflBWMatrix,
+    VectorSparseMatrix,
+)
+from .spconv import Conv2dSpec, conv2d_dense, conv2d_sparse, im2col, weight_to_gemm
+from .spmm import (
+    dense_gemm,
+    spmm,
+    spmm_balanced,
+    spmm_block,
+    spmm_csr,
+    spmm_shflbw,
+    spmm_vector_wise,
+)
+from .validate import (
+    density,
+    is_balanced,
+    is_blockwise,
+    is_shflbw,
+    is_vector_wise,
+    sparsity,
+)
+
+__all__ = [
+    "Balanced24Matrix",
+    "BlockSparseMatrix",
+    "CSRMatrix",
+    "ShflBWMatrix",
+    "VectorSparseMatrix",
+    "dense_to_balanced",
+    "dense_to_block",
+    "dense_to_csr",
+    "dense_to_shflbw",
+    "dense_to_vector_wise",
+    "identity_row_indices",
+    "shflbw_to_vector_wise",
+    "vector_wise_to_block",
+    "Conv2dSpec",
+    "conv2d_dense",
+    "conv2d_sparse",
+    "im2col",
+    "weight_to_gemm",
+    "dense_gemm",
+    "spmm",
+    "spmm_balanced",
+    "spmm_block",
+    "spmm_csr",
+    "spmm_shflbw",
+    "spmm_vector_wise",
+    "density",
+    "is_balanced",
+    "is_blockwise",
+    "is_shflbw",
+    "is_vector_wise",
+    "sparsity",
+]

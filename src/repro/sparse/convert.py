@@ -1,0 +1,132 @@
+"""Conversions between dense matrices and the sparse formats.
+
+Two conversions correspond directly to steps of the paper's kernel pipeline
+(Figure 4):
+
+* :func:`shflbw_to_vector_wise` — the offline processing of step (a): store
+  the permuted matrix contiguously in vector-wise form and remember the
+  original row indices,
+* :func:`vector_wise_to_block` — the column-stitching view of step (b): pack
+  the kept columns of each ``V``-row group into dense ``V x tile`` panels
+  (padding the last panel), which is exactly the shape handed to the
+  tensor-core MMA loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formats import (
+    Balanced24Matrix,
+    BlockSparseMatrix,
+    CSRMatrix,
+    ShflBWMatrix,
+    VectorSparseMatrix,
+)
+
+__all__ = [
+    "dense_to_csr",
+    "dense_to_block",
+    "dense_to_vector_wise",
+    "dense_to_shflbw",
+    "dense_to_balanced",
+    "shflbw_to_vector_wise",
+    "vector_wise_to_block",
+    "identity_row_indices",
+]
+
+
+def identity_row_indices(m: int) -> np.ndarray:
+    """Row permutation that leaves the matrix untouched."""
+    return np.arange(m, dtype=np.int64)
+
+
+def dense_to_csr(dense: np.ndarray) -> CSRMatrix:
+    """Compress an (already pruned) dense matrix into CSR."""
+    return CSRMatrix.from_dense(dense)
+
+
+def dense_to_block(dense: np.ndarray, block_size: int) -> BlockSparseMatrix:
+    """Compress an (already pruned) dense matrix into ``V x V`` BSR."""
+    return BlockSparseMatrix.from_dense(dense, block_size)
+
+
+def dense_to_vector_wise(dense: np.ndarray, vector_size: int) -> VectorSparseMatrix:
+    """Compress an (already pruned) dense matrix into vector-wise form."""
+    return VectorSparseMatrix.from_dense(dense, vector_size)
+
+
+def dense_to_shflbw(
+    dense: np.ndarray, vector_size: int, row_indices: np.ndarray | None = None
+) -> ShflBWMatrix:
+    """Compress a dense matrix into Shfl-BW form.
+
+    Parameters
+    ----------
+    dense:
+        The pruned dense weight matrix (original row order).
+    vector_size:
+        Row-group height ``V``.
+    row_indices:
+        The row permutation discovered by the pattern search; identity if
+        omitted (in which case Shfl-BW degenerates to vector-wise sparsity).
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    if row_indices is None:
+        row_indices = identity_row_indices(dense.shape[0])
+    return ShflBWMatrix.from_dense(dense, vector_size, row_indices)
+
+
+def dense_to_balanced(dense: np.ndarray, n: int = 2, m: int = 4) -> Balanced24Matrix:
+    """Project a dense matrix onto the balanced ``n:m`` pattern."""
+    return Balanced24Matrix.from_dense(dense, n=n, m=m)
+
+
+def shflbw_to_vector_wise(matrix: ShflBWMatrix) -> tuple[VectorSparseMatrix, np.ndarray]:
+    """Offline step (a) of Figure 4: return the permuted vector-wise matrix
+    and the row-index array used by the reordered write-back."""
+    return matrix.vector_matrix, matrix.row_indices.copy()
+
+
+def vector_wise_to_block(
+    matrix: VectorSparseMatrix, tile_cols: int | None = None
+) -> list[list[dict]]:
+    """Column-stitch each row group of a vector-wise matrix into dense panels.
+
+    Parameters
+    ----------
+    matrix:
+        The vector-wise matrix.
+    tile_cols:
+        Number of stitched columns per panel (the kernel's ``T_K``); defaults
+        to the vector size, which yields square ``V x V`` blocks as in
+        Figure 3(d).
+
+    Returns
+    -------
+    list of list of dict
+        ``panels[g]`` is the list of panels of group ``g``; each panel is a
+        dict with keys ``"values"`` (a dense ``(V, tile_cols)`` array, zero
+        padded) and ``"columns"`` (the source column index of each stitched
+        column, ``-1`` for padding).
+    """
+    v = matrix.vector_size
+    tile = tile_cols if tile_cols is not None else v
+    if tile <= 0:
+        raise ValueError("tile_cols must be positive")
+
+    all_panels: list[list[dict]] = []
+    for g in range(matrix.num_groups):
+        cols = matrix.group_columns[g]
+        vals = matrix.group_values[g]
+        panels: list[dict] = []
+        for start in range(0, len(cols), tile):
+            chunk_cols = cols[start : start + tile]
+            chunk_vals = vals[:, start : start + tile]
+            padded_vals = np.zeros((v, tile), dtype=np.float64)
+            padded_cols = np.full(tile, -1, dtype=np.int64)
+            padded_vals[:, : chunk_vals.shape[1]] = chunk_vals
+            padded_cols[: len(chunk_cols)] = chunk_cols
+            panels.append({"values": padded_vals, "columns": padded_cols})
+        all_panels.append(panels)
+    return all_panels

@@ -1,0 +1,172 @@
+"""Functional (numpy) SpMM reference kernels for every sparse format.
+
+These are the *correctness* halves of the kernels in :mod:`repro.kernels`:
+each one computes ``C = A @ B`` where ``A`` is an ``(M, K)`` sparse weight
+matrix and ``B`` a dense ``(K, N)`` activation matrix, following the data
+movement of the corresponding GPU kernel closely enough that the structural
+techniques of the paper (in-buffer stitching, reordered write-back) are
+exercised rather than shortcut through ``to_dense()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .convert import vector_wise_to_block
+from .formats import (
+    Balanced24Matrix,
+    BlockSparseMatrix,
+    CSRMatrix,
+    ShflBWMatrix,
+    VectorSparseMatrix,
+)
+
+__all__ = [
+    "dense_gemm",
+    "spmm_csr",
+    "spmm_block",
+    "spmm_vector_wise",
+    "spmm_shflbw",
+    "spmm_balanced",
+    "spmm",
+]
+
+
+def _check_rhs(shape: tuple[int, int], rhs: np.ndarray) -> np.ndarray:
+    rhs = np.asarray(rhs, dtype=np.float64)
+    if rhs.ndim != 2:
+        raise ValueError(f"expected a 2-D dense matrix, got shape {rhs.shape}")
+    if rhs.shape[0] != shape[1]:
+        raise ValueError(
+            f"dimension mismatch: sparse K={shape[1]} vs dense rows={rhs.shape[0]}"
+        )
+    return rhs
+
+
+def dense_gemm(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Plain dense GEMM reference (the cuBLAS stand-in)."""
+    lhs = np.asarray(lhs, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    return lhs @ rhs
+
+
+def spmm_csr(matrix: CSRMatrix, rhs: np.ndarray) -> np.ndarray:
+    """Row-wise CSR SpMM (the Sputnik-style unstructured kernel)."""
+    rhs = _check_rhs(matrix.shape, rhs)
+    m, _ = matrix.shape
+    out = np.zeros((m, rhs.shape[1]), dtype=np.float64)
+    for i in range(m):
+        start, end = matrix.indptr[i], matrix.indptr[i + 1]
+        if start == end:
+            continue
+        cols = matrix.indices[start:end]
+        vals = matrix.data[start:end]
+        out[i] = vals @ rhs[cols, :]
+    return out
+
+
+def spmm_block(matrix: BlockSparseMatrix, rhs: np.ndarray) -> np.ndarray:
+    """Block-wise SpMM: one dense ``V x V`` GEMM per stored block."""
+    rhs = _check_rhs(matrix.shape, rhs)
+    m, _ = matrix.shape
+    v = matrix.block_size
+    out = np.zeros((m, rhs.shape[1]), dtype=np.float64)
+    for bi in range(matrix.num_block_rows):
+        start, end = matrix.block_indptr[bi], matrix.block_indptr[bi + 1]
+        acc = np.zeros((v, rhs.shape[1]), dtype=np.float64)
+        for pos in range(start, end):
+            bj = matrix.block_indices[pos]
+            acc += matrix.data[pos] @ rhs[bj * v : (bj + 1) * v, :]
+        out[bi * v : (bi + 1) * v, :] = acc
+    return out
+
+
+def spmm_vector_wise(matrix: VectorSparseMatrix, rhs: np.ndarray) -> np.ndarray:
+    """Vector-wise SpMM: gather the kept activation rows of each group, then
+    run one dense panel GEMM per group (our vector-wise kernel)."""
+    rhs = _check_rhs(matrix.shape, rhs)
+    m, _ = matrix.shape
+    v = matrix.vector_size
+    out = np.zeros((m, rhs.shape[1]), dtype=np.float64)
+    for g in range(matrix.num_groups):
+        cols = matrix.group_columns[g]
+        if len(cols) == 0:
+            continue
+        gathered = rhs[cols, :]
+        out[g * v : (g + 1) * v, :] = matrix.group_values[g] @ gathered
+    return out
+
+
+def spmm_shflbw(
+    matrix: ShflBWMatrix, rhs: np.ndarray, *, tile_cols: int | None = None
+) -> np.ndarray:
+    """Shfl-BW SpMM following the GPU kernel structure (Figure 4).
+
+    Steps mirrored from the kernel:
+
+    1. the matrix is already stored in permuted vector-wise form (offline
+       step (a)),
+    2. each row group's kept columns are stitched into dense ``V x tile``
+       panels; the matching activation rows are gathered to form the other
+       tile (in-buffer stitching, step (b)),
+    3. a dense panel GEMM accumulates the group's output tile (tensor-core
+       MMA, step (c)),
+    4. the output tile is written to the *original* row positions using the
+       stored row indices (reordered write-back, step (e)).
+    """
+    rhs = _check_rhs(matrix.shape, rhs)
+    n = rhs.shape[1]
+    m = matrix.shape[0]
+    v = matrix.vector_size
+    out = np.zeros((m, n), dtype=np.float64)
+
+    panels_per_group = vector_wise_to_block(matrix.vector_matrix, tile_cols=tile_cols)
+    for g, panels in enumerate(panels_per_group):
+        acc = np.zeros((v, n), dtype=np.float64)
+        for panel in panels:
+            cols = panel["columns"]
+            values = panel["values"]
+            valid = cols >= 0
+            # In-buffer stitching: gather the activation rows named by the
+            # column indices; padded lanes contribute zero.
+            stitched = np.zeros((len(cols), n), dtype=np.float64)
+            stitched[valid, :] = rhs[cols[valid], :]
+            acc += values @ stitched
+        original_rows = matrix.row_indices[g * v : (g + 1) * v]
+        # Reordered write-back: results land directly in the original rows.
+        out[original_rows, :] = acc
+    return out
+
+
+def spmm_balanced(matrix: Balanced24Matrix, rhs: np.ndarray) -> np.ndarray:
+    """Balanced n:m SpMM: select operands by position metadata, then multiply."""
+    rhs = _check_rhs(matrix.shape, rhs)
+    rows, k = matrix.shape
+    n_out = rhs.shape[1]
+    out = np.zeros((rows, n_out), dtype=np.float64)
+    values = matrix.values.reshape(rows, k // matrix.m, matrix.n)
+    positions = matrix.positions.reshape(rows, k // matrix.m, matrix.n)
+    group_base = (np.arange(k // matrix.m) * matrix.m)[None, :, None]
+    cols = positions + group_base  # absolute column index per kept value
+    for i in range(rows):
+        flat_cols = cols[i].reshape(-1)
+        flat_vals = values[i].reshape(-1)
+        out[i] = flat_vals @ rhs[flat_cols, :]
+    return out
+
+
+def spmm(matrix, rhs: np.ndarray) -> np.ndarray:
+    """Dispatch to the reference SpMM matching the matrix format."""
+    if isinstance(matrix, CSRMatrix):
+        return spmm_csr(matrix, rhs)
+    if isinstance(matrix, BlockSparseMatrix):
+        return spmm_block(matrix, rhs)
+    if isinstance(matrix, ShflBWMatrix):
+        return spmm_shflbw(matrix, rhs)
+    if isinstance(matrix, VectorSparseMatrix):
+        return spmm_vector_wise(matrix, rhs)
+    if isinstance(matrix, Balanced24Matrix):
+        return spmm_balanced(matrix, rhs)
+    if isinstance(matrix, np.ndarray):
+        return dense_gemm(matrix, rhs)
+    raise TypeError(f"unsupported sparse matrix type {type(matrix).__name__}")

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import prune_shflbw
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_weight(rng: np.random.Generator) -> np.ndarray:
+    """A small dense weight matrix with no exact zeros."""
+    w = rng.normal(size=(32, 48))
+    w[w == 0.0] = 0.1
+    return w
+
+
+@pytest.fixture
+def shflbw_pruned(small_weight):
+    """A Shfl-BW pruned matrix plus its search result (V=8, 75% sparsity)."""
+    return prune_shflbw(small_weight, sparsity=0.75, vector_size=8, seed=0)
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1.0e-6) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar-valued ``fn``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad

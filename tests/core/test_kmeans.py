@@ -1,0 +1,65 @@
+"""Tests for the balanced (capacity-constrained) k-means clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core.kmeans import balanced_kmeans, kmeans_plusplus_init
+
+
+class TestInit:
+    def test_picks_distinct_points_when_spread(self, rng):
+        points = np.array([[0.0, 0.0], [0.0, 0.1], [10.0, 10.0], [10.0, 10.1]])
+        centroids = kmeans_plusplus_init(points, 2, np.random.default_rng(0))
+        # One centroid from each far-apart cluster.
+        assert abs(centroids[0, 0] - centroids[1, 0]) > 5.0
+
+    def test_invalid_cluster_count(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plusplus_init(np.zeros((4, 2)), 5, np.random.default_rng(0))
+
+
+class TestBalancedKMeans:
+    def test_groups_have_exact_size(self, rng):
+        points = rng.random((24, 10))
+        groups = balanced_kmeans(points, 6)
+        assert len(groups) == 4
+        assert all(len(g) == 6 for g in groups)
+
+    def test_partition_covers_all_rows(self, rng):
+        points = rng.random((32, 5))
+        groups = balanced_kmeans(points, 8)
+        rows = sorted(np.concatenate(groups).tolist())
+        assert rows == list(range(32))
+
+    def test_recovers_obvious_clusters(self):
+        # Two well-separated binary supports must end up in separate groups.
+        points = np.zeros((8, 16))
+        points[:4, :8] = 1.0
+        points[4:, 8:] = 1.0
+        groups = balanced_kmeans(points, 4, seed=1)
+        as_sets = {frozenset(g.tolist()) for g in groups}
+        assert frozenset({0, 1, 2, 3}) in as_sets
+        assert frozenset({4, 5, 6, 7}) in as_sets
+
+    def test_deterministic_given_seed(self, rng):
+        points = rng.random((16, 6))
+        a = balanced_kmeans(points, 4, seed=3)
+        b = balanced_kmeans(points, 4, seed=3)
+        for ga, gb in zip(a, b):
+            np.testing.assert_array_equal(ga, gb)
+
+    def test_single_group_shortcut(self, rng):
+        groups = balanced_kmeans(rng.random((8, 4)), 8)
+        assert len(groups) == 1
+        np.testing.assert_array_equal(groups[0], np.arange(8))
+
+    def test_identical_points_handled(self):
+        groups = balanced_kmeans(np.ones((12, 4)), 3)
+        assert len(groups) == 4
+        assert all(len(g) == 3 for g in groups)
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            balanced_kmeans(rng.random((10, 3)), 4)
+        with pytest.raises(ValueError):
+            balanced_kmeans(rng.random(10), 2)

@@ -1,0 +1,49 @@
+"""Tests for the experiment registry and CLI (fast experiments only;
+the accuracy experiments have their own smoke test)."""
+
+import pytest
+
+from repro.eval.__main__ import main
+from repro.eval.experiments import available_experiments, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        names = available_experiments()
+        for expected in ("figure1", "figure2", "figure6", "table1", "headline", "analysis"):
+            assert expected in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_figure1_report(self):
+        report = run_experiment("figure1", densities=(0.05, 0.25))
+        text = report.to_text()
+        assert "Figure 1" in text
+        assert "Tensor-Core Sparse" in text
+
+    def test_analysis_report(self):
+        report = run_experiment("analysis", m=256, k=256)
+        assert "700" in report.to_text() or "Flexibility" in report.to_text()
+
+    def test_headline_report(self):
+        report = run_experiment("headline")
+        text = report.to_text()
+        for gpu in ("V100", "T4", "A100"):
+            assert gpu in text
+
+
+class TestCLI:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure6" in out
+
+    def test_no_argument_lists(self, capsys):
+        assert main([]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_run_analysis_markdown(self, capsys):
+        assert main(["analysis", "--markdown"]) == 0
+        assert "##" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Tests for the speedup-experiment harness (Figures 1 and 6, headline)."""
+
+import pytest
+
+from repro.eval.report import Report, Table
+from repro.eval.speedup import (
+    PAPER_GPUS,
+    PAPER_SPARSITIES,
+    figure6_sweep,
+    headline_speedups,
+    model_speedup,
+    model_time,
+    spmm_throughput_sweep,
+)
+from repro.gpu.arch import get_gpu
+from repro.kernels.registry import make_kernel
+from repro.models.shapes import transformer_layers
+
+
+class TestReportContainers:
+    def test_table_row_length_checked(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_text_and_markdown_render(self):
+        table = Table("Speed", ["kernel", "x"]).add_row("shfl-bw", 1.81).add_row("none", None)
+        report = Report("Demo").add_table(table).add_note("a note")
+        text = report.to_text()
+        md = report.to_markdown()
+        assert "shfl-bw" in text and "a note" in text
+        assert "| kernel | x |" in md
+        assert "-" in text  # None rendered as dash
+
+
+class TestModelTime:
+    def test_dense_time_positive_and_additive(self):
+        arch = get_gpu("V100")
+        layers = transformer_layers()
+        dense = make_kernel("dense")
+        total = model_time(dense, arch, layers, 1.0)
+        assert total > 0
+        assert total > model_time(dense, arch, layers[:1], 1.0)
+
+    def test_model_speedup_none_for_inapplicable(self):
+        arch = get_gpu("V100")
+        layers = transformer_layers()
+        balanced = make_kernel("cusparselt")
+        dense = make_kernel("dense")
+        assert model_speedup(balanced, dense, arch, layers, 0.75) is None
+
+    def test_model_speedup_value(self):
+        arch = get_gpu("T4")
+        layers = transformer_layers()
+        point = model_speedup(
+            make_kernel("shfl-bw", vector_size=64), make_kernel("dense"), arch, layers, 0.75
+        )
+        assert point is not None
+        assert point.speedup > 1.5
+        assert point.arch == "T4"
+
+
+class TestFigure1:
+    def test_curve_structure(self):
+        curves = spmm_throughput_sweep(densities=(0.05, 0.25, 0.5))
+        assert set(curves) == {
+            "Cuda-Core",
+            "Tensor-Core",
+            "Cuda-Core Sparse",
+            "Tensor-Core Sparse (Ours)",
+        }
+        assert all(len(v) == 3 for v in curves.values())
+
+    def test_paper_relationships(self):
+        curves = spmm_throughput_sweep(densities=(0.02, 0.05, 0.25, 0.5))
+        tc_dense = curves["Tensor-Core"][0.25]
+        # Tensor-core dense is well above CUDA-core dense.
+        assert tc_dense > 1.5
+        # Our tensor-core sparse beats everything at moderate density.
+        assert curves["Tensor-Core Sparse (Ours)"][0.25] > tc_dense
+        # CUDA-core sparse only competes at extreme sparsity.
+        assert curves["Cuda-Core Sparse"][0.5] < 1.0
+        assert curves["Cuda-Core Sparse"][0.02] > 1.0
+
+
+class TestHeadlineAndFigure6:
+    def test_headline_covers_all_gpus(self):
+        speedups = headline_speedups()
+        assert set(speedups) == set(PAPER_GPUS)
+        for gpu, value in speedups.items():
+            assert value > 1.3, f"{gpu} speedup {value}"
+
+    def test_figure6_small_slice(self):
+        results = figure6_sweep(
+            models=("transformer",), gpus=("V100",), sparsities=(0.75,), vector_sizes=(32,)
+        )
+        per_kernel = results[("transformer", "V100")]
+        assert per_kernel["Shfl-BW,V=32"][0.75] is not None
+        assert per_kernel["Shfl-BW,V=32"][0.75] > 1.0
+        # Unstructured stays below dense; balanced unavailable off 50%/A100.
+        assert per_kernel["Unstructured (Sputnik)"][0.75] < 1.0
+        assert per_kernel["Balanced 2in4"][0.75] is None
+
+    def test_paper_sparsity_grid(self):
+        assert PAPER_SPARSITIES == (0.50, 0.75, 0.85, 0.95)

@@ -1,0 +1,78 @@
+"""Tests for the software-pipeline / metadata-prefetch model."""
+
+import pytest
+
+from repro.gpu.pipeline import PipelineSpec, dense_pipeline_time, pipeline_time
+
+
+class TestPipelineSpec:
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(compute_time=-1.0, load_time=1.0)
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(compute_time=1.0, load_time=1.0, k_steps=0)
+        with pytest.raises(ValueError):
+            PipelineSpec(compute_time=1.0, load_time=1.0, pipeline_stages=0)
+        with pytest.raises(ValueError):
+            PipelineSpec(compute_time=1.0, load_time=1.0, meta_prefetch_steps=0)
+
+
+class TestOverlap:
+    def test_pipelined_loop_is_max_of_streams(self):
+        spec = PipelineSpec(compute_time=2.0, load_time=1.0, k_steps=10, pipeline_stages=2)
+        est = pipeline_time(spec)
+        assert est.steady_state_time == pytest.approx(20.0)
+        assert est.bound == "compute"
+
+    def test_memory_bound_when_loads_dominate(self):
+        spec = PipelineSpec(compute_time=1.0, load_time=3.0, k_steps=10, pipeline_stages=2)
+        est = pipeline_time(spec)
+        assert est.bound == "memory"
+        assert est.steady_state_time == pytest.approx(30.0)
+
+    def test_single_stage_serialises(self):
+        spec = PipelineSpec(compute_time=1.0, load_time=1.0, k_steps=10, pipeline_stages=1)
+        est = pipeline_time(spec)
+        assert est.bound == "serial"
+        assert est.steady_state_time == pytest.approx(20.0)
+
+    def test_prologue_grows_with_stages(self):
+        short = PipelineSpec(compute_time=1.0, load_time=1.0, k_steps=10, pipeline_stages=2)
+        deep = PipelineSpec(compute_time=1.0, load_time=1.0, k_steps=10, pipeline_stages=4)
+        assert pipeline_time(deep).prologue_time > pipeline_time(short).prologue_time
+
+    def test_overlap_efficiency_bounded(self):
+        spec = PipelineSpec(compute_time=1.0, load_time=1.0, k_steps=5, pipeline_stages=3)
+        est = pipeline_time(spec)
+        assert 0.0 < est.overlap_efficiency <= 1.0
+
+
+class TestMetadataPrefetch:
+    def _spec(self) -> PipelineSpec:
+        return PipelineSpec(
+            compute_time=2.0,
+            load_time=1.5,
+            meta_time=1.0,
+            k_steps=20,
+            pipeline_stages=3,
+            meta_prefetch_steps=4,
+        )
+
+    def test_prefetching_hides_metadata_latency(self):
+        spec = self._spec()
+        with_prefetch = pipeline_time(spec, prefetch_metadata=True)
+        without = pipeline_time(spec, prefetch_metadata=False)
+        assert with_prefetch.total_time < without.total_time
+
+    def test_no_benefit_when_metadata_free(self):
+        spec = PipelineSpec(compute_time=2.0, load_time=1.0, meta_time=0.0, k_steps=10)
+        assert pipeline_time(spec, prefetch_metadata=True).total_time == pytest.approx(
+            pipeline_time(spec, prefetch_metadata=False).total_time
+        )
+
+    def test_dense_pipeline_helper(self):
+        est = dense_pipeline_time(compute_time=1.0, load_time=2.0, k_steps=10)
+        assert est.bound == "memory"
+        assert est.total_time > 0

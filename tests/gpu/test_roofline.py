@@ -1,0 +1,112 @@
+"""Tests for the roofline / operation-intensity analysis (Section 3.2.2)."""
+
+import math
+
+import pytest
+
+from repro.gpu.arch import A100, T4, V100
+from repro.gpu.roofline import (
+    attainable_flops,
+    dense_gemm_intensity,
+    dense_tile_reuse,
+    machine_balance,
+    max_reuse_blockwise,
+    max_reuse_dense,
+    max_reuse_unstructured,
+    reuse_ratio_vs_dense,
+)
+from repro.gpu.tiling import optimal_tile_extent
+
+
+class TestRoofline:
+    def test_memory_bound_below_balance(self):
+        balance = machine_balance(V100)
+        point = attainable_flops(V100, balance / 10)
+        assert point.memory_bound
+        assert point.attainable_flops < point.peak_flops
+
+    def test_compute_bound_above_balance(self):
+        balance = machine_balance(V100)
+        point = attainable_flops(V100, balance * 10)
+        assert not point.memory_bound
+        assert point.attainable_flops == pytest.approx(point.peak_flops)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            attainable_flops(V100, -1.0)
+
+    def test_efficiency_bounded(self):
+        point = attainable_flops(V100, 10.0)
+        assert 0.0 < point.efficiency <= 1.0
+
+    def test_a100_balance_highest(self):
+        assert machine_balance(A100) > machine_balance(V100)
+
+
+class TestIntensity:
+    def test_dense_gemm_intensity_grows_with_size(self):
+        small = dense_gemm_intensity(128, 128, 128)
+        large = dense_gemm_intensity(4096, 4096, 4096)
+        assert large > small
+
+    def test_square_tile_reuse(self):
+        # 2 * T^2 / (2T values * 2 bytes) = T / 2 flop per byte.
+        assert dense_tile_reuse(128, 128) == pytest.approx(64.0)
+        assert dense_tile_reuse(256, 256) == pytest.approx(128.0)
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            dense_gemm_intensity(0, 1, 1)
+        with pytest.raises(ValueError):
+            dense_tile_reuse(0, 4)
+
+
+class TestMaxReuse:
+    def test_unstructured_follows_sqrt_alpha(self):
+        dense = max_reuse_dense(V100)
+        for alpha in (0.5, 0.25, 0.1, 0.05):
+            assert max_reuse_unstructured(V100, alpha) == pytest.approx(
+                math.sqrt(alpha) * dense
+            )
+
+    def test_unstructured_reuse_vanishes_with_sparsity(self):
+        assert max_reuse_unstructured(V100, 0.01) < max_reuse_unstructured(V100, 0.5)
+
+    def test_blockwise_reuse_independent_of_density(self):
+        # The paper's key point: block-wise tiles stay dense regardless of
+        # the overall sparsity, so reuse does not degrade.
+        assert max_reuse_blockwise(V100, 64) == max_reuse_blockwise(V100, 64)
+
+    def test_blockwise_matches_dense_when_v_reaches_t_opt(self):
+        t_opt = int(optimal_tile_extent(V100))
+        assert max_reuse_blockwise(V100, t_opt) == pytest.approx(max_reuse_dense(V100), rel=0.01)
+
+    def test_blockwise_beats_unstructured_at_high_sparsity(self):
+        # Section 3.2.2 summary: at DNN-relevant sparsity, block/vector/Shfl-BW
+        # retain more reuse than unstructured patterns.
+        assert max_reuse_blockwise(V100, 64) > max_reuse_unstructured(V100, 0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            max_reuse_unstructured(V100, 0.0)
+        with pytest.raises(ValueError):
+            max_reuse_blockwise(V100, 0)
+
+
+class TestReuseRatio:
+    def test_dense_ratio_is_one(self):
+        assert reuse_ratio_vs_dense(V100, "dense", 1.0) == 1.0
+
+    def test_shflbw_same_as_blockwise(self):
+        assert reuse_ratio_vs_dense(V100, "shflbw", 0.25, 64) == pytest.approx(
+            reuse_ratio_vs_dense(V100, "blockwise", 0.25, 64)
+        )
+
+    def test_balanced_same_as_unstructured(self):
+        assert reuse_ratio_vs_dense(V100, "balanced", 0.5) == pytest.approx(
+            reuse_ratio_vs_dense(V100, "unstructured", 0.5)
+        )
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            reuse_ratio_vs_dense(T4, "mystery", 0.5)

@@ -1,0 +1,105 @@
+"""Tests for tiling, occupancy and wave quantisation."""
+
+import pytest
+
+from repro.gpu.arch import T4, V100
+from repro.gpu.tiling import (
+    TileConfig,
+    concurrent_tiles,
+    default_gemm_tile,
+    occupancy,
+    optimal_tile_extent,
+    wave_count,
+    wave_efficiency,
+)
+
+
+class TestTileConfig:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            TileConfig(tile_m=0, tile_n=64, tile_k=32)
+
+    def test_threads_must_be_warp_multiple(self):
+        with pytest.raises(ValueError):
+            TileConfig(tile_m=64, tile_n=64, tile_k=32, threads=100)
+
+    def test_smem_scales_with_stages(self):
+        one = TileConfig(64, 64, 32, pipeline_stages=1)
+        two = TileConfig(64, 64, 32, pipeline_stages=2)
+        assert two.smem_bytes == 2 * one.smem_bytes
+
+    def test_grid_tiles(self):
+        tile = TileConfig(64, 64, 32)
+        assert tile.grid_tiles(128, 128) == 4
+        assert tile.grid_tiles(129, 128) == 6
+
+    def test_k_steps(self):
+        tile = TileConfig(64, 64, 32)
+        assert tile.k_steps(64) == 2
+        assert tile.k_steps(65) == 3
+
+    def test_flops_and_bytes_per_step(self):
+        tile = TileConfig(64, 32, 16)
+        assert tile.flops_per_k_step == 2 * 64 * 32 * 16
+        assert tile.load_bytes_per_k_step == (64 * 16 + 16 * 32) * 2
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            TileConfig(64, 64, 32).grid_tiles(0, 10)
+
+
+class TestOccupancy:
+    def test_small_tile_fits_many_blocks(self):
+        small = TileConfig(32, 32, 16, threads=64)
+        assert occupancy(V100, small) >= 2
+
+    def test_huge_tile_still_runs(self):
+        huge = TileConfig(256, 256, 64, pipeline_stages=3)
+        assert occupancy(V100, huge) == 1
+
+    def test_concurrent_tiles_scales_with_sms(self):
+        tile = TileConfig(64, 64, 32)
+        assert concurrent_tiles(V100, tile) == occupancy(V100, tile) * 80
+        assert concurrent_tiles(V100, tile) > concurrent_tiles(T4, tile)
+
+
+class TestWaves:
+    def test_one_wave_when_grid_fits(self):
+        tile = TileConfig(64, 64, 32)
+        assert wave_count(V100, tile, 10) == 1
+
+    def test_multiple_waves_for_large_grids(self):
+        tile = TileConfig(64, 64, 32)
+        conc = concurrent_tiles(V100, tile)
+        assert wave_count(V100, tile, conc + 1) == 2
+
+    def test_wave_efficiency_in_unit_interval(self):
+        tile = TileConfig(64, 64, 32)
+        for tiles in (1, 10, 1000, 4096):
+            eff = wave_efficiency(V100, tile, tiles)
+            assert 0.0 < eff <= 1.0
+
+    def test_invalid_num_tiles(self):
+        with pytest.raises(ValueError):
+            wave_count(V100, TileConfig(64, 64, 32), 0)
+
+
+class TestOptimalTile:
+    def test_matches_regfile_formula(self):
+        t_opt = optimal_tile_extent(V100)
+        assert t_opt == pytest.approx((256 * 1024 / 4) ** 0.5)
+
+    def test_default_tile_shrinks_for_small_problems(self):
+        tile = default_gemm_tile(64, 64, 64)
+        assert tile.tile_m <= 64
+        assert tile.tile_n <= 64
+
+    def test_default_tile_prefers_large_tiles_for_big_problems(self):
+        tile = default_gemm_tile(8192, 8192, 8192)
+        assert tile.tile_m == 128
+        assert tile.tile_n == 128
+
+    def test_default_tile_creates_enough_parallelism(self):
+        tile = default_gemm_tile(2048, 128, 2048, min_tiles=96)
+        grid = tile.grid_tiles(2048, 128)
+        assert grid >= 96 or (tile.tile_m == 32 and tile.tile_n == 32)

@@ -1,0 +1,78 @@
+"""Tests for importance scores and sparsity schedules."""
+
+import numpy as np
+import pytest
+
+from repro.pruning.importance import (
+    gradient_scores,
+    magnitude_scores,
+    normalize_scores,
+    taylor_scores,
+)
+from repro.pruning.schedule import (
+    SparsitySchedule,
+    constant_schedule,
+    cubic_schedule,
+    linear_schedule,
+)
+
+
+class TestImportance:
+    def test_magnitude_is_absolute_value(self, rng):
+        w = rng.normal(size=(4, 4))
+        np.testing.assert_allclose(magnitude_scores(w), np.abs(w))
+
+    def test_gradient_scores(self, rng):
+        w, g = rng.normal(size=(4, 4)), rng.normal(size=(4, 4))
+        np.testing.assert_allclose(gradient_scores(w, g), np.abs(w * g))
+
+    def test_taylor_scores(self, rng):
+        w, g = rng.normal(size=(4, 4)), rng.normal(size=(4, 4))
+        np.testing.assert_allclose(taylor_scores(w, g), (w * g) ** 2)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            gradient_scores(rng.normal(size=(4, 4)), rng.normal(size=(4, 5)))
+
+    def test_normalize_sums_to_one(self, rng):
+        normalized = normalize_scores(np.abs(rng.normal(size=(8, 8))))
+        assert normalized.sum() == pytest.approx(1.0)
+
+    def test_normalize_zero_scores(self):
+        normalized = normalize_scores(np.zeros((2, 2)))
+        assert normalized.sum() == pytest.approx(1.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = constant_schedule(0.75)
+        assert schedule.sparsity_at(0) == 0.75
+        assert schedule.sparsity_at(100) == 0.75
+
+    def test_linear_ramps_monotonically(self):
+        schedule = linear_schedule(0.9, num_steps=11)
+        targets = schedule.targets(11)
+        assert targets[0] == pytest.approx(0.0)
+        assert targets[-1] == pytest.approx(0.9)
+        assert all(b >= a for a, b in zip(targets, targets[1:]))
+
+    def test_cubic_ramps_faster_early(self):
+        linear = linear_schedule(0.9, num_steps=11)
+        cubic = cubic_schedule(0.9, num_steps=11)
+        assert cubic.sparsity_at(3) > linear.sparsity_at(3)
+        assert cubic.sparsity_at(10) == pytest.approx(linear.sparsity_at(10))
+
+    def test_before_and_after_window(self):
+        schedule = SparsitySchedule(0.1, 0.8, begin_step=5, end_step=15)
+        assert schedule.sparsity_at(0) == 0.1
+        assert schedule.sparsity_at(20) == 0.8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SparsitySchedule(initial_sparsity=1.2)
+        with pytest.raises(ValueError):
+            SparsitySchedule(begin_step=5, end_step=1)
+        with pytest.raises(ValueError):
+            SparsitySchedule(exponent=0.0)
+        with pytest.raises(ValueError):
+            constant_schedule(0.5).targets(0)

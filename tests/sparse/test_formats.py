@@ -1,0 +1,171 @@
+"""Tests for the sparse-matrix containers (round trips and invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.formats import (
+    Balanced24Matrix,
+    BlockSparseMatrix,
+    CSRMatrix,
+    ShflBWMatrix,
+    VectorSparseMatrix,
+)
+
+
+def random_sparse_dense(rng, shape, density):
+    dense = rng.normal(size=shape)
+    mask = rng.random(shape) < density
+    return dense * mask
+
+
+class TestCSR:
+    def test_round_trip(self, rng):
+        dense = random_sparse_dense(rng, (16, 24), 0.3)
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_nnz_and_density(self, rng):
+        dense = np.zeros((8, 8))
+        dense[0, 0] = 1.0
+        dense[5, 3] = -2.0
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.nnz == 2
+        assert csr.density == pytest.approx(2 / 64)
+
+    def test_row_nnz(self, rng):
+        dense = np.zeros((4, 4))
+        dense[1, :] = 1.0
+        csr = CSRMatrix.from_dense(dense)
+        assert list(csr.row_nnz()) == [0, 4, 0, 0]
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.from_dense(np.zeros((4, 6)))
+        assert csr.nnz == 0
+        np.testing.assert_allclose(csr.to_dense(), np.zeros((4, 6)))
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(shape=(2, 2), data=np.ones(1), indices=np.zeros(1), indptr=np.array([0, 1]))
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(
+                shape=(2, 2),
+                data=np.ones(1),
+                indices=np.array([5]),
+                indptr=np.array([0, 1, 1]),
+            )
+
+
+class TestBlockSparse:
+    def test_round_trip(self, rng):
+        dense = np.zeros((16, 16))
+        dense[0:4, 4:8] = rng.normal(size=(4, 4))
+        dense[8:12, 0:4] = rng.normal(size=(4, 4))
+        bsr = BlockSparseMatrix.from_dense(dense, 4)
+        np.testing.assert_allclose(bsr.to_dense(), dense)
+        assert bsr.nnz_blocks == 2
+
+    def test_partial_block_is_kept_whole(self, rng):
+        dense = np.zeros((8, 8))
+        dense[0, 0] = 1.0  # a single value keeps its whole 4x4 block
+        bsr = BlockSparseMatrix.from_dense(dense, 4)
+        assert bsr.nnz == 16
+        np.testing.assert_allclose(bsr.to_dense(), dense)
+
+    def test_indivisible_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            BlockSparseMatrix.from_dense(np.zeros((10, 8)), 4)
+
+    def test_density(self, rng):
+        dense = np.zeros((8, 8))
+        dense[0:4, 0:4] = 1.0
+        bsr = BlockSparseMatrix.from_dense(dense, 4)
+        assert bsr.density == pytest.approx(0.25)
+
+
+class TestVectorSparse:
+    def test_round_trip(self, rng):
+        dense = np.zeros((8, 12))
+        dense[0:4, [1, 5]] = rng.normal(size=(4, 2))
+        dense[4:8, [2, 7, 9]] = rng.normal(size=(4, 3))
+        vsp = VectorSparseMatrix.from_dense(dense, 4)
+        np.testing.assert_allclose(vsp.to_dense(), dense)
+        assert vsp.num_groups == 2
+        assert vsp.nnz == 4 * 2 + 4 * 3
+
+    def test_m_not_divisible_rejected(self):
+        with pytest.raises(ValueError):
+            VectorSparseMatrix.from_dense(np.zeros((10, 8)), 4)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            VectorSparseMatrix(
+                shape=(4, 8),
+                vector_size=4,
+                group_columns=[np.array([1, 1])],
+                group_values=[np.ones((4, 2))],
+            )
+
+    def test_wrong_panel_shape_rejected(self):
+        with pytest.raises(ValueError):
+            VectorSparseMatrix(
+                shape=(4, 8),
+                vector_size=4,
+                group_columns=[np.array([1, 2])],
+                group_values=[np.ones((3, 2))],
+            )
+
+
+class TestShflBW:
+    def test_round_trip_with_permutation(self, rng):
+        # Build a matrix that is vector-wise after a known permutation.
+        perm = rng.permutation(12)
+        permuted = np.zeros((12, 16))
+        for g in range(3):
+            cols = rng.choice(16, size=4, replace=False)
+            permuted[g * 4 : (g + 1) * 4][:, cols] = rng.normal(size=(4, 4))
+        dense = np.zeros_like(permuted)
+        dense[perm, :] = permuted
+        matrix = ShflBWMatrix.from_dense(dense, 4, perm)
+        np.testing.assert_allclose(matrix.to_dense(), dense)
+        assert matrix.num_groups == 3
+
+    def test_row_groups_partition_rows(self, rng):
+        perm = rng.permutation(8)
+        matrix = ShflBWMatrix.from_dense(rng.normal(size=(8, 8)), 4, perm)
+        rows = np.concatenate(matrix.row_groups)
+        assert sorted(rows.tolist()) == list(range(8))
+
+    def test_invalid_permutation_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ShflBWMatrix.from_dense(rng.normal(size=(8, 8)), 4, np.zeros(8, dtype=int))
+
+    def test_identity_permutation_equals_vector_wise(self, rng):
+        dense = np.zeros((8, 8))
+        dense[0:4, 0:2] = 1.0
+        matrix = ShflBWMatrix.from_dense(dense, 4, np.arange(8))
+        np.testing.assert_allclose(matrix.to_dense(), matrix.vector_matrix.to_dense())
+
+
+class TestBalanced:
+    def test_round_trip_for_compliant_matrix(self, rng):
+        dense = np.zeros((4, 8))
+        dense[:, [0, 2, 5, 7]] = rng.normal(size=(4, 4))
+        mat = Balanced24Matrix.from_dense(dense)
+        np.testing.assert_allclose(mat.to_dense(), dense)
+        assert mat.density == 0.5
+
+    def test_projection_keeps_largest_two(self):
+        dense = np.array([[4.0, -1.0, 3.0, 2.0]])
+        mat = Balanced24Matrix.from_dense(dense)
+        out = mat.to_dense()
+        np.testing.assert_allclose(out, [[4.0, 0.0, 3.0, 0.0]])
+
+    def test_k_not_divisible_rejected(self):
+        with pytest.raises(ValueError):
+            Balanced24Matrix.from_dense(np.zeros((2, 6)))
+
+    def test_nnz(self, rng):
+        mat = Balanced24Matrix.from_dense(rng.normal(size=(4, 16)))
+        assert mat.nnz == 4 * 8
