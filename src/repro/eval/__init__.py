@@ -17,6 +17,7 @@ from .speedup import (
     figure6_sweep,
     headline_speedups,
     kernel_time,
+    layer_time,
     model_speedup,
     model_time,
     spmm_throughput_sweep,
@@ -40,6 +41,7 @@ __all__ = [
     "figure6_sweep",
     "headline_speedups",
     "kernel_time",
+    "layer_time",
     "model_speedup",
     "model_time",
     "spmm_throughput_sweep",

@@ -17,6 +17,7 @@ from ..models.shapes import LayerShape, model_layers
 __all__ = [
     "SpeedupPoint",
     "kernel_time",
+    "layer_time",
     "model_time",
     "model_speedup",
     "spmm_throughput_sweep",
@@ -54,6 +55,27 @@ def kernel_time(kernel: SpMMKernel, arch: GPUArch, shape: GEMMShape, density: fl
     return kernel.estimate(arch, shape, density).total_time_s
 
 
+def layer_time(kernel: SpMMKernel, arch: GPUArch, layer: LayerShape, density: float) -> float:
+    """Estimated execution time of one kernel on one layer occurrence.
+
+    Convolution layers are routed through the kernel's ``estimate_conv``
+    (implicit GEMM plus the unfolding overhead); whether the kernel supports
+    convolutions at all is decided there, in one place — a kernel without a
+    convolution implementation raises :class:`KernelNotApplicableError`.
+    """
+    if layer.kind == "conv":
+        timing = kernel.estimate_conv(
+            arch,
+            layer.conv,
+            density,
+            batch=layer.batch,
+            height=layer.height,
+            width=layer.width,
+        )
+        return timing.total_time_s
+    return kernel_time(kernel, arch, layer.gemm, density)
+
+
 def model_time(
     kernel: SpMMKernel, arch: GPUArch, layers: list[LayerShape], density: float
 ) -> float:
@@ -63,14 +85,9 @@ def model_time(
     the layers (e.g. balanced 2:4 at a density other than 0.5, or a baseline
     without a convolution implementation).
     """
-    total = 0.0
-    for layer in layers:
-        if layer.kind == "conv" and not kernel.supports_conv and kernel.pattern.value != "dense":
-            raise KernelNotApplicableError(
-                f"kernel {kernel.name!r} has no convolution implementation"
-            )
-        total += kernel_time(kernel, arch, layer.gemm, density) * layer.count
-    return total
+    return sum(
+        layer_time(kernel, arch, layer, density) * layer.count for layer in layers
+    )
 
 
 def model_speedup(
@@ -79,18 +96,23 @@ def model_speedup(
     arch: GPUArch,
     layers: list[LayerShape],
     sparsity: float,
+    *,
+    dense_time: float | None = None,
 ) -> SpeedupPoint | None:
     """Speedup of a sparse kernel over the dense baseline on a workload.
 
     Returns ``None`` when the kernel is not applicable at this operating
-    point (mirroring the missing bars in Figure 6).
+    point (mirroring the missing bars in Figure 6).  ``dense_time`` lets
+    sweeps pass the dense baseline computed once per (model, GPU) pair
+    instead of re-simulating it for every kernel x sparsity cell.
     """
     density = 1.0 - sparsity
     try:
         sparse_time = model_time(kernel, arch, layers, density)
     except (KernelNotApplicableError, ValueError):
         return None
-    dense_time = model_time(dense_kernel, arch, layers, 1.0)
+    if dense_time is None:
+        dense_time = model_time(dense_kernel, arch, layers, 1.0)
     return SpeedupPoint(
         kernel=kernel.name,
         arch=arch.name,
@@ -155,12 +177,16 @@ def figure6_sweep(
     from the paper's figure.
     """
     dense_kernel = make_kernel("dense")
+    # The line-up is identical for every (model, gpu) cell; build it once.
+    kernel_lineup = paper_baselines(vector_sizes)
     results: dict[tuple[str, str], dict[str, dict[float, float | None]]] = {}
     for model in models:
         layers = model_layers(model)
         for gpu in gpus:
             arch = get_gpu(gpu)
-            kernel_lineup = paper_baselines(vector_sizes)
+            # The dense baseline depends only on (model, gpu): simulate it
+            # once instead of once per kernel x sparsity cell.
+            dense_time = model_time(dense_kernel, arch, layers, 1.0)
             per_kernel: dict[str, dict[float, float | None]] = {}
             for label, kernel in kernel_lineup.items():
                 if label == "Dense (tensor-core)":
@@ -171,7 +197,9 @@ def figure6_sweep(
                     if supported is not None and arch.name not in supported:
                         per_kernel[label][sparsity] = None
                         continue
-                    point = model_speedup(kernel, dense_kernel, arch, layers, sparsity)
+                    point = model_speedup(
+                        kernel, dense_kernel, arch, layers, sparsity, dense_time=dense_time
+                    )
                     per_kernel[label][sparsity] = None if point is None else point.speedup
             results[(model, gpu)] = per_kernel
     return results

@@ -23,7 +23,7 @@ from ..gpu.arch import get_gpu
 from ..kernels.registry import make_kernel
 from ..models.shapes import gnmt_layers
 from .accuracy import AccuracyConfig, PatternSpec, evaluate_model_accuracy
-from .speedup import model_speedup
+from .speedup import model_speedup, model_time
 
 __all__ = ["TradeoffPoint", "figure2_pattern_specs", "figure2_sweep"]
 
@@ -79,6 +79,8 @@ def figure2_sweep(
     dense_kernel = make_kernel("dense")
 
     accuracy = evaluate_model_accuracy("gnmt", sparsities, specs, config)
+    # One dense baseline per sweep; every point reuses it.
+    dense_time = model_time(dense_kernel, arch, layers, 1.0)
 
     points: list[TradeoffPoint] = []
     for spec in specs:
@@ -87,7 +89,9 @@ def figure2_sweep(
             metric = accuracy.metric(spec.label, sparsity)
             if metric is None:
                 continue
-            point = model_speedup(kernel, dense_kernel, arch, layers, sparsity)
+            point = model_speedup(
+                kernel, dense_kernel, arch, layers, sparsity, dense_time=dense_time
+            )
             if point is None:
                 continue
             points.append(

@@ -16,6 +16,9 @@ output ``C`` is ``(M, N)``.
 from __future__ import annotations
 
 import abc
+import dataclasses
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -126,11 +129,16 @@ def activation_traffic(
     if not 0.0 < kept_fraction <= 1.0:
         raise ValueError("kept_fraction must be in (0, 1]")
     reads = ceil_div(shape.m, row_tile) * kept_fraction
+    # The physical lower bound is ``kept_fraction`` of the footprint (the
+    # compulsory traffic); a 1.0 floor here would silently discard the
+    # sparsity savings whenever a single row tile covers the whole M
+    # dimension.  The expression above already respects the bound
+    # (``ceil_div >= 1``), so the clamp only documents the invariant.
     traffic = TrafficBreakdown()
     traffic.add(
         "activation",
         shape.k * shape.n * value_bytes,
-        reads=max(1.0, reads),
+        reads=max(kept_fraction, reads),
         access_efficiency=access_efficiency,
     )
     return traffic
@@ -149,6 +157,26 @@ def merge_traffic(*parts: TrafficBreakdown) -> TrafficBreakdown:
     for part in parts:
         merged.operands.extend(part.operands)
     return merged
+
+
+# --------------------------------------------------------------------------- #
+# Prepare cache helpers
+# --------------------------------------------------------------------------- #
+def _freeze_prepare_arg(value):
+    """Hashable cache-key token for one ``prepare`` argument."""
+    if isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        digest = hashlib.blake2b(arr.tobytes(), digest_size=16).hexdigest()
+        return ("ndarray", arr.shape, str(arr.dtype), digest)
+    return value
+
+
+def prepare_cache_key(weight: np.ndarray, **kwargs) -> tuple:
+    """Cache key identifying one (weight, prepare-kwargs) combination."""
+    return (
+        _freeze_prepare_arg(weight),
+        tuple(sorted((k, _freeze_prepare_arg(v)) for k, v in kwargs.items())),
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -173,6 +201,11 @@ class SpMMKernel(abc.ABC):
     #: Whether the kernel has an implicit-GEMM convolution variant
     #: (the paper's baselines all lack one; ours and the dense library have it).
     supports_conv: bool = False
+    #: How many compressed weights :meth:`prepare_cached` keeps per kernel.
+    prepare_cache_size: int = 8
+    #: Fractional time overhead of the on-the-fly im2col unfolding at full
+    #: ``KH x KW`` replication (1x1 convolutions unfold for free).
+    conv_unfold_overhead: float = 0.05
 
     # -------------------------- functional side -------------------------- #
     @abc.abstractmethod
@@ -183,9 +216,30 @@ class SpMMKernel(abc.ABC):
     def run(self, prepared, activations: np.ndarray) -> np.ndarray:
         """Execute the kernel functionally: return ``A @ B``."""
 
+    def prepare_cached(self, weight: np.ndarray, **kwargs):
+        """Memoised :meth:`prepare`.
+
+        Compressing a weight matrix is the expensive offline half of every
+        kernel; inference-style workloads run the same weights against many
+        activation batches, so the compressed format is cached per kernel
+        instance (LRU, :attr:`prepare_cache_size` entries) keyed by the
+        weight bytes and the prepare arguments.
+        """
+        cache: OrderedDict = self.__dict__.setdefault("_prepare_cache", OrderedDict())
+        key = prepare_cache_key(weight, **kwargs)
+        prepared = cache.get(key)
+        if prepared is not None:
+            cache.move_to_end(key)
+            return prepared
+        prepared = self.prepare(weight, **kwargs)
+        cache[key] = prepared
+        while len(cache) > self.prepare_cache_size:
+            cache.popitem(last=False)
+        return prepared
+
     def matmul(self, weight: np.ndarray, activations: np.ndarray, **kwargs) -> np.ndarray:
-        """Convenience: ``prepare`` + ``run`` in one call."""
-        return self.run(self.prepare(weight, **kwargs), activations)
+        """Convenience: cached ``prepare`` + ``run`` in one call."""
+        return self.run(self.prepare_cached(weight, **kwargs), activations)
 
     # -------------------------- performance side ------------------------- #
     @abc.abstractmethod
@@ -217,7 +271,9 @@ class SpMMKernel(abc.ABC):
         The unfolding adds activation traffic (each input value is read
         ``KH * KW`` times across output positions, largely caught on chip),
         which we approximate with a small fixed overhead on top of the GEMM
-        estimate.
+        estimate: :attr:`conv_unfold_overhead` at full replication, scaled
+        by the replicated share ``1 - 1 / (KH * KW)`` so a 1x1 convolution
+        (whose im2col is a pure reshape) pays nothing.
         """
         if not self.supports_conv:
             raise KernelNotApplicableError(
@@ -225,7 +281,17 @@ class SpMMKernel(abc.ABC):
             )
         shape = conv_to_gemm_shape(spec, batch, height, width)
         timing = self.estimate(arch, shape, density, **kwargs)
-        return timing
+        replication = spec.kernel_size * spec.kernel_size
+        if replication <= 1:
+            return timing
+        unfold_s = (
+            timing.total_time_s * self.conv_unfold_overhead * (1.0 - 1.0 / replication)
+        )
+        return dataclasses.replace(
+            timing,
+            total_time_s=timing.total_time_s + unfold_s,
+            overhead_s=timing.overhead_s + unfold_s,
+        )
 
     # ------------------------------ misc -------------------------------- #
     def metadata_bytes(self, shape: GEMMShape, density: float, **kwargs) -> float:

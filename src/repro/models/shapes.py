@@ -49,18 +49,40 @@ class LayerShape:
         real model.
     kind:
         ``"linear"`` or ``"conv"``.
+    conv:
+        The convolution description for ``kind == "conv"`` layers, so the
+        evaluation harness can route them through the kernels'
+        ``estimate_conv`` (implicit GEMM + unfolding overhead) instead of
+        treating them as plain GEMMs.
+    batch, height, width:
+        Input batch and spatial resolution of a convolution layer.
     """
 
     name: str
     gemm: GEMMShape
     count: int = 1
     kind: str = "linear"
+    conv: Conv2dSpec | None = None
+    batch: int = 1
+    height: int = 1
+    width: int = 1
 
     def __post_init__(self) -> None:
         if self.count <= 0:
             raise ValueError("count must be positive")
         if self.kind not in ("linear", "conv"):
             raise ValueError("kind must be 'linear' or 'conv'")
+        if self.kind == "conv":
+            if self.conv is None:
+                raise ValueError("conv layers must carry their Conv2dSpec")
+            if min(self.batch, self.height, self.width) <= 0:
+                raise ValueError("conv layers need positive batch/height/width")
+            expected = conv_to_gemm_shape(self.conv, self.batch, self.height, self.width)
+            if expected != self.gemm:
+                raise ValueError(
+                    f"gemm shape {self.gemm} does not match the implicit-GEMM "
+                    f"lowering {expected} of the conv spec"
+                )
 
     @property
     def weighted_flops(self) -> float:
@@ -123,7 +145,16 @@ def resnet50_layers(*, batch: int = 32, image_size: int = 224) -> list[LayerShap
             padding=k // 2,
         )
         gemm = conv_to_gemm_shape(spec, batch, resolution, resolution)
-        return LayerShape(name, gemm, count=count, kind="conv")
+        return LayerShape(
+            name,
+            gemm,
+            count=count,
+            kind="conv",
+            conv=spec,
+            batch=batch,
+            height=resolution,
+            width=resolution,
+        )
 
     scale = image_size / 224.0
     r56 = max(1, int(56 * scale))

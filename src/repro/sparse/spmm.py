@@ -6,13 +6,32 @@ matrix and ``B`` a dense ``(K, N)`` activation matrix, following the data
 movement of the corresponding GPU kernel closely enough that the structural
 techniques of the paper (in-buffer stitching, reordered write-back) are
 exercised rather than shortcut through ``to_dense()``.
+
+The kernels are fully vectorized: batched gathers, ``matmul`` over stacked
+panels and ``np.add.reduceat`` segment reductions replace the per-row and
+per-group Python loops of the original implementations.  The originals live
+on in :mod:`repro.sparse.spmm_reference` as the oracle the property-based
+tests and ``benchmarks/bench_spmm_vectorized.py`` compare against.
+
+Two caches keep repeated calls cheap:
+
+* the stitched-panel view consumed by the vector-wise / Shfl-BW kernels is
+  memoised per matrix and tile width (:func:`repro.sparse.convert.stitched_panels`),
+* the CSR kernel memoises its ``scipy.sparse`` handle on the matrix when
+  scipy is available (a pure-numpy segment-reduction path covers the case
+  where it is not).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .convert import vector_wise_to_block
+try:  # pragma: no cover - exercised implicitly on hosts with scipy
+    import scipy.sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - scipy is optional
+    _scipy_sparse = None
+
+from .convert import stitched_panels
 from .formats import (
     Balanced24Matrix,
     BlockSparseMatrix,
@@ -43,6 +62,24 @@ def _check_rhs(shape: tuple[int, int], rhs: np.ndarray) -> np.ndarray:
     return rhs
 
 
+def _segment_rows(
+    contributions: np.ndarray, indptr: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sum ``contributions`` into ``num_segments`` row segments.
+
+    ``contributions`` holds one stacked entry per stored element (any shape
+    after the first axis); segment ``i`` owns entries
+    ``indptr[i]:indptr[i + 1]``.  Empty segments sum to zero.  Implemented
+    with ``np.add.reduceat`` restricted to non-empty segments, which sidesteps
+    reduceat's surprising handling of empty slices.
+    """
+    out = np.zeros((num_segments,) + contributions.shape[1:], dtype=np.float64)
+    nonempty = np.flatnonzero(np.diff(indptr))
+    if len(nonempty):
+        out[nonempty] = np.add.reduceat(contributions, indptr[:-1][nonempty], axis=0)
+    return out
+
+
 def dense_gemm(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     """Plain dense GEMM reference (the cuBLAS stand-in)."""
     lhs = np.asarray(lhs, dtype=np.float64)
@@ -51,50 +88,81 @@ def dense_gemm(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
 
 
 def spmm_csr(matrix: CSRMatrix, rhs: np.ndarray) -> np.ndarray:
-    """Row-wise CSR SpMM (the Sputnik-style unstructured kernel)."""
+    """Row-wise CSR SpMM (the Sputnik-style unstructured kernel).
+
+    Uses a memoised ``scipy.sparse`` handle when scipy is available (the
+    fastest CSR row-gather engine on the host), falling back to a batched
+    gather + segment reduction in pure numpy.
+    """
     rhs = _check_rhs(matrix.shape, rhs)
     m, _ = matrix.shape
-    out = np.zeros((m, rhs.shape[1]), dtype=np.float64)
-    for i in range(m):
-        start, end = matrix.indptr[i], matrix.indptr[i + 1]
-        if start == end:
-            continue
-        cols = matrix.indices[start:end]
-        vals = matrix.data[start:end]
-        out[i] = vals @ rhs[cols, :]
-    return out
+    if matrix.nnz == 0:
+        return np.zeros((m, rhs.shape[1]), dtype=np.float64)
+    if _scipy_sparse is not None:
+        handle = matrix.__dict__.get("_scipy_handle")
+        if handle is None:
+            handle = _scipy_sparse.csr_matrix(
+                (matrix.data, matrix.indices, matrix.indptr), shape=matrix.shape
+            )
+            matrix.__dict__["_scipy_handle"] = handle
+        return np.asarray(handle @ rhs)
+    gathered = rhs[matrix.indices]
+    gathered *= matrix.data[:, None]
+    return _segment_rows(gathered, matrix.indptr, m)
 
 
 def spmm_block(matrix: BlockSparseMatrix, rhs: np.ndarray) -> np.ndarray:
-    """Block-wise SpMM: one dense ``V x V`` GEMM per stored block."""
+    """Block-wise SpMM: batched ``V x V`` GEMMs over all stored blocks."""
     rhs = _check_rhs(matrix.shape, rhs)
-    m, _ = matrix.shape
+    m, k = matrix.shape
     v = matrix.block_size
-    out = np.zeros((m, rhs.shape[1]), dtype=np.float64)
-    for bi in range(matrix.num_block_rows):
-        start, end = matrix.block_indptr[bi], matrix.block_indptr[bi + 1]
-        acc = np.zeros((v, rhs.shape[1]), dtype=np.float64)
-        for pos in range(start, end):
-            bj = matrix.block_indices[pos]
-            acc += matrix.data[pos] @ rhs[bj * v : (bj + 1) * v, :]
-        out[bi * v : (bi + 1) * v, :] = acc
-    return out
+    n = rhs.shape[1]
+    if matrix.nnz_blocks == 0:
+        return np.zeros((m, n), dtype=np.float64)
+    rhs_blocks = rhs.reshape(k // v, v, n)[matrix.block_indices]
+    products = np.matmul(matrix.data, rhs_blocks)  # (n_blocks, V, N)
+    acc = _segment_rows(products, matrix.block_indptr, matrix.num_block_rows)
+    return acc.reshape(m, n)
+
+
+def _spmm_stitched(
+    matrix: VectorSparseMatrix, rhs: np.ndarray, tile_cols: int | None
+) -> np.ndarray:
+    """Shared stitched-panel SpMM over a vector-wise matrix.
+
+    Mirrors the GPU kernel: gather the activation rows named by each panel's
+    stitched columns (in-buffer stitching), run one batched panel GEMM over
+    all panels (tensor-core MMA), and segment-sum the panels of each group.
+    Returns the output in the matrix's own (group-contiguous) row order.
+    """
+    panels = stitched_panels(matrix, tile_cols)
+    v = matrix.vector_size
+    n = rhs.shape[1]
+    if panels.num_panels == 0:
+        return np.zeros((matrix.shape[0], n), dtype=np.float64)
+    # Padded lanes index row 0 but carry zero weights, so no masking needed.
+    gathered = rhs[panels.gather_columns]  # (P, tile, N)
+    products = np.matmul(panels.values, gathered)  # (P, V, N)
+    acc = _segment_rows(products, panels.group_indptr, panels.num_groups)
+    return acc.reshape(matrix.shape[0], n)
 
 
 def spmm_vector_wise(matrix: VectorSparseMatrix, rhs: np.ndarray) -> np.ndarray:
     """Vector-wise SpMM: gather the kept activation rows of each group, then
-    run one dense panel GEMM per group (our vector-wise kernel)."""
+    run one batched dense panel GEMM over all groups (our vector-wise kernel).
+
+    Panels are sized to the *mean* group width: uniformly sparse matrices get
+    one panel per group (a single batched ``matmul``), while skewed matrices
+    stay bounded — total padding never exceeds the stored values plus one
+    tile per group, unlike padding every group to the widest one.
+    """
     rhs = _check_rhs(matrix.shape, rhs)
-    m, _ = matrix.shape
-    v = matrix.vector_size
-    out = np.zeros((m, rhs.shape[1]), dtype=np.float64)
-    for g in range(matrix.num_groups):
-        cols = matrix.group_columns[g]
-        if len(cols) == 0:
-            continue
-        gathered = rhs[cols, :]
-        out[g * v : (g + 1) * v, :] = matrix.group_values[g] @ gathered
-    return out
+    widths = [len(c) for c in matrix.group_columns]
+    total = sum(widths)
+    if total == 0:
+        return np.zeros((matrix.shape[0], rhs.shape[1]), dtype=np.float64)
+    tile = min(max(widths), -(-total // len(widths)))
+    return _spmm_stitched(matrix, rhs, tile_cols=tile)
 
 
 def spmm_shflbw(
@@ -108,50 +176,51 @@ def spmm_shflbw(
        step (a)),
     2. each row group's kept columns are stitched into dense ``V x tile``
        panels; the matching activation rows are gathered to form the other
-       tile (in-buffer stitching, step (b)),
-    3. a dense panel GEMM accumulates the group's output tile (tensor-core
-       MMA, step (c)),
-    4. the output tile is written to the *original* row positions using the
+       tile (in-buffer stitching, step (b)) — the stitched panels are
+       memoised on the matrix, so repeated calls skip the offline step,
+    3. one batched panel GEMM accumulates every group's output tile
+       (tensor-core MMA, step (c)),
+    4. the output tiles are written to the *original* row positions using the
        stored row indices (reordered write-back, step (e)).
     """
     rhs = _check_rhs(matrix.shape, rhs)
-    n = rhs.shape[1]
-    m = matrix.shape[0]
-    v = matrix.vector_size
-    out = np.zeros((m, n), dtype=np.float64)
-
-    panels_per_group = vector_wise_to_block(matrix.vector_matrix, tile_cols=tile_cols)
-    for g, panels in enumerate(panels_per_group):
-        acc = np.zeros((v, n), dtype=np.float64)
-        for panel in panels:
-            cols = panel["columns"]
-            values = panel["values"]
-            valid = cols >= 0
-            # In-buffer stitching: gather the activation rows named by the
-            # column indices; padded lanes contribute zero.
-            stitched = np.zeros((len(cols), n), dtype=np.float64)
-            stitched[valid, :] = rhs[cols[valid], :]
-            acc += values @ stitched
-        original_rows = matrix.row_indices[g * v : (g + 1) * v]
-        # Reordered write-back: results land directly in the original rows.
-        out[original_rows, :] = acc
+    permuted = _spmm_stitched(matrix.vector_matrix, rhs, tile_cols)
+    out = np.zeros_like(permuted)
+    # Reordered write-back: results land directly in the original rows.
+    out[matrix.row_indices] = permuted
     return out
 
 
 def spmm_balanced(matrix: Balanced24Matrix, rhs: np.ndarray) -> np.ndarray:
-    """Balanced n:m SpMM: select operands by position metadata, then multiply."""
+    """Balanced n:m SpMM: select operands by position metadata, then run one
+    batched row-vector GEMM over the compacted values."""
     rhs = _check_rhs(matrix.shape, rhs)
     rows, k = matrix.shape
     n_out = rhs.shape[1]
-    out = np.zeros((rows, n_out), dtype=np.float64)
-    values = matrix.values.reshape(rows, k // matrix.m, matrix.n)
-    positions = matrix.positions.reshape(rows, k // matrix.m, matrix.n)
-    group_base = (np.arange(k // matrix.m) * matrix.m)[None, :, None]
-    cols = positions + group_base  # absolute column index per kept value
-    for i in range(rows):
-        flat_cols = cols[i].reshape(-1)
-        flat_vals = values[i].reshape(-1)
-        out[i] = flat_vals @ rhs[flat_cols, :]
+    if matrix.nnz == 0:
+        return np.zeros((rows, n_out), dtype=np.float64)
+    kept = matrix.values.shape[1]
+    group_base = np.repeat(
+        np.arange(k // matrix.m, dtype=np.int64) * matrix.m, matrix.n
+    )
+    cols = matrix.positions + group_base[None, :]  # absolute column per value
+    out = np.empty((rows, n_out), dtype=np.float64)
+    # Chunk the batched gather so the (chunk, kept, N) intermediate stays
+    # cache resident; the buffers are reused across chunks so the gather
+    # never streams a large intermediate through DRAM.
+    chunk = max(1, min(rows, int(2**17 // max(1, kept * n_out))))
+    gathered = np.empty((chunk * kept, n_out), dtype=np.float64)
+    products = np.empty((chunk, 1, n_out), dtype=np.float64)
+    for r0 in range(0, rows, chunk):
+        r1 = min(r0 + chunk, rows)
+        c = r1 - r0
+        np.take(rhs, cols[r0:r1].reshape(-1), axis=0, out=gathered[: c * kept])
+        np.matmul(
+            matrix.values[r0:r1, None, :],
+            gathered[: c * kept].reshape(c, kept, n_out),
+            out=products[:c],
+        )
+        out[r0:r1] = products[:c, 0, :]
     return out
 
 

@@ -1,0 +1,139 @@
+"""Loop-based oracle SpMM implementations (the seed reference kernels).
+
+These are the original per-row / per-group Python-loop implementations that
+:mod:`repro.sparse.spmm` shipped with before the engine was vectorized.  They
+are deliberately kept verbatim:
+
+* the property-based test-suite uses them as the *oracle* the vectorized
+  kernels must match to ``1e-10``,
+* ``benchmarks/bench_spmm_vectorized.py`` times them against the vectorized
+  engine to document (and gate) the speedup.
+
+Nothing in the hot paths should import from this module; it exists purely as
+a correctness yardstick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .convert import vector_wise_to_block_lists
+from .formats import (
+    Balanced24Matrix,
+    BlockSparseMatrix,
+    CSRMatrix,
+    ShflBWMatrix,
+    VectorSparseMatrix,
+)
+
+__all__ = [
+    "spmm_csr_loop",
+    "spmm_block_loop",
+    "spmm_vector_wise_loop",
+    "spmm_shflbw_loop",
+    "spmm_balanced_loop",
+]
+
+
+def _check_rhs(shape: tuple[int, int], rhs: np.ndarray) -> np.ndarray:
+    rhs = np.asarray(rhs, dtype=np.float64)
+    if rhs.ndim != 2:
+        raise ValueError(f"expected a 2-D dense matrix, got shape {rhs.shape}")
+    if rhs.shape[0] != shape[1]:
+        raise ValueError(
+            f"dimension mismatch: sparse K={shape[1]} vs dense rows={rhs.shape[0]}"
+        )
+    return rhs
+
+
+def spmm_csr_loop(matrix: CSRMatrix, rhs: np.ndarray) -> np.ndarray:
+    """Row-wise CSR SpMM (one gather + dot per row)."""
+    rhs = _check_rhs(matrix.shape, rhs)
+    m, _ = matrix.shape
+    out = np.zeros((m, rhs.shape[1]), dtype=np.float64)
+    for i in range(m):
+        start, end = matrix.indptr[i], matrix.indptr[i + 1]
+        if start == end:
+            continue
+        cols = matrix.indices[start:end]
+        vals = matrix.data[start:end]
+        out[i] = vals @ rhs[cols, :]
+    return out
+
+
+def spmm_block_loop(matrix: BlockSparseMatrix, rhs: np.ndarray) -> np.ndarray:
+    """Block-wise SpMM: one dense ``V x V`` GEMM per stored block."""
+    rhs = _check_rhs(matrix.shape, rhs)
+    m, _ = matrix.shape
+    v = matrix.block_size
+    out = np.zeros((m, rhs.shape[1]), dtype=np.float64)
+    for bi in range(matrix.num_block_rows):
+        start, end = matrix.block_indptr[bi], matrix.block_indptr[bi + 1]
+        acc = np.zeros((v, rhs.shape[1]), dtype=np.float64)
+        for pos in range(start, end):
+            bj = matrix.block_indices[pos]
+            acc += matrix.data[pos] @ rhs[bj * v : (bj + 1) * v, :]
+        out[bi * v : (bi + 1) * v, :] = acc
+    return out
+
+
+def spmm_vector_wise_loop(matrix: VectorSparseMatrix, rhs: np.ndarray) -> np.ndarray:
+    """Vector-wise SpMM: one dense panel GEMM per row group."""
+    rhs = _check_rhs(matrix.shape, rhs)
+    m, _ = matrix.shape
+    v = matrix.vector_size
+    out = np.zeros((m, rhs.shape[1]), dtype=np.float64)
+    for g in range(matrix.num_groups):
+        cols = matrix.group_columns[g]
+        if len(cols) == 0:
+            continue
+        gathered = rhs[cols, :]
+        out[g * v : (g + 1) * v, :] = matrix.group_values[g] @ gathered
+    return out
+
+
+def spmm_shflbw_loop(
+    matrix: ShflBWMatrix, rhs: np.ndarray, *, tile_cols: int | None = None
+) -> np.ndarray:
+    """Shfl-BW SpMM following the GPU kernel structure panel-by-panel."""
+    rhs = _check_rhs(matrix.shape, rhs)
+    n = rhs.shape[1]
+    m = matrix.shape[0]
+    v = matrix.vector_size
+    out = np.zeros((m, n), dtype=np.float64)
+
+    panels_per_group = vector_wise_to_block_lists(
+        matrix.vector_matrix, tile_cols=tile_cols
+    )
+    for g, panels in enumerate(panels_per_group):
+        acc = np.zeros((v, n), dtype=np.float64)
+        for panel in panels:
+            cols = panel["columns"]
+            values = panel["values"]
+            valid = cols >= 0
+            # In-buffer stitching: gather the activation rows named by the
+            # column indices; padded lanes contribute zero.
+            stitched = np.zeros((len(cols), n), dtype=np.float64)
+            stitched[valid, :] = rhs[cols[valid], :]
+            acc += values @ stitched
+        original_rows = matrix.row_indices[g * v : (g + 1) * v]
+        # Reordered write-back: results land directly in the original rows.
+        out[original_rows, :] = acc
+    return out
+
+
+def spmm_balanced_loop(matrix: Balanced24Matrix, rhs: np.ndarray) -> np.ndarray:
+    """Balanced n:m SpMM: select operands by position metadata, row by row."""
+    rhs = _check_rhs(matrix.shape, rhs)
+    rows, k = matrix.shape
+    n_out = rhs.shape[1]
+    out = np.zeros((rows, n_out), dtype=np.float64)
+    values = matrix.values.reshape(rows, k // matrix.m, matrix.n)
+    positions = matrix.positions.reshape(rows, k // matrix.m, matrix.n)
+    group_base = (np.arange(k // matrix.m) * matrix.m)[None, :, None]
+    cols = positions + group_base  # absolute column index per kept value
+    for i in range(rows):
+        flat_cols = cols[i].reshape(-1)
+        flat_vals = values[i].reshape(-1)
+        out[i] = flat_vals @ rhs[flat_cols, :]
+    return out

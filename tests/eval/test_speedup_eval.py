@@ -2,19 +2,22 @@
 
 import pytest
 
+from repro.eval.experiments import run_experiment
 from repro.eval.report import Report, Table
 from repro.eval.speedup import (
     PAPER_GPUS,
     PAPER_SPARSITIES,
     figure6_sweep,
     headline_speedups,
+    layer_time,
     model_speedup,
     model_time,
     spmm_throughput_sweep,
 )
 from repro.gpu.arch import get_gpu
+from repro.kernels.base import KernelNotApplicableError, SpMMKernel
 from repro.kernels.registry import make_kernel
-from repro.models.shapes import transformer_layers
+from repro.models.shapes import resnet50_layers, transformer_layers
 
 
 class TestReportContainers:
@@ -59,6 +62,82 @@ class TestModelTime:
         assert point is not None
         assert point.speedup > 1.5
         assert point.arch == "T4"
+
+    def test_precomputed_dense_time_matches_recomputation(self):
+        arch = get_gpu("V100")
+        layers = transformer_layers()
+        kernel = make_kernel("shfl-bw", vector_size=64)
+        dense = make_kernel("dense")
+        dense_time = model_time(dense, arch, layers, 1.0)
+        fresh = model_speedup(kernel, dense, arch, layers, 0.75)
+        cached = model_speedup(kernel, dense, arch, layers, 0.75, dense_time=dense_time)
+        assert fresh is not None and cached is not None
+        assert cached.speedup == pytest.approx(fresh.speedup)
+        assert cached.dense_time_s == pytest.approx(fresh.dense_time_s)
+
+
+class TestConvRouting:
+    def test_conv_layers_go_through_estimate_conv(self, monkeypatch):
+        layers = [layer for layer in resnet50_layers() if layer.kind == "conv"]
+        assert layers, "resnet50 must expose conv layers"
+        arch = get_gpu("V100")
+        kernel = make_kernel("shfl-bw", vector_size=32)
+        calls = []
+        original = SpMMKernel.estimate_conv
+
+        def spy(self, conv_arch, spec, density, **kwargs):
+            calls.append(spec)
+            return original(self, conv_arch, spec, density, **kwargs)
+
+        monkeypatch.setattr(SpMMKernel, "estimate_conv", spy)
+        time = layer_time(kernel, arch, layers[0], 0.25)
+        assert time > 0
+        assert calls == [layers[0].conv]
+
+    def test_model_time_rejects_convless_kernels_on_resnet(self):
+        layers = resnet50_layers()
+        arch = get_gpu("V100")
+        with pytest.raises(KernelNotApplicableError):
+            model_time(make_kernel("sputnik"), arch, layers, 0.25)
+
+    def test_conv_layer_costs_more_than_plain_gemm(self):
+        # The unfolding overhead must actually show up in the layer time.
+        layers = [
+            layer
+            for layer in resnet50_layers()
+            if layer.kind == "conv" and layer.conv.kernel_size > 1
+        ]
+        arch = get_gpu("V100")
+        kernel = make_kernel("dense")
+        layer = layers[0]
+        conv_time = layer_time(kernel, arch, layer, 1.0)
+        gemm_time = kernel.estimate(arch, layer.gemm, 1.0).total_time_s
+        assert conv_time > gemm_time
+
+    def test_figure6_resnet_sweep_exercises_estimate_conv(self, monkeypatch):
+        calls = []
+        original = SpMMKernel.estimate_conv
+
+        def spy(self, arch, spec, density, **kwargs):
+            calls.append((type(self).__name__, spec.kernel_size))
+            return original(self, arch, spec, density, **kwargs)
+
+        monkeypatch.setattr(SpMMKernel, "estimate_conv", spy)
+        report = run_experiment(
+            "figure6",
+            models=("resnet50",),
+            gpus=("V100",),
+            sparsities=(0.75,),
+            vector_sizes=(32,),
+        )
+        assert "resnet50 on V100" in report.to_text()
+        assert calls, "the ResNet-50 sweep must route layers through estimate_conv"
+        # Both our kernel and the dense baseline take the conv path,
+        # including the 3x3 layers that pay the unfolding overhead.
+        names = {name for name, _ in calls}
+        assert "ShflBWKernel" in names
+        assert "DenseTensorCoreGEMM" in names
+        assert any(ks == 3 for _, ks in calls)
 
 
 class TestFigure1:

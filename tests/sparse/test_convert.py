@@ -12,7 +12,9 @@ from repro.sparse.convert import (
     dense_to_vector_wise,
     identity_row_indices,
     shflbw_to_vector_wise,
+    stitched_panels,
     vector_wise_to_block,
+    vector_wise_to_block_lists,
 )
 
 
@@ -53,20 +55,47 @@ class TestKernelOfflineSteps:
         dense[0:4, [0, 3, 7, 9, 12]] = rng.normal(size=(4, 5))
         vec = dense_to_vector_wise(dense, 4)
         panels = vector_wise_to_block(vec, tile_cols=2)
-        # Group 0 has 5 kept columns -> 3 panels of width 2 (last padded).
-        assert len(panels[0]) == 3
-        first = panels[0][0]
-        assert first["values"].shape == (4, 2)
-        np.testing.assert_array_equal(first["columns"], [0, 3])
-        last = panels[0][-1]
-        assert last["columns"][-1] == -1
-        assert np.all(last["values"][:, -1] == 0.0)
+        # Group 0 has 5 kept columns -> 3 panels of width 2 (last padded);
+        # group 1 is all-zero -> no panels.
+        np.testing.assert_array_equal(panels.group_indptr, [0, 3, 3])
+        assert panels.num_panels == 3
+        assert panels.values.shape == (3, 4, 2)
+        np.testing.assert_array_equal(panels.columns[0], [0, 3])
+        np.testing.assert_array_equal(panels.values[0], dense[0:4, [0, 3]])
+        # The tail panel is padded with -1 columns and zero values.
+        assert panels.columns[-1][-1] == -1
+        assert np.all(panels.values[-1][:, -1] == 0.0)
+        # Padding lanes are clamped to a valid gather index.
+        assert panels.gather_columns.min() >= 0
 
     def test_vector_wise_to_block_default_tile_is_square(self, rng):
         dense = np.zeros((4, 8))
         dense[:, [1, 2, 3, 4]] = 1.0
         panels = vector_wise_to_block(dense_to_vector_wise(dense, 4))
-        assert panels[0][0]["values"].shape == (4, 4)
+        assert panels.values.shape == (1, 4, 4)
+
+    def test_vector_wise_to_block_lists_shim_matches_stacked(self, rng):
+        dense = np.zeros((8, 16))
+        dense[0:4, [0, 3, 7, 9, 12]] = rng.normal(size=(4, 5))
+        dense[4:8, [2, 5]] = rng.normal(size=(4, 2))
+        vec = dense_to_vector_wise(dense, 4)
+        stacked = vector_wise_to_block(vec, tile_cols=2)
+        lists = vector_wise_to_block_lists(vec, tile_cols=2)
+        assert len(lists) == stacked.num_groups
+        for g, group in enumerate(lists):
+            vals, cols = stacked.group_panels(g)
+            assert len(group) == vals.shape[0]
+            for p, panel in enumerate(group):
+                np.testing.assert_array_equal(panel["columns"], cols[p])
+                np.testing.assert_array_equal(panel["values"], vals[p])
+
+    def test_stitched_panels_memoised_per_tile(self, rng):
+        dense = np.zeros((8, 16))
+        dense[0:4, [0, 3, 7]] = rng.normal(size=(4, 3))
+        vec = dense_to_vector_wise(dense, 4)
+        first = stitched_panels(vec, 2)
+        assert stitched_panels(vec, 2) is first
+        assert stitched_panels(vec, 4) is not first
 
     def test_invalid_tile_cols(self, rng):
         vec = dense_to_vector_wise(np.zeros((4, 8)), 4)
