@@ -1,15 +1,18 @@
 """Figure 1: SpMM throughput vs density on the Figure-1 GEMM shape
 (M/N/K = 2048/128/2048, V100), normalised to the CUDA-core dense GEMM.
 
-Regenerates the four curves of the figure and checks the qualitative
-relationships the paper draws from it (regions A/B/C).
+Regenerates the four curves of the figure on the :mod:`repro.eval.runner`
+sweep runner and checks the qualitative relationships the paper draws from
+it (regions A/B/C), plus the runner's serial/parallel and cache contracts
+on this grid.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.eval.speedup import spmm_throughput_sweep
+from repro.eval.runner import SweepRunner, serial_executor
+from repro.eval.speedup import figure1_spec, spmm_throughput_sweep
 
 DENSITIES = (0.02, 0.05, 0.10, 0.15, 0.25, 0.35, 0.50)
 
@@ -29,6 +32,26 @@ def test_figure1_sweep(benchmark):
     for density in DENSITIES:
         row = f"{density:>8.2f} " + " ".join(f"{result[name][density]:>26.2f}" for name in result)
         print(row)
+
+
+def test_figure1_parallel_and_cache_roundtrip(benchmark, tmp_path, curves):
+    """Parallel execution and a cache round-trip must both reproduce the
+    serial curves exactly."""
+    parallel = spmm_throughput_sweep(
+        densities=DENSITIES, runner=SweepRunner(jobs=2)
+    )
+    assert parallel == curves
+    spec = figure1_spec(densities=DENSITIES)
+    SweepRunner(cache_dir=tmp_path, executor=serial_executor).run(spec)
+    warm_runner = SweepRunner(cache_dir=tmp_path)
+    warm = benchmark.pedantic(
+        spmm_throughput_sweep,
+        kwargs={"densities": DENSITIES, "runner": warm_runner},
+        rounds=1,
+        iterations=1,
+    )
+    assert warm == curves
+    assert warm_runner.stats.hit_rate >= 0.90
 
 
 def test_tensor_core_dense_above_cuda_core_dense(curves):

@@ -1,15 +1,21 @@
 """Figure 6 + Section 6.2 headline: speedup over the dense tensor-core
 baseline for the three workloads on V100 / T4 / A100 across the paper's
 sparsity grid, for every kernel in the line-up.
+
+Runs on the :mod:`repro.eval.runner` sweep runner; also exercises the
+process-pool executor (records must be identical to the serial run) and the
+persistent result cache (a warm re-run must be nearly all hits).
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.eval.runner import SweepRunner, serial_executor
 from repro.eval.speedup import (
     PAPER_GPUS,
     PAPER_SPARSITIES,
+    figure6_spec,
     figure6_sweep,
     headline_speedups,
 )
@@ -51,6 +57,36 @@ def test_figure6_gnmt_resnet_sweep(benchmark):
     for (model, gpu), per_kernel in result.items():
         assert per_kernel["Shfl-BW,V=64"][0.75] is not None
         assert per_kernel["Shfl-BW,V=64"][0.75] > 1.0
+
+
+def test_figure6_parallel_matches_serial(benchmark):
+    """The process-pool executor must reproduce the serial records exactly
+    (same floats, same order) — parallelism only moves the computation."""
+    spec = figure6_spec(models=("transformer", "resnet50"), gpus=PAPER_GPUS)
+    serial = SweepRunner(executor=serial_executor).run(spec)
+    parallel_result = benchmark.pedantic(
+        SweepRunner(jobs=4).run, args=(spec,), rounds=1, iterations=1
+    )
+    assert parallel_result.records == serial.records
+
+
+def test_figure6_cache_warm_rerun(benchmark, tmp_path):
+    """A warm re-run against the persistent cache must be >= 90% hits and
+    faster than the cold run that populated it."""
+    spec = figure6_spec()
+    cold = SweepRunner(cache_dir=tmp_path).run(spec)
+    assert cold.cache_misses == len({c.config_hash() for c in spec.expand()})
+    warm = benchmark.pedantic(
+        SweepRunner(cache_dir=tmp_path).run, args=(spec,), rounds=1, iterations=1
+    )
+    assert warm.hit_rate >= 0.90
+    assert warm.records == cold.records
+    assert warm.elapsed_s < cold.elapsed_s
+    print(
+        f"\n  cold: {cold.elapsed_s * 1e3:.1f} ms ({cold.cache_misses} computed)  "
+        f"warm: {warm.elapsed_s * 1e3:.1f} ms ({warm.cache_hits} hits, "
+        f"{warm.hit_rate:.0%})"
+    )
 
 
 def test_headline_speedups_match_paper_ballpark(benchmark):

@@ -6,6 +6,15 @@ Regenerate the Figure 6 speedup tables::
 
     python -m repro.eval figure6
 
+Fan the sweep out over 4 worker processes and export the structured records::
+
+    python -m repro.eval figure6 --jobs 4 --json figure6.json --csv figure6.csv
+
+Re-run against a persistent result cache (only the delta is computed; the
+hit rate is reported after the tables)::
+
+    python -m repro.eval figure6 --cache-dir .sweep-cache
+
 Run the Table 1 accuracy protocol at full scale (slower)::
 
     python -m repro.eval table1 --full
@@ -19,8 +28,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
-from .experiments import available_experiments, run_experiment
+from .experiments import (
+    RUNNER_EXPERIMENTS,
+    available_experiments,
+    resolve_experiment,
+    run_experiment,
+)
+from .runner import SweepRunner
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -42,6 +58,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--markdown", action="store_true", help="emit Markdown instead of plain text"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep experiments (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent result cache directory for sweep experiments",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="OUT",
+        help="also write the report (tables, notes, metadata, records) as JSON",
+    )
+    parser.add_argument(
+        "--csv",
+        dest="csv_out",
+        default=None,
+        metavar="OUT",
+        help="also write the report's records as CSV",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -50,11 +93,40 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name}")
         return 0
 
+    try:
+        experiment = resolve_experiment(args.experiment)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
     kwargs = {}
-    if args.experiment in ("table1", "figure2"):
+    if experiment in ("table1", "figure2"):
         kwargs["quick"] = not args.full
-    report = run_experiment(args.experiment, **kwargs)
+    runner = None
+    if experiment in RUNNER_EXPERIMENTS:
+        runner = SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+        kwargs["runner"] = runner
+    elif args.jobs is not None or args.cache_dir is not None:
+        print(
+            f"note: --jobs/--cache-dir only apply to sweep experiments "
+            f"({', '.join(sorted(RUNNER_EXPERIMENTS))}); ignored for {experiment!r}",
+            file=sys.stderr,
+        )
+
+    report = run_experiment(experiment, **kwargs)
     print(report.to_markdown() if args.markdown else report.to_text())
+    if args.json_out:
+        Path(args.json_out).write_text(report.to_json(), encoding="utf-8")
+        print(f"wrote JSON report to {args.json_out}")
+    if args.csv_out:
+        Path(args.csv_out).write_text(report.to_csv(), encoding="utf-8")
+        print(f"wrote CSV records to {args.csv_out}")
+    if runner is not None and args.cache_dir is not None:
+        stats = runner.stats
+        print(
+            f"cache: {stats.hits} hits, {stats.misses} misses "
+            f"({stats.hit_rate:.0%} hit rate) in {args.cache_dir}"
+        )
     return 0
 
 

@@ -13,21 +13,79 @@ from ..core.analysis import compare_patterns, log_row_shuffle_multiplier
 from ..gpu.arch import get_gpu
 from .accuracy import AccuracyConfig, table1_sweep
 from .report import Report, Table
+from .runner import SweepRunner
 from .speedup import (
+    FIGURE1_DENSITIES,
     PAPER_GPUS,
     PAPER_SPARSITIES,
-    figure6_sweep,
-    headline_speedups,
-    spmm_throughput_sweep,
+    collate_figure1,
+    collate_figure6,
+    collate_headline,
+    figure1_spec,
+    figure6_spec,
+    headline_spec,
 )
 from .tradeoff import figure2_sweep
 
-__all__ = ["available_experiments", "run_experiment"]
+__all__ = [
+    "available_experiments",
+    "resolve_experiment",
+    "run_experiment",
+    "RUNNER_EXPERIMENTS",
+]
+
+#: Experiments that run on the sweep runner and accept the ``runner``,
+#: ``--jobs`` and ``--cache-dir`` machinery.
+RUNNER_EXPERIMENTS = frozenset({"figure1", "figure6", "headline"})
+
+#: Paper-claimed sparsity thresholds of the Figure 1 regions.
+FIGURE1_PAPER_REGIONS = {"A": 0.65, "B": 0.95, "C": 0.90}
 
 
-def run_figure1(**kwargs) -> Report:
+def figure1_regions(
+    curves: dict[str, dict[float, float]]
+) -> dict[str, dict[str, object]]:
+    """Structured Figure 1 region boundaries from the swept curves.
+
+    Each region reports the lowest swept sparsity at which its comparison
+    flips (or ``None`` when the sweep never reaches it) next to the paper's
+    claimed threshold.
+    """
+    densities = sorted(next(iter(curves.values())).keys())
+    sparse_cc = curves["Cuda-Core Sparse"]
+    sparse_tc = curves["Tensor-Core Sparse (Ours)"]
+    dense_tc = curves["Tensor-Core"]
+    comparisons = {
+        "A": (
+            "CUDA-core sparse beats CUDA-core dense",
+            [1 - d for d in densities if sparse_cc[d] >= 1.0],
+        ),
+        "B": (
+            "CUDA-core sparse beats tensor-core dense",
+            [1 - d for d in densities if sparse_cc[d] >= dense_tc[d]],
+        ),
+        "C": (
+            "tensor-core sparse (ours) beats tensor-core dense",
+            [1 - d for d in densities if sparse_tc[d] >= dense_tc[d]],
+        ),
+    }
+    return {
+        name: {
+            "description": description,
+            "threshold_sparsity": min(reached) if reached else None,
+            "paper_threshold_sparsity": FIGURE1_PAPER_REGIONS[name],
+        }
+        for name, (description, reached) in comparisons.items()
+    }
+
+
+def run_figure1(
+    *, runner: SweepRunner | None = None, densities=FIGURE1_DENSITIES, **kwargs
+) -> Report:
     """Figure 1: SpMM throughput vs density, normalised to CUDA-core dense."""
-    curves = spmm_throughput_sweep(**kwargs)
+    spec = figure1_spec(densities=tuple(densities), **kwargs)
+    result = (runner or SweepRunner()).run(spec)
+    curves = collate_figure1(result, tuple(densities))
     densities = sorted(next(iter(curves.values())).keys())
     report = Report("Figure 1 - SpMM throughput vs density (GEMM 2048/128/2048, V100)")
     table = Table(
@@ -38,25 +96,22 @@ def run_figure1(**kwargs) -> Report:
         table.add_row(density, *[curves[name][density] for name in curves])
     report.add_table(table)
 
-    sparse_cc = curves["Cuda-Core Sparse"]
-    sparse_tc = curves["Tensor-Core Sparse (Ours)"]
-    dense_tc = curves["Tensor-Core"]
-    region_a = [1 - d for d in densities if sparse_cc[d] >= 1.0]
-    region_b = [1 - d for d in densities if sparse_cc[d] >= dense_tc[d]]
-    region_c = [1 - d for d in densities if sparse_tc[d] >= dense_tc[d]]
-    report.add_note(
-        "Region A (CUDA-core sparse beats CUDA-core dense) starts at "
-        f"~{min(region_a):.0%} sparsity" if region_a else "Region A not reached in sweep"
-    )
-    report.add_note(
-        "Region B (CUDA-core sparse beats tensor-core dense) starts at "
-        f"~{min(region_b):.0%} sparsity" if region_b else "Region B not reached in sweep"
-    )
-    report.add_note(
-        "Region C (tensor-core sparse beats tensor-core dense) starts at "
-        f"~{min(region_c):.0%} sparsity" if region_c else "Region C not reached in sweep"
-    )
+    regions = figure1_regions(curves)
+    for name, region in regions.items():
+        threshold = region["threshold_sparsity"]
+        report.add_note(
+            f"Region {name} ({region['description']}) starts at "
+            f"~{threshold:.0%} sparsity"
+            if threshold is not None
+            else f"Region {name} not reached in sweep"
+        )
     report.add_note("Paper: region A ~65%, region B ~95%, region C well below 90%.")
+    report.add_metadata("regions", regions)
+    report.add_metadata(
+        "paper_comparison",
+        "Paper thresholds: region A ~65%, region B ~95%, region C well below 90%.",
+    )
+    report.add_records(result.record_dicts())
     return report
 
 
@@ -79,11 +134,13 @@ def run_figure2(*, quick: bool = True, **kwargs) -> Report:
     return report
 
 
-def run_figure6(**kwargs) -> Report:
+def run_figure6(*, runner: SweepRunner | None = None, **kwargs) -> Report:
     """Figure 6: speedup over dense for 3 models x 3 GPUs x 4 sparsities."""
-    results = figure6_sweep(**kwargs)
+    spec = figure6_spec(**kwargs)
+    result = (runner or SweepRunner()).run(spec)
+    results = collate_figure6(result)
     report = Report("Figure 6 - Speedup over the dense tensor-core baseline")
-    sparsities = kwargs.get("sparsities", PAPER_SPARSITIES)
+    sparsities = spec.sparsities
     for (model, gpu), per_kernel in results.items():
         table = Table(
             f"{model} on {gpu}",
@@ -93,18 +150,31 @@ def run_figure6(**kwargs) -> Report:
             table.add_row(label, *[by_sparsity.get(s) for s in sparsities])
         report.add_table(table)
     report.add_note("Missing entries (-) are configurations the kernel cannot run, as in the paper.")
+    report.add_metadata(
+        "grid",
+        {
+            "models": list(spec.models),
+            "gpus": list(spec.gpus),
+            "sparsities": list(spec.sparsities),
+            "kernels": [k.display_label for k in spec.kernels],
+        },
+    )
+    report.add_records(result.record_dicts())
     return report
 
 
-def run_headline(**kwargs) -> Report:
+def run_headline(*, runner: SweepRunner | None = None, **kwargs) -> Report:
     """Section 6.2 headline speedups for Transformer at 75 % sparsity."""
-    speedups = headline_speedups(**kwargs)
+    spec = headline_spec(**kwargs)
+    result = (runner or SweepRunner()).run(spec)
+    speedups = collate_headline(result)
     report = Report("Section 6.2 headline - Transformer GEMM layers at 75% sparsity (Shfl-BW V=64)")
     table = Table("Speedup over dense", ["GPU", "measured", "paper"])
     paper = {"V100": 1.81, "T4": 4.18, "A100": 1.90}
     for gpu in PAPER_GPUS:
-        table.add_row(gpu, speedups[gpu], paper[gpu])
+        table.add_row(gpu, speedups[gpu], paper.get(gpu))
     report.add_table(table)
+    report.add_records(result.record_dicts())
     return report
 
 
@@ -166,11 +236,20 @@ def available_experiments() -> list[str]:
     return sorted(_EXPERIMENTS)
 
 
-def run_experiment(name: str, **kwargs) -> Report:
-    """Run one experiment by its paper table/figure id."""
+def resolve_experiment(name: str) -> str:
+    """Normalise an experiment name, raising ``KeyError`` for unknown ones.
+
+    The single place the normalisation and the unknown-name message live:
+    both :func:`run_experiment` and the CLI resolve through here.
+    """
     key = name.strip().lower()
     if key not in _EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
         )
-    return _EXPERIMENTS[key](**kwargs)
+    return key
+
+
+def run_experiment(name: str, **kwargs) -> Report:
+    """Run one experiment by its paper table/figure id."""
+    return _EXPERIMENTS[resolve_experiment(name)](**kwargs)

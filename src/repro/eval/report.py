@@ -3,10 +3,22 @@
 Every experiment in :mod:`repro.eval.experiments` returns a :class:`Report`
 — a titled collection of tables (rows of labelled values) — which renders to
 aligned plain text for the console and to Markdown for EXPERIMENTS.md.
+
+Reports also carry machine-readable payloads: ``records`` (flat dicts, one
+per sweep-runner :class:`~repro.eval.runner.RunRecord`) and ``metadata``
+(structured facts such as the Figure 1 region thresholds).  :meth:`Report.
+to_json` serialises everything deterministically (sorted keys, exact float
+``repr``), so two runs that computed the same numbers produce byte-identical
+files regardless of parallelism or caching; :meth:`Report.to_csv` emits the
+records as CSV rows (falling back to the tables when a report has none).
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 __all__ = ["Table", "Report", "format_value"]
@@ -68,11 +80,14 @@ class Table:
 
 @dataclass
 class Report:
-    """A titled collection of tables plus free-form notes."""
+    """A titled collection of tables plus free-form notes, structured
+    metadata and flat result records."""
 
     title: str
     tables: list[Table] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+    records: list[dict] = field(default_factory=list)
 
     def add_table(self, table: Table) -> "Report":
         self.tables.append(table)
@@ -80,6 +95,14 @@ class Report:
 
     def add_note(self, note: str) -> "Report":
         self.notes.append(note)
+        return self
+
+    def add_metadata(self, key: str, value) -> "Report":
+        self.metadata[key] = value
+        return self
+
+    def add_records(self, records: Iterable[dict]) -> "Report":
+        self.records.extend(records)
         return self
 
     def to_text(self) -> str:
@@ -98,3 +121,44 @@ class Report:
         if self.notes:
             parts.append("\n".join(f"- {note}" for note in self.notes))
         return "\n\n".join(parts)
+
+    def to_json(self, *, indent: int = 1) -> str:
+        """Deterministic JSON serialisation of the full report."""
+        payload = {
+            "title": self.title,
+            "tables": [
+                {"title": t.title, "columns": t.columns, "rows": t.rows}
+                for t in self.tables
+            ],
+            "notes": self.notes,
+            "metadata": self.metadata,
+            "records": self.records,
+        }
+        return json.dumps(payload, sort_keys=True, indent=indent)
+
+    def to_csv(self) -> str:
+        """CSV rows of the records (or of the tables for record-less
+        reports, prefixed with the table title)."""
+        out = io.StringIO()
+        if self.records:
+            fields: list[str] = []
+            for record in self.records:
+                for key in record:
+                    if key not in fields:
+                        fields.append(key)
+            writer = csv.DictWriter(out, fieldnames=fields, lineterminator="\n")
+            writer.writeheader()
+            for record in self.records:
+                writer.writerow(
+                    {
+                        k: json.dumps(v) if isinstance(v, (dict, list)) else v
+                        for k, v in record.items()
+                    }
+                )
+        else:
+            writer = csv.writer(out, lineterminator="\n")
+            for table in self.tables:
+                writer.writerow(["table"] + table.columns)
+                for row in table.rows:
+                    writer.writerow([table.title] + row)
+        return out.getvalue()

@@ -1,0 +1,551 @@
+"""Parallel, cached sweep runner for the paper's evaluation grids.
+
+The paper's evaluation is one large cross-product — models x GPUs x
+sparsities x kernels x vector sizes (Figures 1/2/6, Table 1, the Section 6.2
+headline) — and every scaling PR grows it further.  This module turns those
+sweeps into data:
+
+* :class:`SweepSpec` declares a grid and expands it into hashable
+  :class:`RunConfig` cells in a deterministic order;
+* :func:`execute_config` evaluates one cell on the analytical timing model
+  (it is a module-level pure function, so it pickles into worker processes);
+* :class:`SweepRunner` maps configs through a ``concurrent.futures`` process
+  pool with deterministic chunking — or through any injected executor, e.g.
+  :func:`serial_executor` for tests — and deduplicates identical cells;
+* :class:`ResultCache` persists finished :class:`RunRecord` results to disk
+  as JSON, keyed by a stable config hash salted with :data:`MODEL_VERSION`,
+  so re-running a sweep only computes the delta;
+* :class:`SweepResult` carries the records (in grid order) plus cache-hit
+  accounting, ready for JSON/CSV export via :class:`repro.eval.report.Report`.
+
+Records are bit-identical between the serial and parallel paths: every cell
+is a pure function of its :class:`RunConfig`, so the executor only decides
+*where* the float is computed, never its value.
+
+Bump :data:`MODEL_VERSION` whenever the timing model changes semantically;
+the salt flows into every cache key, so stale caches invalidate themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections.abc import Callable, Iterable, Mapping
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+__all__ = [
+    "MODEL_VERSION",
+    "CACHE_FILENAME",
+    "RunConfig",
+    "RunRecord",
+    "KernelSpec",
+    "SweepSpec",
+    "SweepResult",
+    "CacheStats",
+    "ResultCache",
+    "SweepRunner",
+    "execute_config",
+    "serial_executor",
+    "process_executor",
+]
+
+#: Version salt of the analytical timing model.  It participates in every
+#: cache key, so bumping it (whenever simulator / kernel timing semantics
+#: change) orphans all previously cached results instead of silently
+#: serving stale numbers.
+MODEL_VERSION = "timing-v2"
+
+#: File the :class:`ResultCache` keeps inside its cache directory.
+CACHE_FILENAME = "sweep-cache.json"
+
+
+def _freeze_kwargs(kwargs) -> tuple[tuple[str, object], ...]:
+    """Normalise kernel kwargs (mapping or pair-iterable) to a sorted tuple."""
+    if isinstance(kwargs, Mapping):
+        items = kwargs.items()
+    else:
+        items = tuple(kwargs)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One hashable cell of a sweep grid.
+
+    Exactly one of ``model`` (a :func:`repro.models.shapes.model_layers`
+    name) or ``gemm`` (an explicit ``(M, N, K)`` problem) identifies the
+    workload.  ``sparsity`` is the weight sparsity (0 for dense baselines),
+    ``kernel`` a :func:`repro.kernels.registry.make_kernel` name and
+    ``kernel_kwargs`` its constructor arguments (``vector_size``,
+    ``block_size``, ...) as a sorted tuple of pairs so insertion order never
+    leaks into equality or the cache key.  ``label`` is the display name used
+    in reports; it is cosmetic and excluded from equality and hashing.
+    """
+
+    kernel: str
+    gpu: str
+    sparsity: float
+    model: str | None = None
+    gemm: tuple[int, int, int] | None = None
+    kernel_kwargs: tuple[tuple[str, object], ...] = ()
+    label: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if (self.model is None) == (self.gemm is None):
+            raise ValueError("exactly one of model / gemm must be set")
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
+        if self.gemm is not None:
+            object.__setattr__(self, "gemm", tuple(int(v) for v in self.gemm))
+        object.__setattr__(self, "kernel_kwargs", _freeze_kwargs(self.kernel_kwargs))
+
+    @property
+    def density(self) -> float:
+        """Non-zero fraction of the weight matrix."""
+        return 1.0 - self.sparsity
+
+    @property
+    def display_label(self) -> str:
+        return self.label if self.label is not None else self.kernel
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-compatible form (used for hashing and export)."""
+        return {
+            "kernel": self.kernel,
+            "gpu": self.gpu,
+            "sparsity": self.sparsity,
+            "model": self.model,
+            "gemm": list(self.gemm) if self.gemm is not None else None,
+            "kernel_kwargs": dict(self.kernel_kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunConfig":
+        gemm = data.get("gemm")
+        return cls(
+            kernel=data["kernel"],
+            gpu=data["gpu"],
+            sparsity=data["sparsity"],
+            model=data.get("model"),
+            gemm=tuple(gemm) if gemm is not None else None,
+            kernel_kwargs=_freeze_kwargs(data.get("kernel_kwargs", {})),
+            label=data.get("label"),
+        )
+
+    def config_hash(self, *, salt: str = MODEL_VERSION) -> str:
+        """Stable hex digest of this config.
+
+        Built from the canonical JSON serialisation (sorted keys, exact float
+        ``repr``), not Python's per-process ``hash()``, so the same config
+        hashes identically across interpreter restarts, ``PYTHONHASHSEED``
+        values and kwargs insertion orders.
+        """
+        payload = json.dumps(
+            {"salt": salt, **self.to_dict()}, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Result of evaluating one :class:`RunConfig` on the timing model.
+
+    ``status`` is ``"ok"`` (with ``time_s`` set, plus ``bound`` for
+    single-GEMM cells) or ``"not-applicable"`` (with ``detail`` naming the
+    reason), mirroring the bars missing from the paper's figures.
+    """
+
+    config: RunConfig
+    status: str
+    time_s: float | None = None
+    bound: str | None = None
+    detail: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """Flat JSON/CSV-friendly form (one row per record)."""
+        return {
+            **self.config.to_dict(),
+            "label": self.config.display_label,
+            "status": self.status,
+            "time_s": self.time_s,
+            "bound": self.bound,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel line of a sweep: registry name, constructor kwargs, display
+    label and an optional per-kernel sparsity override (e.g. dense reference
+    curves that only run at sparsity 0)."""
+
+    name: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+    label: str | None = None
+    sparsities: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kwargs", _freeze_kwargs(self.kwargs))
+        if self.sparsities is not None:
+            object.__setattr__(self, "sparsities", tuple(self.sparsities))
+
+    @property
+    def display_label(self) -> str:
+        return self.label if self.label is not None else self.name
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative sweep grid.
+
+    ``models`` names workloads evaluated with :func:`repro.eval.speedup.
+    model_time` over their real layer shapes; alternatively ``gemm`` pins one
+    explicit ``(M, N, K)`` problem (the Figure 1 mode).  ``dense_baseline``
+    (a registry name, or ``None`` to disable) adds one sparsity-0 config per
+    (workload, GPU) so speedups can be formed without re-simulating the dense
+    reference per kernel cell.
+    """
+
+    kernels: tuple[KernelSpec, ...]
+    gpus: tuple[str, ...]
+    sparsities: tuple[float, ...]
+    models: tuple[str, ...] = ()
+    gemm: tuple[int, int, int] | None = None
+    dense_baseline: str | None = "dense"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernels", tuple(self.kernels))
+        object.__setattr__(self, "gpus", tuple(self.gpus))
+        object.__setattr__(self, "sparsities", tuple(self.sparsities))
+        object.__setattr__(self, "models", tuple(self.models))
+        if bool(self.models) == (self.gemm is not None):
+            raise ValueError("exactly one of models / gemm must be set")
+        if self.gemm is not None:
+            object.__setattr__(self, "gemm", tuple(int(v) for v in self.gemm))
+        if not self.kernels:
+            raise ValueError("a sweep needs at least one kernel")
+        if not self.gpus:
+            raise ValueError("a sweep needs at least one GPU")
+
+    def dense_config(self, model: str | None, gpu: str) -> RunConfig:
+        """The dense-baseline cell of one (workload, GPU) pair."""
+        if self.dense_baseline is None:
+            raise ValueError("this spec has no dense baseline")
+        return RunConfig(
+            kernel=self.dense_baseline,
+            gpu=gpu,
+            sparsity=0.0,
+            model=model,
+            gemm=self.gemm,
+            label=f"{self.dense_baseline} (baseline)",
+        )
+
+    def config(
+        self, kernel: KernelSpec, model: str | None, gpu: str, sparsity: float
+    ) -> RunConfig:
+        """The cell of one kernel line at one operating point."""
+        return RunConfig(
+            kernel=kernel.name,
+            gpu=gpu,
+            sparsity=sparsity,
+            model=model,
+            gemm=self.gemm,
+            kernel_kwargs=kernel.kwargs,
+            label=kernel.display_label,
+        )
+
+    def expand(self) -> list[RunConfig]:
+        """The full grid, workload-major, in a deterministic order."""
+        subjects: tuple[str | None, ...] = self.models if self.models else (None,)
+        configs: list[RunConfig] = []
+        for model in subjects:
+            for gpu in self.gpus:
+                if self.dense_baseline is not None:
+                    configs.append(self.dense_config(model, gpu))
+                for kernel in self.kernels:
+                    grid = (
+                        kernel.sparsities
+                        if kernel.sparsities is not None
+                        else self.sparsities
+                    )
+                    for sparsity in grid:
+                        configs.append(self.config(kernel, model, gpu, sparsity))
+        return configs
+
+
+def execute_config(config: RunConfig) -> RunRecord:
+    """Evaluate one grid cell on the analytical timing model.
+
+    Pure function of ``config`` (module-level, so it pickles into
+    ``ProcessPoolExecutor`` workers).  Kernel-inapplicability — wrong GPU,
+    fixed-density patterns, missing convolution support — is data, not an
+    exception: it returns a ``"not-applicable"`` record.
+    """
+    # Imported lazily: this module is the orchestration substrate the sweep
+    # modules build on, so importing them at the top would be circular.
+    from ..gpu.arch import get_gpu
+    from ..kernels.base import GEMMShape, KernelNotApplicableError
+    from ..kernels.registry import make_kernel
+    from ..models.shapes import model_layers
+    from .speedup import model_time
+
+    # Grid-setup errors — unknown GPU / kernel / model, malformed GEMM shape
+    # — must raise, not read as "not-applicable": they mean the *spec* is
+    # wrong, not that a kernel cannot run a cell.  Only the estimate itself
+    # is allowed to declare inapplicability.
+    arch = get_gpu(config.gpu)
+    kernel = make_kernel(config.kernel, **dict(config.kernel_kwargs))
+    supported = getattr(kernel, "supported_archs", None)
+    if supported is not None and arch.name not in supported:
+        return RunRecord(
+            config,
+            status="not-applicable",
+            detail=f"kernel {kernel.name!r} only runs on {', '.join(supported)}",
+        )
+    if config.gemm is not None:
+        shape = GEMMShape(*config.gemm)
+        try:
+            timing = kernel.estimate(arch, shape, config.density)
+        except (KernelNotApplicableError, ValueError) as exc:
+            return RunRecord(config, status="not-applicable", detail=str(exc))
+        return RunRecord(
+            config, status="ok", time_s=timing.total_time_s, bound=timing.bound
+        )
+    layers = model_layers(config.model)
+    try:
+        total = model_time(kernel, arch, layers, config.density)
+    except (KernelNotApplicableError, ValueError) as exc:
+        return RunRecord(config, status="not-applicable", detail=str(exc))
+    return RunRecord(config, status="ok", time_s=total)
+
+
+def serial_executor(configs: list[RunConfig], *, jobs: int | None = None) -> list[RunRecord]:
+    """Evaluate every config in-process, in order (the test executor)."""
+    return [execute_config(config) for config in configs]
+
+
+def _execute_chunk(configs: list[RunConfig]) -> list[RunRecord]:
+    return [execute_config(config) for config in configs]
+
+
+def process_executor(
+    configs: list[RunConfig], *, jobs: int | None = None
+) -> list[RunRecord]:
+    """Evaluate configs across a process pool with deterministic chunking.
+
+    Configs are strided round-robin over ``jobs`` contiguous worker chunks
+    (``configs[i::jobs]``), which both balances heavyweight workloads (the
+    convolution-heavy ResNet cells interleave with the cheap GEMM cells) and
+    is a pure function of the input order, so the reassembled record list is
+    identical to the serial one.
+    """
+    jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+    jobs = min(jobs, len(configs))
+    if jobs <= 1:
+        return serial_executor(configs)
+    chunks = [configs[i::jobs] for i in range(jobs)]
+    records: list[RunRecord | None] = [None] * len(configs)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for offset, chunk_records in zip(
+            range(jobs), pool.map(_execute_chunk, chunks)
+        ):
+            for index, record in zip(range(offset, len(configs), jobs), chunk_records):
+                records[index] = record
+    assert all(record is not None for record in records)
+    return records  # type: ignore[return-value]
+
+
+class ResultCache:
+    """Persistent on-disk JSON cache of :class:`RunRecord` results.
+
+    Keys are :meth:`RunConfig.config_hash` digests salted with the timing
+    :data:`MODEL_VERSION`, so a model bump reads as a cold cache rather than
+    as stale hits.  The store is one JSON file (:data:`CACHE_FILENAME`)
+    inside ``cache_dir``, loaded eagerly and written atomically on
+    :meth:`flush`; each entry keeps the canonical config dict next to the
+    result payload so the file is debuggable by eye.
+    """
+
+    def __init__(self, cache_dir: str | Path, *, salt: str = MODEL_VERSION) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.salt = salt
+        self.path = self.cache_dir / CACHE_FILENAME
+        self._dirty = False
+        self._entries: dict[str, dict] = {}
+        if self.path.exists():
+            try:
+                loaded = json.loads(self.path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                loaded = {}
+            if isinstance(loaded, dict):
+                self._entries = loaded
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, config: RunConfig) -> str:
+        return config.config_hash(salt=self.salt)
+
+    def get(self, config: RunConfig) -> RunRecord | None:
+        """Cached record for ``config``, re-bound to the caller's config
+        instance (which may carry a different cosmetic label)."""
+        entry = self._entries.get(self.key(config))
+        # The file is hand-debuggable JSON: a structurally malformed entry
+        # (wrong type, missing status) reads as a miss, not a crash.
+        if not isinstance(entry, dict) or "status" not in entry:
+            return None
+        return RunRecord(
+            config=config,
+            status=entry["status"],
+            time_s=entry.get("time_s"),
+            bound=entry.get("bound"),
+            detail=entry.get("detail"),
+        )
+
+    def put(self, config: RunConfig, record: RunRecord) -> None:
+        self._entries[self.key(config)] = {
+            "config": config.to_dict(),
+            "status": record.status,
+            "time_s": record.time_s,
+            "bound": record.bound,
+            "detail": record.detail,
+        }
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Write the store atomically (write-temp + rename)."""
+        if not self._dirty:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(self._entries, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        tmp.replace(self.path)
+        self._dirty = False
+
+
+@dataclass
+class CacheStats:
+    """Cache accounting accumulated across a runner's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`SweepRunner.run`: records in grid order plus
+    cache accounting."""
+
+    spec: SweepSpec
+    records: list[RunRecord]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def by_config(self) -> dict[RunConfig, RunRecord]:
+        """Lookup table from config to record (labels ignored, like equality)."""
+        return {record.config: record for record in self.records}
+
+    def record_dicts(self) -> list[dict]:
+        return [record.to_dict() for record in self.records]
+
+
+class SweepRunner:
+    """Executes :class:`SweepSpec` grids with caching and parallelism.
+
+    ``jobs`` > 1 selects the process-pool executor (serial otherwise);
+    ``executor`` injects a custom one (tests pass :func:`serial_executor`).
+    ``cache_dir`` enables the persistent :class:`ResultCache`.  The runner
+    deduplicates identical cells within a grid, so a config appearing twice
+    is computed once.  ``stats`` accumulates hit/miss counts across every
+    ``run`` call on this runner.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int | None = None,
+        cache_dir: str | Path | None = None,
+        executor: Callable[..., list[RunRecord]] | None = None,
+        salt: str = MODEL_VERSION,
+    ) -> None:
+        self.jobs = jobs
+        self.cache = (
+            ResultCache(cache_dir, salt=salt) if cache_dir is not None else None
+        )
+        if executor is None:
+            executor = process_executor if (jobs or 0) > 1 else serial_executor
+        self._executor = executor
+        self.stats = CacheStats()
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        start = time.monotonic()
+        configs = spec.expand()
+        digests = [config.config_hash() for config in configs]
+        unique: dict[str, RunConfig] = {}
+        for digest, config in zip(digests, configs):
+            unique.setdefault(digest, config)
+
+        hits = 0
+        resolved: dict[str, RunRecord] = {}
+        pending: list[tuple[str, RunConfig]] = []
+        for digest, config in unique.items():
+            cached = self.cache.get(config) if self.cache is not None else None
+            if cached is not None:
+                resolved[digest] = cached
+                hits += 1
+            else:
+                pending.append((digest, config))
+
+        if pending:
+            computed = self._executor([c for _, c in pending], jobs=self.jobs)
+            for (digest, config), record in zip(pending, computed, strict=True):
+                resolved[digest] = record
+                if self.cache is not None:
+                    self.cache.put(config, record)
+            if self.cache is not None:
+                self.cache.flush()
+
+        misses = len(pending)
+        self.stats.hits += hits
+        self.stats.misses += misses
+        # Re-bind each record to the requesting config so cosmetic labels
+        # survive both deduplication and cache round-trips.
+        records = [
+            replace(resolved[digest], config=config)
+            for digest, config in zip(digests, configs)
+        ]
+        return SweepResult(
+            spec=spec,
+            records=records,
+            cache_hits=hits,
+            cache_misses=misses,
+            elapsed_s=time.monotonic() - start,
+        )
+
+    def run_configs(self, configs: Iterable[RunConfig]) -> list[RunRecord]:
+        """Evaluate an explicit config list (no spec), without caching."""
+        return self._executor(list(configs), jobs=self.jobs)

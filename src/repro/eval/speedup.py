@@ -11,8 +11,13 @@ from dataclasses import dataclass
 
 from ..gpu.arch import GPUArch, get_gpu
 from ..kernels.base import GEMMShape, KernelNotApplicableError, SpMMKernel
-from ..kernels.registry import make_kernel, paper_baselines
+from ..kernels.registry import (
+    DENSE_BASELINE_LABEL,
+    make_kernel,
+    paper_baseline_specs,
+)
 from ..models.shapes import LayerShape, model_layers
+from .runner import KernelSpec, SweepResult, SweepRunner, SweepSpec
 
 __all__ = [
     "SpeedupPoint",
@@ -22,15 +27,24 @@ __all__ = [
     "model_speedup",
     "spmm_throughput_sweep",
     "figure6_sweep",
+    "figure6_spec",
+    "collate_figure6",
+    "figure1_spec",
+    "collate_figure1",
     "headline_speedups",
+    "headline_spec",
+    "collate_headline",
     "PAPER_SPARSITIES",
     "PAPER_GPUS",
+    "FIGURE1_DENSITIES",
 ]
 
 #: The sparsity grid of Figure 6.
 PAPER_SPARSITIES = (0.50, 0.75, 0.85, 0.95)
 #: The GPUs of the evaluation (Section 6.1).
 PAPER_GPUS = ("V100", "T4", "A100")
+#: The density grid of Figure 1.
+FIGURE1_DENSITIES = (0.02, 0.05, 0.10, 0.15, 0.25, 0.35, 0.50)
 
 
 @dataclass(frozen=True)
@@ -122,31 +136,43 @@ def model_speedup(
     )
 
 
-def spmm_throughput_sweep(
+def figure1_spec(
     gpu: str = "V100",
     *,
     m: int = 2048,
     n: int = 128,
     k: int = 2048,
-    densities: tuple[float, ...] = (0.02, 0.05, 0.10, 0.15, 0.25, 0.35, 0.50),
+    densities: tuple[float, ...] = FIGURE1_DENSITIES,
     vector_size: int = 64,
+) -> SweepSpec:
+    """The Figure 1 grid: four curves over one GEMM shape on one GPU."""
+    kernels = (
+        KernelSpec("dense-cudacore", label="Cuda-Core", sparsities=(0.0,)),
+        KernelSpec("sputnik", label="Cuda-Core Sparse"),
+        KernelSpec(
+            "shfl-bw",
+            kwargs={"vector_size": vector_size},
+            label="Tensor-Core Sparse (Ours)",
+        ),
+    )
+    return SweepSpec(
+        kernels=kernels,
+        gpus=(gpu,),
+        sparsities=tuple(1.0 - d for d in densities),
+        gemm=(m, n, k),
+    )
+
+
+def collate_figure1(
+    result: SweepResult, densities: tuple[float, ...]
 ) -> dict[str, dict[float, float]]:
-    """Figure 1: SpMM throughput vs density, normalised to CUDA-core dense.
-
-    Returns ``{curve_name: {density: normalised_throughput}}`` with the four
-    curves of the figure: tensor-core dense, CUDA-core dense, CUDA-core
-    sparse (Sputnik) and tensor-core sparse (Shfl-BW, ours).
-    """
-    arch = get_gpu(gpu)
-    shape = GEMMShape(m=m, n=n, k=k)
-    dense_tc = make_kernel("dense")
-    dense_cc = make_kernel("dense-cudacore")
-    sparse_cc = make_kernel("sputnik")
-    sparse_tc = make_kernel("shfl-bw", vector_size=vector_size)
-
-    cc_time = kernel_time(dense_cc, arch, shape, 1.0)
-    tc_time = kernel_time(dense_tc, arch, shape, 1.0)
-
+    """Fold Figure 1 records back into ``{curve: {density: throughput}}``."""
+    spec = result.spec
+    lookup = result.by_config()
+    (gpu,) = spec.gpus
+    cc_spec, sputnik_spec, shflbw_spec = spec.kernels
+    cc_time = lookup[spec.config(cc_spec, None, gpu, 0.0)].time_s
+    tc_time = lookup[spec.dense_config(None, gpu)].time_s
     curves: dict[str, dict[float, float]] = {
         "Cuda-Core": {d: 1.0 for d in densities},
         "Tensor-Core": {d: cc_time / tc_time for d in densities},
@@ -154,13 +180,79 @@ def spmm_throughput_sweep(
         "Tensor-Core Sparse (Ours)": {},
     }
     for density in densities:
-        curves["Cuda-Core Sparse"][density] = cc_time / kernel_time(
-            sparse_cc, arch, shape, density
-        )
-        curves["Tensor-Core Sparse (Ours)"][density] = cc_time / kernel_time(
-            sparse_tc, arch, shape, density
-        )
+        sparsity = 1.0 - density
+        cc_sparse = lookup[spec.config(sputnik_spec, None, gpu, sparsity)]
+        tc_sparse = lookup[spec.config(shflbw_spec, None, gpu, sparsity)]
+        curves["Cuda-Core Sparse"][density] = cc_time / cc_sparse.time_s
+        curves["Tensor-Core Sparse (Ours)"][density] = cc_time / tc_sparse.time_s
     return curves
+
+
+def spmm_throughput_sweep(
+    gpu: str = "V100",
+    *,
+    m: int = 2048,
+    n: int = 128,
+    k: int = 2048,
+    densities: tuple[float, ...] = FIGURE1_DENSITIES,
+    vector_size: int = 64,
+    runner: SweepRunner | None = None,
+) -> dict[str, dict[float, float]]:
+    """Figure 1: SpMM throughput vs density, normalised to CUDA-core dense.
+
+    Returns ``{curve_name: {density: normalised_throughput}}`` with the four
+    curves of the figure: tensor-core dense, CUDA-core dense, CUDA-core
+    sparse (Sputnik) and tensor-core sparse (Shfl-BW, ours).
+    """
+    spec = figure1_spec(
+        gpu, m=m, n=n, k=k, densities=densities, vector_size=vector_size
+    )
+    result = (runner or SweepRunner()).run(spec)
+    return collate_figure1(result, tuple(densities))
+
+
+def figure6_spec(
+    models: tuple[str, ...] = ("transformer", "gnmt", "resnet50"),
+    gpus: tuple[str, ...] = PAPER_GPUS,
+    sparsities: tuple[float, ...] = PAPER_SPARSITIES,
+    vector_sizes: tuple[int, ...] = (32, 64),
+) -> SweepSpec:
+    """The Figure 6 grid: the paper's kernel line-up over models x GPUs x
+    sparsities, plus one dense-baseline cell per (model, GPU)."""
+    kernels = tuple(
+        KernelSpec(name=name, kwargs=kwargs, label=label)
+        for label, (name, kwargs) in paper_baseline_specs(tuple(vector_sizes)).items()
+        if label != DENSE_BASELINE_LABEL
+    )
+    return SweepSpec(
+        kernels=kernels,
+        gpus=tuple(gpus),
+        sparsities=tuple(sparsities),
+        models=tuple(models),
+    )
+
+
+def collate_figure6(
+    result: SweepResult,
+) -> dict[tuple[str, str], dict[str, dict[float, float | None]]]:
+    """Fold Figure 6 records back into the nested speedup dict."""
+    spec = result.spec
+    lookup = result.by_config()
+    results: dict[tuple[str, str], dict[str, dict[float, float | None]]] = {}
+    for model in spec.models:
+        for gpu in spec.gpus:
+            dense_time = lookup[spec.dense_config(model, gpu)].time_s
+            per_kernel: dict[str, dict[float, float | None]] = {}
+            for kernel in spec.kernels:
+                by_sparsity: dict[float, float | None] = {}
+                for sparsity in spec.sparsities:
+                    record = lookup[spec.config(kernel, model, gpu, sparsity)]
+                    by_sparsity[sparsity] = (
+                        dense_time / record.time_s if record.ok else None
+                    )
+                per_kernel[kernel.display_label] = by_sparsity
+            results[(model, gpu)] = per_kernel
+    return results
 
 
 def figure6_sweep(
@@ -168,6 +260,8 @@ def figure6_sweep(
     gpus: tuple[str, ...] = PAPER_GPUS,
     sparsities: tuple[float, ...] = PAPER_SPARSITIES,
     vector_sizes: tuple[int, ...] = (32, 64),
+    *,
+    runner: SweepRunner | None = None,
 ) -> dict[tuple[str, str], dict[str, dict[float, float | None]]]:
     """Figure 6: speedup over the dense baseline for every kernel line-up.
 
@@ -176,46 +270,53 @@ def figure6_sweep(
     missing convolution support) report ``None``, matching the bars missing
     from the paper's figure.
     """
-    dense_kernel = make_kernel("dense")
-    # The line-up is identical for every (model, gpu) cell; build it once.
-    kernel_lineup = paper_baselines(vector_sizes)
-    results: dict[tuple[str, str], dict[str, dict[float, float | None]]] = {}
-    for model in models:
-        layers = model_layers(model)
-        for gpu in gpus:
-            arch = get_gpu(gpu)
-            # The dense baseline depends only on (model, gpu): simulate it
-            # once instead of once per kernel x sparsity cell.
-            dense_time = model_time(dense_kernel, arch, layers, 1.0)
-            per_kernel: dict[str, dict[float, float | None]] = {}
-            for label, kernel in kernel_lineup.items():
-                if label == "Dense (tensor-core)":
-                    continue
-                supported = getattr(kernel, "supported_archs", None)
-                per_kernel[label] = {}
-                for sparsity in sparsities:
-                    if supported is not None and arch.name not in supported:
-                        per_kernel[label][sparsity] = None
-                        continue
-                    point = model_speedup(
-                        kernel, dense_kernel, arch, layers, sparsity, dense_time=dense_time
-                    )
-                    per_kernel[label][sparsity] = None if point is None else point.speedup
-            results[(model, gpu)] = per_kernel
-    return results
+    spec = figure6_spec(models, gpus, sparsities, vector_sizes)
+    result = (runner or SweepRunner()).run(spec)
+    return collate_figure6(result)
+
+
+def headline_spec(
+    sparsity: float = 0.75, vector_size: int = 64, model: str = "transformer"
+) -> SweepSpec:
+    """The Section 6.2 headline grid: Shfl-BW on one model across the GPUs."""
+    return SweepSpec(
+        kernels=(
+            KernelSpec(
+                "shfl-bw",
+                kwargs={"vector_size": vector_size},
+                label=f"Shfl-BW,V={vector_size}",
+            ),
+        ),
+        gpus=PAPER_GPUS,
+        sparsities=(sparsity,),
+        models=(model,),
+    )
+
+
+def collate_headline(result: SweepResult) -> dict[str, float]:
+    """Fold headline records into ``{gpu: speedup}``."""
+    spec = result.spec
+    lookup = result.by_config()
+    (model,) = spec.models
+    (kernel,) = spec.kernels
+    (sparsity,) = spec.sparsities
+    out: dict[str, float] = {}
+    for gpu in spec.gpus:
+        dense_time = lookup[spec.dense_config(model, gpu)].time_s
+        record = lookup[spec.config(kernel, model, gpu, sparsity)]
+        out[gpu] = dense_time / record.time_s if record.ok else float("nan")
+    return out
 
 
 def headline_speedups(
-    sparsity: float = 0.75, vector_size: int = 64, model: str = "transformer"
+    sparsity: float = 0.75,
+    vector_size: int = 64,
+    model: str = "transformer",
+    *,
+    runner: SweepRunner | None = None,
 ) -> dict[str, float]:
     """Section 6.2 headline: Shfl-BW speedup on the Transformer GEMM layers at
     75 % sparsity on each GPU (paper: 1.81x / 4.18x / 1.90x)."""
-    layers = model_layers(model)
-    dense_kernel = make_kernel("dense")
-    kernel = make_kernel("shfl-bw", vector_size=vector_size)
-    out: dict[str, float] = {}
-    for gpu in PAPER_GPUS:
-        arch = get_gpu(gpu)
-        point = model_speedup(kernel, dense_kernel, arch, layers, sparsity)
-        out[gpu] = point.speedup if point is not None else float("nan")
-    return out
+    spec = headline_spec(sparsity, vector_size, model)
+    result = (runner or SweepRunner()).run(spec)
+    return collate_headline(result)

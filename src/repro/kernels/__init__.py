@@ -11,7 +11,14 @@ from .base import (
 from .cusparse_bsr import CusparseBSRKernel
 from .cusparselt import CusparseLtKernel
 from .dense_gemm import DenseCudaCoreGEMM, DenseTensorCoreGEMM
-from .registry import available_kernels, make_kernel, paper_baselines, register_kernel
+from .registry import (
+    DENSE_BASELINE_LABEL,
+    available_kernels,
+    make_kernel,
+    paper_baseline_specs,
+    paper_baselines,
+    register_kernel,
+)
 from .shflbw import ShflBWConvKernel, ShflBWKernel
 from .sputnik import CusparseCSRKernel, SputnikKernel, unstructured_union_fraction
 from .tilewise import TileWiseKernel
@@ -30,6 +37,8 @@ __all__ = [
     "available_kernels",
     "make_kernel",
     "paper_baselines",
+    "paper_baseline_specs",
+    "DENSE_BASELINE_LABEL",
     "register_kernel",
     "ShflBWConvKernel",
     "ShflBWKernel",

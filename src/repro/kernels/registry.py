@@ -18,7 +18,17 @@ from .tilewise import TileWiseKernel
 from .vector_wise import VectorWiseKernel
 from .vectorsparse import VectorSparseKernel
 
-__all__ = ["available_kernels", "make_kernel", "register_kernel", "paper_baselines"]
+__all__ = [
+    "available_kernels",
+    "make_kernel",
+    "register_kernel",
+    "paper_baselines",
+    "paper_baseline_specs",
+    "DENSE_BASELINE_LABEL",
+]
+
+#: Figure 6 legend label of the dense reference every speedup is against.
+DENSE_BASELINE_LABEL = "Dense (tensor-core)"
 
 
 _FACTORIES: dict[str, Callable[..., SpMMKernel]] = {
@@ -64,22 +74,37 @@ def register_kernel(name: str, factory: Callable[..., SpMMKernel], *, overwrite:
     _FACTORIES[key] = factory
 
 
+def paper_baseline_specs(
+    vector_sizes: tuple[int, ...] = (32, 64),
+) -> dict[str, tuple[str, dict]]:
+    """The Figure 6 kernel line-up as declarative ``(name, kwargs)`` specs.
+
+    Keyed by the figure's legend labels; this is the form the sweep runner
+    consumes (a registry name plus constructor kwargs is hashable and
+    picklable, a kernel instance is neither canonically).
+    """
+    specs: dict[str, tuple[str, dict]] = {
+        DENSE_BASELINE_LABEL: ("dense", {}),
+        "Unstructured cuSPARSE": ("cusparse-csr", {}),
+        "Unstructured (Sputnik)": ("sputnik", {}),
+        "VectorSparse (VW,V=8)": ("vectorsparse", {}),
+        "TileWise (VW,V=128)": ("tilewise", {}),
+        "Balanced 2in4": ("cusparselt", {}),
+    }
+    for v in vector_sizes:
+        specs[f"BW,V={v}"] = ("cusparse-bsr", {"block_size": v})
+        specs[f"VW,V={v}"] = ("vector-wise", {"vector_size": v})
+        specs[f"Shfl-BW,V={v}"] = ("shfl-bw", {"vector_size": v})
+    return specs
+
+
 def paper_baselines(vector_sizes: tuple[int, ...] = (32, 64)) -> dict[str, SpMMKernel]:
     """The full kernel line-up of Figure 6, keyed by the figure's labels.
 
     Includes the dense baseline, every baseline sparse kernel and our
     vector-wise / Shfl-BW kernels at the requested vector sizes.
     """
-    kernels: dict[str, SpMMKernel] = {
-        "Dense (tensor-core)": DenseTensorCoreGEMM(),
-        "Unstructured cuSPARSE": CusparseCSRKernel(),
-        "Unstructured (Sputnik)": SputnikKernel(),
-        "VectorSparse (VW,V=8)": VectorSparseKernel(),
-        "TileWise (VW,V=128)": TileWiseKernel(),
-        "Balanced 2in4": CusparseLtKernel(),
+    return {
+        label: make_kernel(name, **kwargs)
+        for label, (name, kwargs) in paper_baseline_specs(vector_sizes).items()
     }
-    for v in vector_sizes:
-        kernels[f"BW,V={v}"] = CusparseBSRKernel(block_size=v)
-        kernels[f"VW,V={v}"] = VectorWiseKernel(vector_size=v)
-        kernels[f"Shfl-BW,V={v}"] = ShflBWKernel(vector_size=v)
-    return kernels

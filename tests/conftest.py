@@ -8,6 +8,24 @@ import pytest
 from repro.core.pruning import prune_shflbw
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate the golden timing fixtures (tests/gpu/goldens/) from "
+            "the current timing model instead of asserting against them"
+        ),
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should rewrite golden fixtures instead of comparing."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for tests."""

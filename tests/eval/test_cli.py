@@ -1,0 +1,149 @@
+"""Smoke tests for the ``python -m repro.eval`` command line: listing,
+markdown, the sweep-runner flags (--jobs / --cache-dir / --json / --csv) and
+the unknown-experiment error path."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.eval.__main__ import main
+
+
+class TestListing:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure1", "figure6", "headline", "table1"):
+            assert name in out
+
+    def test_no_argument_lists(self, capsys):
+        assert main([]) == 0
+        assert "analysis" in capsys.readouterr().out
+
+    def test_markdown(self, capsys):
+        assert main(["analysis", "--markdown"]) == 0
+        assert "##" in capsys.readouterr().out
+
+
+class TestUnknownExperiment:
+    def test_exit_code_and_message(self, capsys):
+        assert main(["figure99"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment 'figure99'" in captured.err
+        assert "figure6" in captured.err  # the available list is shown
+        assert captured.out == ""  # nothing half-rendered on stdout
+
+
+class TestSweepFlags:
+    def test_headline_json_and_csv_export(self, tmp_path, capsys):
+        json_out = tmp_path / "out.json"
+        csv_out = tmp_path / "out.csv"
+        assert (
+            main(
+                [
+                    "headline",
+                    "--jobs",
+                    "1",
+                    "--json",
+                    str(json_out),
+                    "--csv",
+                    str(csv_out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(json_out.read_text())
+        assert payload["title"].startswith("Section 6.2")
+        assert payload["records"], "sweep records must be exported"
+        statuses = {r["status"] for r in payload["records"]}
+        assert statuses == {"ok"}
+        rows = list(csv.DictReader(io.StringIO(csv_out.read_text())))
+        assert len(rows) == len(payload["records"])
+        assert {"kernel", "gpu", "sparsity", "status", "time_s"} <= set(rows[0])
+        out = capsys.readouterr().out
+        assert "wrote JSON report" in out
+        assert "wrote CSV records" in out
+
+    def test_parallel_json_is_byte_identical_to_serial(self, tmp_path):
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        args = ["figure1", "--json"]
+        assert main(args + [str(serial_out)]) == 0
+        assert main(args + [str(parallel_out), "--jobs", "2"]) == 0
+        assert serial_out.read_bytes() == parallel_out.read_bytes()
+
+    def test_cache_dir_reports_hits_on_second_run(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["headline", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0% hit rate" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "100% hit rate" in second
+        assert "0 misses" in second
+
+    def test_runner_flags_warn_for_non_sweep_experiments(self, capsys):
+        assert main(["analysis", "--jobs", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "--jobs/--cache-dir only apply" in captured.err
+
+
+class TestReportExports:
+    def test_json_is_deterministic(self, capsys):
+        from repro.eval.experiments import run_experiment
+
+        a = run_experiment("headline").to_json()
+        b = run_experiment("headline").to_json()
+        assert a == b
+
+    def test_csv_falls_back_to_tables(self):
+        from repro.eval.report import Report, Table
+
+        report = Report("t").add_table(
+            Table("numbers", ["a", "b"]).add_row(1, 2).add_row(3, 4)
+        )
+        rows = report.to_csv().splitlines()
+        assert rows[0] == "table,a,b"
+        assert rows[1] == "numbers,1,2"
+
+
+class TestFigure1Regions:
+    """Satellite: the region notes are exposed as structured data and the
+    three boundaries behave as the paper describes."""
+
+    @pytest.fixture(scope="class")
+    def regions(self):
+        from repro.eval.experiments import run_experiment
+
+        return run_experiment("figure1").metadata["regions"]
+
+    def test_three_regions_with_paper_thresholds(self, regions):
+        assert set(regions) == {"A", "B", "C"}
+        assert regions["A"]["paper_threshold_sparsity"] == 0.65
+        assert regions["B"]["paper_threshold_sparsity"] == 0.95
+        assert regions["C"]["paper_threshold_sparsity"] == 0.90
+
+    def test_region_ordering(self, regions):
+        """Region B needs strictly more sparsity than region A (a tensor-core
+        dense baseline is harder to beat), and region C — ours — starts well
+        below both: the paper's central claim."""
+        a = regions["A"]["threshold_sparsity"]
+        b = regions["B"]["threshold_sparsity"]
+        c = regions["C"]["threshold_sparsity"]
+        assert a is not None and b is not None and c is not None
+        assert c < a < b
+
+    def test_region_c_well_below_paper_bound(self, regions):
+        assert regions["C"]["threshold_sparsity"] < 0.90
+
+    def test_boundaries_lie_on_the_swept_grid(self, regions):
+        from repro.eval.speedup import FIGURE1_DENSITIES
+
+        grid = {1 - d for d in FIGURE1_DENSITIES}
+        for region in regions.values():
+            assert region["threshold_sparsity"] in grid

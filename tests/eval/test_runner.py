@@ -1,0 +1,327 @@
+"""Tests for the sweep runner: cache-key stability (including across process
+restarts and dict orderings), cache hit/miss accounting, and serial-vs-
+parallel executor equivalence."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.runner import (
+    CACHE_FILENAME,
+    KernelSpec,
+    ResultCache,
+    RunConfig,
+    RunRecord,
+    SweepRunner,
+    SweepSpec,
+    execute_config,
+    process_executor,
+    serial_executor,
+)
+from repro.eval.speedup import figure1_spec, headline_spec
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+
+def small_spec() -> SweepSpec:
+    """A fast grid: 2 kernels x 1 GPU x 3 sparsities on one GEMM shape."""
+    return SweepSpec(
+        kernels=(
+            KernelSpec("sputnik", label="sputnik"),
+            KernelSpec("shfl-bw", kwargs={"vector_size": 32}, label="Shfl-BW,V=32"),
+        ),
+        gpus=("V100",),
+        sparsities=(0.5, 0.75, 0.9),
+        gemm=(256, 64, 256),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# RunConfig hashing
+# --------------------------------------------------------------------------- #
+kwarg_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+    st.text(alphabet="abcxyz", max_size=6),
+)
+kwarg_dicts = st.dictionaries(
+    st.sampled_from(["vector_size", "block_size", "alpha", "mode"]),
+    kwarg_values,
+    max_size=4,
+)
+
+
+class TestConfigHash:
+    @given(kwargs=kwarg_dicts, seed=st.randoms())
+    def test_hash_independent_of_kwargs_ordering(self, kwargs, seed):
+        items = list(kwargs.items())
+        shuffled = items[:]
+        seed.shuffle(shuffled)
+        a = RunConfig("k", "V100", 0.5, model="transformer", kernel_kwargs=tuple(items))
+        b = RunConfig("k", "V100", 0.5, model="transformer", kernel_kwargs=tuple(shuffled))
+        assert a == b
+        assert a.config_hash() == b.config_hash()
+
+    @given(
+        kernel=st.sampled_from(["shfl-bw", "sputnik", "dense"]),
+        gpu=st.sampled_from(["V100", "T4", "A100"]),
+        sparsity=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+        kwargs=kwarg_dicts,
+    )
+    @settings(max_examples=50)
+    def test_dict_round_trip_preserves_identity(self, kernel, gpu, sparsity, kwargs):
+        config = RunConfig(
+            kernel, gpu, sparsity, model="gnmt", kernel_kwargs=tuple(kwargs.items())
+        )
+        # Through JSON (the cache's serialisation) and back.
+        restored = RunConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+        assert restored.config_hash() == config.config_hash()
+
+    def test_hash_stable_across_process_restarts(self):
+        """The digest must not depend on interpreter state: a fresh process
+        with a different PYTHONHASHSEED computes the same hash."""
+        config = RunConfig(
+            "shfl-bw",
+            "A100",
+            0.75,
+            model="transformer",
+            kernel_kwargs=(("vector_size", 64),),
+        )
+        code = (
+            "from repro.eval.runner import RunConfig\n"
+            "c = RunConfig('shfl-bw', 'A100', 0.75, model='transformer',"
+            " kernel_kwargs=(('vector_size', 64),))\n"
+            "print(c.config_hash())"
+        )
+        for hashseed in ("0", "424242"):
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                env={"PYTHONPATH": str(SRC_DIR), "PYTHONHASHSEED": hashseed},
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            assert out.stdout.strip() == config.config_hash()
+
+    def test_salt_changes_the_key(self):
+        config = RunConfig("dense", "V100", 0.0, model="transformer")
+        assert config.config_hash(salt="timing-v1") != config.config_hash(
+            salt="timing-v2"
+        )
+
+    def test_label_is_cosmetic(self):
+        a = RunConfig("dense", "V100", 0.0, model="transformer", label="x")
+        b = RunConfig("dense", "V100", 0.0, model="transformer", label="y")
+        assert a == b
+        assert a.config_hash() == b.config_hash()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunConfig("dense", "V100", 0.0)  # neither model nor gemm
+        with pytest.raises(ValueError):
+            RunConfig("dense", "V100", 0.0, model="transformer", gemm=(1, 1, 1))
+        with pytest.raises(ValueError):
+            RunConfig("dense", "V100", 1.0, model="transformer")  # sparsity = 1
+
+
+class TestSweepSpec:
+    def test_expand_is_deterministic(self):
+        spec = small_spec()
+        assert spec.expand() == spec.expand()
+
+    def test_expand_includes_dense_baseline_per_cell(self):
+        spec = headline_spec()
+        configs = spec.expand()
+        dense = [c for c in configs if c.kernel == "dense"]
+        assert len(dense) == len(spec.gpus)
+        assert all(c.sparsity == 0.0 for c in dense)
+
+    def test_per_kernel_sparsity_override(self):
+        spec = figure1_spec(densities=(0.1, 0.5))
+        configs = spec.expand()
+        cc_dense = [c for c in configs if c.kernel == "dense-cudacore"]
+        assert [c.sparsity for c in cc_dense] == [0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(kernels=(), gpus=("V100",), sparsities=(0.5,), gemm=(8, 8, 8))
+        with pytest.raises(ValueError):
+            SweepSpec(
+                kernels=(KernelSpec("dense"),),
+                gpus=("V100",),
+                sparsities=(0.5,),
+                models=("transformer",),
+                gemm=(8, 8, 8),
+            )
+
+
+class TestExecuteConfig:
+    def test_grid_setup_errors_raise(self):
+        """Spec mistakes (unknown model / kernel) must raise, not silently
+        read as 'not-applicable' cells."""
+        with pytest.raises(ValueError):
+            execute_config(RunConfig("dense", "V100", 0.0, model="resnet-50x"))
+        with pytest.raises(KeyError):
+            execute_config(RunConfig("no-such-kernel", "V100", 0.0, model="gnmt"))
+
+    def test_not_applicable_is_data_not_exception(self):
+        record = execute_config(
+            RunConfig("cusparselt", "V100", 0.75, model="transformer")
+        )
+        assert record.status == "not-applicable"
+        assert record.time_s is None
+        assert record.detail
+
+    def test_unsupported_arch_is_not_applicable(self):
+        record = execute_config(RunConfig("tilewise", "T4", 0.75, model="transformer"))
+        assert record.status == "not-applicable"
+        assert "V100" in record.detail
+
+    def test_gemm_cell_reports_bound(self):
+        record = execute_config(
+            RunConfig("shfl-bw", "V100", 0.75, gemm=(256, 64, 256),
+                      kernel_kwargs=(("vector_size", 32),))
+        )
+        assert record.ok
+        assert record.time_s > 0
+        assert record.bound in ("compute", "memory", "meta")
+
+
+class TestExecutors:
+    def test_serial_and_parallel_records_identical(self):
+        configs = small_spec().expand()
+        serial = serial_executor(configs)
+        parallel = process_executor(configs, jobs=2)
+        assert parallel == serial  # same floats, same order, same configs
+
+    def test_runner_with_injected_serial_matches_process_pool(self):
+        spec = small_spec()
+        injected = SweepRunner(executor=serial_executor).run(spec)
+        pooled = SweepRunner(jobs=2).run(spec)
+        assert injected.records == pooled.records
+
+    def test_jobs_one_falls_back_to_serial(self):
+        configs = small_spec().expand()
+        assert process_executor(configs, jobs=1) == serial_executor(configs)
+
+
+class TestResultCache:
+    def test_hit_miss_accounting(self, tmp_path):
+        spec = small_spec()
+        runner = SweepRunner(cache_dir=tmp_path)
+        cold = runner.run(spec)
+        n_unique = len({c.config_hash() for c in spec.expand()})
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == n_unique
+        warm = runner.run(spec)
+        assert warm.cache_hits == n_unique
+        assert warm.cache_misses == 0
+        assert warm.hit_rate == 1.0
+        assert warm.records == cold.records
+        assert runner.stats.hits == n_unique
+        assert runner.stats.misses == n_unique
+
+    def test_cache_survives_restart(self, tmp_path):
+        spec = small_spec()
+        cold = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert (tmp_path / CACHE_FILENAME).exists()
+        # A brand-new runner (fresh process in real life) reads the same file.
+        warm = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert warm.hit_rate == 1.0
+        assert warm.records == cold.records
+
+    def test_salt_invalidates(self, tmp_path):
+        spec = small_spec()
+        SweepRunner(cache_dir=tmp_path, salt="timing-v1").run(spec)
+        bumped = SweepRunner(cache_dir=tmp_path, salt="timing-v2").run(spec)
+        assert bumped.cache_hits == 0
+
+    def test_corrupt_cache_file_reads_as_cold(self, tmp_path):
+        (tmp_path / CACHE_FILENAME).write_text("{not json")
+        spec = small_spec()
+        result = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert result.cache_hits == 0
+        assert all(r.ok or r.detail for r in result.records)
+
+    def test_malformed_cache_entry_reads_as_miss(self, tmp_path):
+        """A hand-edited entry (valid JSON file, broken value) must not
+        crash the sweep — it recomputes that cell."""
+        spec = small_spec()
+        cold = SweepRunner(cache_dir=tmp_path).run(spec)
+        path = tmp_path / CACHE_FILENAME
+        entries = json.loads(path.read_text())
+        victim = next(iter(entries))
+        entries[victim] = "oops"
+        entries[next(k for k in entries if k != victim)] = {"config": {}}
+        path.write_text(json.dumps(entries))
+        warm = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert warm.cache_misses == 2
+        assert warm.records == cold.records
+
+    def test_cached_record_rebinds_requesting_label(self, tmp_path):
+        config = RunConfig("dense", "V100", 0.0, model="transformer", label="first")
+        cache = ResultCache(tmp_path)
+        cache.put(config, execute_config(config))
+        cache.flush()
+        relabelled = RunConfig(
+            "dense", "V100", 0.0, model="transformer", label="second"
+        )
+        restored = ResultCache(tmp_path).get(relabelled)
+        assert restored is not None
+        assert restored.config.label == "second"
+
+    def test_not_applicable_results_are_cached_too(self, tmp_path):
+        config = RunConfig("cusparselt", "V100", 0.75, model="transformer")
+        spec = SweepSpec(
+            kernels=(KernelSpec("cusparselt"),),
+            gpus=("V100",),
+            sparsities=(0.75,),
+            models=("transformer",),
+            dense_baseline=None,
+        )
+        cold = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert cold.records[0].status == "not-applicable"
+        warm = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert warm.cache_hits == 1
+        assert warm.records == cold.records
+
+
+class TestDeduplication:
+    def test_duplicate_cells_computed_once(self, tmp_path):
+        spec = SweepSpec(
+            kernels=(
+                KernelSpec("sputnik", label="one"),
+                KernelSpec("sputnik", label="two"),
+            ),
+            gpus=("V100",),
+            sparsities=(0.5,),
+            gemm=(128, 32, 128),
+            dense_baseline=None,
+        )
+        result = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert len(result.records) == 2
+        assert result.cache_misses == 1  # one unique cell
+        assert result.records[0].config.label == "one"
+        assert result.records[1].config.label == "two"
+        assert result.records[0].time_s == result.records[1].time_s
+
+
+class TestRecordExport:
+    def test_record_dict_round_trip(self):
+        record = execute_config(
+            RunConfig("shfl-bw", "V100", 0.75, model="transformer",
+                      kernel_kwargs=(("vector_size", 64),), label="Shfl-BW,V=64")
+        )
+        data = record.to_dict()
+        assert data["label"] == "Shfl-BW,V=64"
+        assert data["status"] == "ok"
+        assert data["kernel_kwargs"] == {"vector_size": 64}
+        assert RunConfig.from_dict(data) == record.config

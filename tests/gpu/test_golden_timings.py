@@ -1,0 +1,179 @@
+"""Golden-regression net over the analytical timing model.
+
+The timing model is the substrate every number in the evaluation depends on:
+Figure 1's crossover regions, Figure 6's speedup bars and the Section 6.2
+headline all reduce to ``simulate()`` outputs.  This suite snapshots the
+full paper grid into a checked-in JSON fixture:
+
+* ``simulate``: per (GPU x paper kernel x sparsity) total time and bound
+  classification on the Figure 1 GEMM shape (2048/128/2048), straight
+  through ``SpMMKernel.estimate`` — no sweep machinery in the loop;
+* ``figure6``: the complete Figure 6 speedup grid
+  (3 models x 3 GPUs x kernel line-up x 4 sparsities).
+
+A kernel/simulator refactor that shifts any total time, bound or speedup —
+and therefore potentially a crossover point the paper's claims hinge on —
+fails here with the exact cells that moved.  To shift the goldens
+*deliberately*, regenerate the fixture and review the diff::
+
+    PYTHONPATH=src python -m pytest tests/gpu/test_golden_timings.py --update-goldens
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.runner import MODEL_VERSION
+from repro.eval.speedup import PAPER_GPUS, PAPER_SPARSITIES, figure6_sweep
+from repro.gpu.arch import get_gpu
+from repro.kernels.base import GEMMShape, KernelNotApplicableError
+from repro.kernels.registry import make_kernel, paper_baseline_specs
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "golden_timings.json"
+#: The Figure 1 GEMM shape used for the per-kernel simulate() snapshot.
+GOLDEN_SHAPE = (2048, 128, 2048)
+#: Relative tolerance for float comparison: tight enough that any real model
+#: change trips it, loose enough to absorb benign float-summation noise.
+REL_TOL = 1.0e-9
+
+
+def _simulate_grid() -> dict:
+    """``{gpu: {kernel_label: {sparsity: {total_time_s, bound} | None}}}``."""
+    shape = GEMMShape(*GOLDEN_SHAPE)
+    grid: dict[str, dict[str, dict[str, dict | None]]] = {}
+    for gpu in PAPER_GPUS:
+        arch = get_gpu(gpu)
+        per_kernel: dict[str, dict[str, dict | None]] = {}
+        for label, (name, kwargs) in paper_baseline_specs().items():
+            kernel = make_kernel(name, **kwargs)
+            supported = getattr(kernel, "supported_archs", None)
+            cells: dict[str, dict | None] = {}
+            for sparsity in PAPER_SPARSITIES:
+                key = str(sparsity)
+                if supported is not None and arch.name not in supported:
+                    cells[key] = None
+                    continue
+                try:
+                    timing = kernel.estimate(arch, shape, 1.0 - sparsity)
+                except (KernelNotApplicableError, ValueError):
+                    cells[key] = None
+                    continue
+                cells[key] = {
+                    "total_time_s": timing.total_time_s,
+                    "bound": timing.bound,
+                }
+            per_kernel[label] = cells
+        grid[gpu] = per_kernel
+    return grid
+
+
+def _figure6_grid() -> dict:
+    """``{"model|gpu": {kernel_label: {sparsity: speedup | None}}}``."""
+    results = figure6_sweep()
+    return {
+        f"{model}|{gpu}": {
+            label: {str(s): value for s, value in by_sparsity.items()}
+            for label, by_sparsity in per_kernel.items()
+        }
+        for (model, gpu), per_kernel in results.items()
+    }
+
+
+def build_goldens() -> dict:
+    return {
+        "model_version": MODEL_VERSION,
+        "gemm_shape": list(GOLDEN_SHAPE),
+        "simulate": _simulate_grid(),
+        "figure6": _figure6_grid(),
+    }
+
+
+def _assert_leaf_equal(path: str, golden, current) -> None:
+    __tracebackhide__ = True
+    if isinstance(golden, float) and isinstance(current, (int, float)):
+        assert current == pytest.approx(golden, rel=REL_TOL, abs=1e-15), (
+            f"{path}: golden {golden!r} vs current {current!r}"
+        )
+    else:
+        assert current == golden, f"{path}: golden {golden!r} vs current {current!r}"
+
+
+def _assert_tree_equal(path: str, golden, current) -> None:
+    if isinstance(golden, dict):
+        assert isinstance(current, dict), f"{path}: structure changed"
+        assert set(current) == set(golden), (
+            f"{path}: keys changed "
+            f"(missing {sorted(set(golden) - set(current))}, "
+            f"new {sorted(set(current) - set(golden))})"
+        )
+        for key in golden:
+            _assert_tree_equal(f"{path}/{key}", golden[key], current[key])
+    elif isinstance(golden, list):
+        assert len(current) == len(golden), f"{path}: length changed"
+        for i, (g, c) in enumerate(zip(golden, current)):
+            _assert_tree_equal(f"{path}[{i}]", g, c)
+    else:
+        _assert_leaf_equal(path, golden, current)
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden fixture {GOLDEN_PATH} is missing; regenerate it with "
+            "pytest tests/gpu/test_golden_timings.py --update-goldens"
+        )
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_update_goldens(update_goldens):
+    """Rewrites the fixture when ``--update-goldens`` is passed (and is a
+    no-op assertion otherwise, so the flag has exactly one writer)."""
+    if not update_goldens:
+        pytest.skip("pass --update-goldens to regenerate the fixture")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(build_goldens(), sort_keys=True, indent=1) + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_golden_model_version(goldens):
+    """A MODEL_VERSION bump must come with regenerated goldens."""
+    assert goldens["model_version"] == MODEL_VERSION, (
+        "timing MODEL_VERSION changed; regenerate the goldens deliberately "
+        "with --update-goldens and review the diff"
+    )
+    assert goldens["gemm_shape"] == list(GOLDEN_SHAPE)
+
+
+def test_golden_simulate_totals_and_bounds(goldens):
+    """simulate() totals and bound classification over GPUs x kernels x
+    sparsities are unchanged."""
+    _assert_tree_equal("simulate", goldens["simulate"], _simulate_grid())
+
+
+def test_golden_figure6_speedups(goldens):
+    """The full Figure 6 speedup grid (and its None applicability holes) is
+    unchanged."""
+    _assert_tree_equal("figure6", goldens["figure6"], _figure6_grid())
+
+
+def test_golden_grid_is_complete(goldens):
+    """The fixture really covers the paper grid: 3 GPUs x full kernel
+    line-up x 4 sparsities, and 3 models x 3 GPUs for Figure 6."""
+    simulate = goldens["simulate"]
+    assert set(simulate) == set(PAPER_GPUS)
+    labels = set(paper_baseline_specs())
+    for gpu, per_kernel in simulate.items():
+        assert set(per_kernel) == labels
+        for cells in per_kernel.values():
+            assert set(cells) == {str(s) for s in PAPER_SPARSITIES}
+    assert set(goldens["figure6"]) == {
+        f"{model}|{gpu}"
+        for model in ("transformer", "gnmt", "resnet50")
+        for gpu in PAPER_GPUS
+    }
