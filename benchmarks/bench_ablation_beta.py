@@ -11,7 +11,6 @@ search is designed for).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.pruning import search_shflbw_pattern
 

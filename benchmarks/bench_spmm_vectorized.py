@@ -16,8 +16,8 @@ inference workload would hit them.
 
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_spmm_vectorized.py
-    PYTHONPATH=src python benchmarks/bench_spmm_vectorized.py --smoke  # CI
+    python benchmarks/bench_spmm_vectorized.py
+    python benchmarks/bench_spmm_vectorized.py --smoke  # CI
 
 """
 

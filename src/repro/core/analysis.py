@@ -16,7 +16,6 @@ Two quantitative arguments underpin the paper's pattern design:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from scipy.special import gammaln

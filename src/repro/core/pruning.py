@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .kmeans import balanced_kmeans
-from .transforms import groups_to_permutation, invert_permutation
+from .transforms import groups_to_permutation
 
 __all__ = [
     "ShflBWSearchResult",

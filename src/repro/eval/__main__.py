@@ -15,6 +15,11 @@ hit rate is reported after the tables)::
 
     python -m repro.eval figure6 --cache-dir .sweep-cache
 
+Autotune per-layer kernel plans and compare them against the best
+single-kernel baseline, with a persistent plan cache::
+
+    python -m repro.eval autotune --plan-dir .plan-cache
+
 Run the Table 1 accuracy protocol at full scale (slower)::
 
     python -m repro.eval table1 --full
@@ -30,8 +35,10 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..tune import Autotuner, MeasuredRefiner
 from .experiments import (
     RUNNER_EXPERIMENTS,
+    TUNABLE_EXPERIMENTS,
     available_experiments,
     resolve_experiment,
     run_experiment,
@@ -70,6 +77,28 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help="persistent result cache directory for sweep experiments",
+    )
+    parser.add_argument(
+        "--tune",
+        action="store_true",
+        help=(
+            "run the autotuner alongside the experiment: figure6/headline gain "
+            "an 'Autotuned plan' entry (autotune always tunes)"
+        ),
+    )
+    parser.add_argument(
+        "--plan-dir",
+        default=None,
+        metavar="PATH",
+        help="persistent tuning-plan cache directory (implies --tune)",
+    )
+    parser.add_argument(
+        "--measured",
+        action="store_true",
+        help=(
+            "refine the analytical plan by measured functional runs "
+            "(machine-dependent; implies --tune)"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -113,6 +142,22 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
 
+    tune = args.tune or args.plan_dir is not None or args.measured
+    tuner = None
+    if experiment == "autotune" or (tune and experiment in TUNABLE_EXPERIMENTS):
+        tuner = Autotuner(
+            cache_dir=args.plan_dir,
+            refiner=MeasuredRefiner() if args.measured else None,
+        )
+        kwargs["tuner"] = tuner
+    elif tune:
+        print(
+            f"note: --tune/--plan-dir/--measured only apply to tunable "
+            f"experiments ({', '.join(sorted(TUNABLE_EXPERIMENTS))}); "
+            f"ignored for {experiment!r}",
+            file=sys.stderr,
+        )
+
     report = run_experiment(experiment, **kwargs)
     print(report.to_markdown() if args.markdown else report.to_text())
     if args.json_out:
@@ -126,6 +171,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"cache: {stats.hits} hits, {stats.misses} misses "
             f"({stats.hit_rate:.0%} hit rate) in {args.cache_dir}"
+        )
+    if tuner is not None and args.plan_dir is not None:
+        stats = tuner.stats
+        print(
+            f"plan cache: {stats.hits} hits, {stats.misses} misses "
+            f"({stats.hit_rate:.0%} hit rate) in {args.plan_dir}"
         )
     return 0
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ..models.gnmt import GNMTConfig, GNMTProxy
 from ..models.resnet import ResNetConfig, ResNetProxy

@@ -17,7 +17,6 @@ from .runner import SweepRunner
 from .speedup import (
     FIGURE1_DENSITIES,
     PAPER_GPUS,
-    PAPER_SPARSITIES,
     collate_figure1,
     collate_figure6,
     collate_headline,
@@ -32,11 +31,15 @@ __all__ = [
     "resolve_experiment",
     "run_experiment",
     "RUNNER_EXPERIMENTS",
+    "TUNABLE_EXPERIMENTS",
 ]
 
 #: Experiments that run on the sweep runner and accept the ``runner``,
 #: ``--jobs`` and ``--cache-dir`` machinery.
-RUNNER_EXPERIMENTS = frozenset({"figure1", "figure6", "headline"})
+RUNNER_EXPERIMENTS = frozenset({"figure1", "figure6", "headline", "autotune"})
+
+#: Experiments that understand the autotuner (``--tune`` / ``--plan-dir``).
+TUNABLE_EXPERIMENTS = frozenset({"figure6", "headline", "autotune"})
 
 #: Paper-claimed sparsity thresholds of the Figure 1 regions.
 FIGURE1_PAPER_REGIONS = {"A": 0.65, "B": 0.95, "C": 0.90}
@@ -134,11 +137,17 @@ def run_figure2(*, quick: bool = True, **kwargs) -> Report:
     return report
 
 
-def run_figure6(*, runner: SweepRunner | None = None, **kwargs) -> Report:
-    """Figure 6: speedup over dense for 3 models x 3 GPUs x 4 sparsities."""
+def run_figure6(*, runner: SweepRunner | None = None, tuner=None, **kwargs) -> Report:
+    """Figure 6: speedup over dense for 3 models x 3 GPUs x 4 sparsities.
+
+    ``tuner`` (a :class:`repro.tune.Autotuner`) appends an "Autotuned plan"
+    row to every (model, GPU) table: the whole-model speedup when each layer
+    runs its tuned per-layer kernel instead of one kernel everywhere.
+    """
     spec = figure6_spec(**kwargs)
     result = (runner or SweepRunner()).run(spec)
     results = collate_figure6(result)
+    lookup = result.by_config()
     report = Report("Figure 6 - Speedup over the dense tensor-core baseline")
     sparsities = spec.sparsities
     for (model, gpu), per_kernel in results.items():
@@ -148,8 +157,29 @@ def run_figure6(*, runner: SweepRunner | None = None, **kwargs) -> Report:
         )
         for label, by_sparsity in per_kernel.items():
             table.add_row(label, *[by_sparsity.get(s) for s in sparsities])
+        if tuner is not None:
+            dense_time = lookup[spec.dense_config(model, gpu)].time_s
+            table.add_row(
+                "Autotuned plan",
+                *[
+                    dense_time / tuner.plan(model, gpu, s).total_time_s
+                    for s in sparsities
+                ],
+            )
         report.add_table(table)
     report.add_note("Missing entries (-) are configurations the kernel cannot run, as in the paper.")
+    if tuner is not None:
+        report.add_note(
+            "The 'Autotuned plan' row runs each layer on its tuned per-layer "
+            "kernel (repro.tune); "
+            + (
+                "it is never below the best single-kernel row."
+                if tuner.mode == "model"
+                else "measured-refined plans may trade modelled time for "
+                "measured wall-clock wins, so the row can dip below the best "
+                "single-kernel row."
+            )
+        )
     report.add_metadata(
         "grid",
         {
@@ -163,18 +193,137 @@ def run_figure6(*, runner: SweepRunner | None = None, **kwargs) -> Report:
     return report
 
 
-def run_headline(*, runner: SweepRunner | None = None, **kwargs) -> Report:
-    """Section 6.2 headline speedups for Transformer at 75 % sparsity."""
+def run_headline(*, runner: SweepRunner | None = None, tuner=None, **kwargs) -> Report:
+    """Section 6.2 headline speedups for Transformer at 75 % sparsity.
+
+    ``tuner`` adds an "autotuned" column: the aggregate speedup of the tuned
+    per-layer plan on the same cells.
+    """
     spec = headline_spec(**kwargs)
     result = (runner or SweepRunner()).run(spec)
     speedups = collate_headline(result)
+    lookup = result.by_config()
+    (model,) = spec.models
+    (sparsity,) = spec.sparsities
     report = Report("Section 6.2 headline - Transformer GEMM layers at 75% sparsity (Shfl-BW V=64)")
-    table = Table("Speedup over dense", ["GPU", "measured", "paper"])
+    columns = ["GPU", "measured", "paper"] + (["autotuned"] if tuner is not None else [])
+    table = Table("Speedup over dense", columns)
     paper = {"V100": 1.81, "T4": 4.18, "A100": 1.90}
     for gpu in PAPER_GPUS:
-        table.add_row(gpu, speedups[gpu], paper.get(gpu))
+        row = [gpu, speedups[gpu], paper.get(gpu)]
+        if tuner is not None:
+            dense_time = lookup[spec.dense_config(model, gpu)].time_s
+            row.append(dense_time / tuner.plan(model, gpu, sparsity).total_time_s)
+        table.add_row(*row)
     report.add_table(table)
     report.add_records(result.record_dicts())
+    return report
+
+
+def run_autotune(
+    *,
+    runner: SweepRunner | None = None,
+    tuner=None,
+    models: tuple[str, ...] = ("transformer", "gnmt", "resnet50"),
+    gpus: tuple[str, ...] = PAPER_GPUS,
+    sparsity: float = 0.75,
+    plan_dir: str | None = None,
+    measured: bool = False,
+) -> Report:
+    """Autotuned execution plans: per-layer kernel assignments and the
+    aggregate speedup versus the best single-kernel baseline."""
+    # Imported lazily: repro.tune builds on repro.eval.runner, so a module-
+    # level import here would be circular through the package __init__.
+    from ..tune import Autotuner, MeasuredRefiner, compare_with_single_kernels
+
+    if tuner is None:
+        tuner = Autotuner(
+            cache_dir=plan_dir,
+            refiner=MeasuredRefiner() if measured else None,
+        )
+    runner = runner or SweepRunner()
+    report = Report(
+        f"Autotuned kernel selection - per-layer plans at {sparsity:.0%} sparsity "
+        f"({tuner.mode} mode)"
+    )
+    summary = Table(
+        "Whole-model speedup over dense: tuned plan vs best single kernel",
+        ["model", "GPU", "planned", "best single kernel", "best single", "advantage"],
+    )
+    records: list[dict] = []
+    comparisons = {}
+    for model in models:
+        for gpu in gpus:
+            comparison = compare_with_single_kernels(
+                model, gpu, sparsity, tuner=tuner, runner=runner
+            )
+            comparisons[(model, gpu)] = comparison
+            summary.add_row(
+                model,
+                gpu,
+                comparison.planned_speedup,
+                comparison.best_single_label,
+                comparison.best_single_speedup,
+                comparison.advantage,
+            )
+            records.append(
+                {
+                    "model": model,
+                    "gpu": gpu,
+                    "sparsity": sparsity,
+                    "label": "Autotuned plan",
+                    "status": "ok",
+                    "time_s": comparison.planned_time_s,
+                }
+            )
+            records.extend(
+                {
+                    "model": model,
+                    "gpu": gpu,
+                    "sparsity": sparsity,
+                    "label": label,
+                    "status": "ok",
+                    "time_s": time_s,
+                }
+                for label, time_s in comparison.single_kernel_times
+            )
+    report.add_table(summary)
+    for (model, gpu), comparison in comparisons.items():
+        plan = comparison.plan
+        table = Table(
+            f"{model} on {gpu}: per-layer assignments",
+            ["layer", "kernel", "count", "time share"],
+        )
+        total = plan.total_time_s
+        for assignment in plan.assignments:
+            table.add_row(
+                assignment.layer,
+                assignment.label,
+                assignment.count,
+                assignment.total_time_s / total,
+            )
+        report.add_table(table)
+    report.add_note(
+        "'advantage' is best-single-kernel time / planned time; "
+        + (
+            "the per-layer argmin construction guarantees it is >= 1."
+            if tuner.mode == "model"
+            else "measured-refined plans may trade modelled time for measured "
+            "wall-clock wins, so it can dip below 1."
+        )
+    )
+    report.add_metadata(
+        "plans",
+        {
+            f"{model}|{gpu}": comparison.plan.to_dict()
+            for (model, gpu), comparison in comparisons.items()
+        },
+    )
+    report.add_metadata(
+        "plan_cache",
+        {"hits": tuner.stats.hits, "misses": tuner.stats.misses},
+    )
+    report.add_records(records)
     return report
 
 
@@ -228,6 +377,7 @@ _EXPERIMENTS: dict[str, Callable[..., Report]] = {
     "table1": run_table1,
     "headline": run_headline,
     "analysis": run_analysis,
+    "autotune": run_autotune,
 }
 
 

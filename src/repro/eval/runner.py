@@ -46,6 +46,7 @@ __all__ = [
     "SweepSpec",
     "SweepResult",
     "CacheStats",
+    "JsonFileStore",
     "ResultCache",
     "SweepRunner",
     "execute_config",
@@ -363,21 +364,18 @@ def process_executor(
     return records  # type: ignore[return-value]
 
 
-class ResultCache:
-    """Persistent on-disk JSON cache of :class:`RunRecord` results.
+class JsonFileStore:
+    """Single-file JSON store with tolerant loads and atomic writes.
 
-    Keys are :meth:`RunConfig.config_hash` digests salted with the timing
-    :data:`MODEL_VERSION`, so a model bump reads as a cold cache rather than
-    as stale hits.  The store is one JSON file (:data:`CACHE_FILENAME`)
-    inside ``cache_dir``, loaded eagerly and written atomically on
-    :meth:`flush`; each entry keeps the canonical config dict next to the
-    result payload so the file is debuggable by eye.
+    The persistence substrate shared by :class:`ResultCache` and the tuning
+    plan cache (:class:`repro.tune.planner.PlanCache`): one debuggable JSON
+    file mapping string keys to dict entries, loaded eagerly (malformed
+    content reads as empty, not as a crash), written atomically (write-temp
+    + rename) and only when dirty.
     """
 
-    def __init__(self, cache_dir: str | Path, *, salt: str = MODEL_VERSION) -> None:
-        self.cache_dir = Path(cache_dir)
-        self.salt = salt
-        self.path = self.cache_dir / CACHE_FILENAME
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
         self._dirty = False
         self._entries: dict[str, dict] = {}
         if self.path.exists():
@@ -391,16 +389,58 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def get(self, key: str) -> dict | None:
+        """The entry under ``key``, or ``None`` for missing/malformed ones."""
+        entry = self._entries.get(key)
+        return entry if isinstance(entry, dict) else None
+
+    def put(self, key: str, entry: dict) -> None:
+        self._entries[key] = entry
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Write the store atomically (write-temp + rename)."""
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(self._entries, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        tmp.replace(self.path)
+        self._dirty = False
+
+
+class ResultCache:
+    """Persistent on-disk JSON cache of :class:`RunRecord` results.
+
+    Keys are :meth:`RunConfig.config_hash` digests salted with the timing
+    :data:`MODEL_VERSION`, so a model bump reads as a cold cache rather than
+    as stale hits.  The store is one JSON file (:data:`CACHE_FILENAME`)
+    inside ``cache_dir`` (a :class:`JsonFileStore`); each entry keeps the
+    canonical config dict next to the result payload so the file is
+    debuggable by eye.
+    """
+
+    def __init__(self, cache_dir: str | Path, *, salt: str = MODEL_VERSION) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.salt = salt
+        self._store = JsonFileStore(self.cache_dir / CACHE_FILENAME)
+        self.path = self._store.path
+
+    def __len__(self) -> int:
+        return len(self._store)
+
     def key(self, config: RunConfig) -> str:
         return config.config_hash(salt=self.salt)
 
     def get(self, config: RunConfig) -> RunRecord | None:
         """Cached record for ``config``, re-bound to the caller's config
         instance (which may carry a different cosmetic label)."""
-        entry = self._entries.get(self.key(config))
+        entry = self._store.get(self.key(config))
         # The file is hand-debuggable JSON: a structurally malformed entry
         # (wrong type, missing status) reads as a miss, not a crash.
-        if not isinstance(entry, dict) or "status" not in entry:
+        if entry is None or "status" not in entry:
             return None
         return RunRecord(
             config=config,
@@ -411,26 +451,20 @@ class ResultCache:
         )
 
     def put(self, config: RunConfig, record: RunRecord) -> None:
-        self._entries[self.key(config)] = {
-            "config": config.to_dict(),
-            "status": record.status,
-            "time_s": record.time_s,
-            "bound": record.bound,
-            "detail": record.detail,
-        }
-        self._dirty = True
+        self._store.put(
+            self.key(config),
+            {
+                "config": config.to_dict(),
+                "status": record.status,
+                "time_s": record.time_s,
+                "bound": record.bound,
+                "detail": record.detail,
+            },
+        )
 
     def flush(self) -> None:
         """Write the store atomically (write-temp + rename)."""
-        if not self._dirty:
-            return
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(
-            json.dumps(self._entries, sort_keys=True, indent=1), encoding="utf-8"
-        )
-        tmp.replace(self.path)
-        self._dirty = False
+        self._store.flush()
 
 
 @dataclass

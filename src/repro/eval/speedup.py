@@ -9,14 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..gpu.arch import GPUArch, get_gpu
+from ..gpu.arch import GPUArch
 from ..kernels.base import GEMMShape, KernelNotApplicableError, SpMMKernel
 from ..kernels.registry import (
     DENSE_BASELINE_LABEL,
-    make_kernel,
     paper_baseline_specs,
 )
-from ..models.shapes import LayerShape, model_layers
+from ..models.shapes import LayerShape
 from .runner import KernelSpec, SweepResult, SweepRunner, SweepSpec
 
 __all__ = [

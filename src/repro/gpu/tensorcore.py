@@ -10,7 +10,6 @@ execution used by unstructured-sparsity baselines such as Sputnik.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from .arch import GPUArch, MMAShape

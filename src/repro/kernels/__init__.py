@@ -4,6 +4,7 @@ a performance description for the GPU timing model."""
 
 from .base import (
     GEMMShape,
+    KernelCapabilities,
     KernelNotApplicableError,
     SpMMKernel,
     conv_to_gemm_shape,
@@ -27,6 +28,7 @@ from .vectorsparse import VectorSparseKernel
 
 __all__ = [
     "GEMMShape",
+    "KernelCapabilities",
     "KernelNotApplicableError",
     "SpMMKernel",
     "conv_to_gemm_shape",

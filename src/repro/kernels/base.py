@@ -25,13 +25,14 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
-from ..gpu.memory import BYTES_FP16, BYTES_INDEX, TrafficBreakdown
+from ..gpu.memory import BYTES_FP16, TrafficBreakdown
 from ..gpu.simulator import KernelLaunch, KernelTiming, simulate
 from ..gpu.tensorcore import ceil_div
 from ..sparse.spconv import Conv2dSpec
 
 __all__ = [
     "GEMMShape",
+    "KernelCapabilities",
     "KernelNotApplicableError",
     "SpMMKernel",
     "weight_traffic",
@@ -180,6 +181,61 @@ def prepare_cache_key(weight: np.ndarray, **kwargs) -> tuple:
 
 
 # --------------------------------------------------------------------------- #
+# Capability metadata
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class KernelCapabilities:
+    """Declarative constraint metadata of one kernel.
+
+    This is the *static* half of applicability: everything a kernel can rule
+    out from its class attributes alone, before the timing model runs.  The
+    autotuner (:mod:`repro.tune`) uses it to prune infeasible candidates
+    cheaply; the dynamic half (shape-dependent rejections) still surfaces as
+    :class:`KernelNotApplicableError` from ``estimate``.
+    """
+
+    name: str
+    pattern: str
+    supports_conv: bool
+    supported_archs: tuple[str, ...] | None
+    fixed_density: float | None
+    requires_sparse_tensor_core: bool
+
+    @property
+    def is_dense(self) -> bool:
+        """Dense kernels ignore weight sparsity and always time the full GEMM."""
+        return self.pattern == PatternKind.DENSE.value
+
+    def infeasible_reason(
+        self, arch: GPUArch, *, kind: str = "linear", density: float = 1.0
+    ) -> str | None:
+        """Why this kernel cannot run the given cell, or ``None`` if it can.
+
+        ``kind`` is the layer kind (``"linear"`` / ``"conv"``) and ``density``
+        the weight non-zero fraction; dense kernels accept any density (they
+        simply do not exploit the zeros).
+        """
+        if self.supported_archs is not None and arch.name not in self.supported_archs:
+            return (
+                f"kernel {self.name!r} only runs on {', '.join(self.supported_archs)}"
+            )
+        if self.requires_sparse_tensor_core and not arch.supports_sparse_tensor_core:
+            return f"{arch.name} has no sparse tensor cores"
+        if kind == "conv" and not self.supports_conv:
+            return f"kernel {self.name!r} has no convolution implementation"
+        if (
+            not self.is_dense
+            and self.fixed_density is not None
+            and abs(density - self.fixed_density) > 1e-9
+        ):
+            return (
+                f"kernel {self.name!r} only supports density "
+                f"{self.fixed_density}, got {density}"
+            )
+        return None
+
+
+# --------------------------------------------------------------------------- #
 # Kernel interface
 # --------------------------------------------------------------------------- #
 class SpMMKernel(abc.ABC):
@@ -201,6 +257,13 @@ class SpMMKernel(abc.ABC):
     #: Whether the kernel has an implicit-GEMM convolution variant
     #: (the paper's baselines all lack one; ours and the dense library have it).
     supports_conv: bool = False
+    #: Architectures the kernel runs on (``None`` means every modelled GPU).
+    supported_archs: tuple[str, ...] | None = None
+    #: The single weight density the format supports (``None`` means any);
+    #: e.g. balanced 2:4 is pinned to 0.5.
+    fixed_density: float | None = None
+    #: Whether the kernel needs A100-style sparse tensor cores.
+    requires_sparse_tensor_core: bool = False
     #: How many compressed weights :meth:`prepare_cached` keeps per kernel.
     prepare_cache_size: int = 8
     #: Fractional time overhead of the on-the-fly im2col unfolding at full
@@ -294,6 +357,18 @@ class SpMMKernel(abc.ABC):
         )
 
     # ------------------------------ misc -------------------------------- #
+    def capabilities(self) -> KernelCapabilities:
+        """The kernel's declarative constraint metadata (for candidate
+        pruning in :mod:`repro.tune`)."""
+        return KernelCapabilities(
+            name=self.name,
+            pattern=self.pattern.value,
+            supports_conv=self.supports_conv,
+            supported_archs=self.supported_archs,
+            fixed_density=self.fixed_density,
+            requires_sparse_tensor_core=self.requires_sparse_tensor_core,
+        )
+
     def metadata_bytes(self, shape: GEMMShape, density: float, **kwargs) -> float:
         """Bytes of sparse metadata the format needs (0 for dense kernels)."""
         return 0.0

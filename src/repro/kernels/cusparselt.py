@@ -17,7 +17,7 @@ from ..gpu.arch import GPUArch
 from ..gpu.memory import TrafficBreakdown
 from ..gpu.simulator import ComputeUnit, KernelLaunch
 from ..gpu.tensorcore import ceil_div
-from ..gpu.tiling import TileConfig, default_gemm_tile
+from ..gpu.tiling import default_gemm_tile
 from ..sparse.convert import dense_to_balanced
 from ..sparse.formats import Balanced24Matrix
 from ..sparse.spmm import spmm_balanced
@@ -40,6 +40,7 @@ class CusparseLtKernel(SpMMKernel):
     name = "cusparselt-2in4"
     pattern = PatternKind.BALANCED
     supports_conv = False
+    requires_sparse_tensor_core = True
 
     compute_efficiency = 0.80
     bandwidth_efficiency = 0.85

@@ -27,7 +27,6 @@ from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
 from ..gpu.memory import BYTES_INDEX, TrafficBreakdown
 from ..gpu.simulator import KernelLaunch
-from ..gpu.tensorcore import ceil_div
 from ..sparse.convert import dense_to_shflbw
 from ..sparse.formats import ShflBWMatrix
 from ..sparse.spconv import Conv2dSpec, conv2d_sparse

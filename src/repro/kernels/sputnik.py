@@ -20,7 +20,7 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
-from ..gpu.memory import BYTES_FP16, BYTES_INDEX, TrafficBreakdown
+from ..gpu.memory import BYTES_INDEX, TrafficBreakdown
 from ..gpu.simulator import ComputeUnit, KernelLaunch
 from ..gpu.tensorcore import ceil_div
 from ..gpu.tiling import TileConfig

@@ -20,7 +20,6 @@ from ..nn.layers import (
     GlobalAvgPool2d,
     Linear,
     Module,
-    ReLU,
 )
 from ..nn.metrics import top1_accuracy
 from ..nn.tensor import Tensor, no_grad

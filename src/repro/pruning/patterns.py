@@ -16,7 +16,6 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..core.pruning import search_shflbw_pattern, unstructured_mask, vector_wise_mask
-from ..gpu.tensorcore import ceil_div
 from .base import Pruner
 
 __all__ = [

@@ -136,7 +136,6 @@ def _spmm_stitched(
     Returns the output in the matrix's own (group-contiguous) row order.
     """
     panels = stitched_panels(matrix, tile_cols)
-    v = matrix.vector_size
     n = rhs.shape[1]
     if panels.num_panels == 0:
         return np.zeros((matrix.shape[0], n), dtype=np.float64)

@@ -1,0 +1,129 @@
+"""Measured-run refinement for the autotuner.
+
+The analytical timing model decides the *shortlist*; this module optionally
+re-ranks the shortlist by actually running each candidate's functional
+(numpy, vectorized) SpMM engine on a downscaled probe problem and timing the
+wall clock.  That catches constant factors the analytical model abstracts
+away (format conversion cost, gather friendliness of the compressed layout)
+at the price of determinism — measured plans depend on the machine they were
+tuned on, which is why :class:`~repro.tune.planner.TuningPlan` records its
+``mode`` and the plan cache hashes the refiner settings into the key.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eval.runner import KernelSpec
+from ..kernels.base import SpMMKernel
+from ..models.shapes import LayerShape
+
+__all__ = ["MeasuredRefiner"]
+
+
+def _round_to(value: int, multiple: int, *, lo: int, hi: int) -> int:
+    """Clamp ``value`` to ``[lo, hi]`` and round down to a multiple."""
+    clamped = max(lo, min(hi, value))
+    return max(multiple, (clamped // multiple) * multiple)
+
+
+@dataclass(frozen=True)
+class MeasuredRefiner:
+    """Re-ranks the analytical top-``k`` by measured functional wall time.
+
+    Probe problems are the layer's GEMM shape downscaled to at most
+    ``max_dim`` per dimension (rounded to multiples of 64 so every vector /
+    block size in the default pool divides evenly), with an unstructured
+    random mask at the operating density.  Each candidate is warmed up once
+    (so ``prepare`` compression is excluded, as in inference) and timed as
+    the best of ``repeats`` runs.
+    """
+
+    top_k: int = 2
+    max_dim: int = 256
+    repeats: int = 3
+    seed: int = 1234
+
+    def to_dict(self) -> dict:
+        """Canonical form hashed into the plan-cache key."""
+        return {
+            "top_k": self.top_k,
+            "max_dim": self.max_dim,
+            "repeats": self.repeats,
+            "seed": self.seed,
+        }
+
+    def probe_shape(self, layer: LayerShape) -> tuple[int, int, int]:
+        """Downscaled ``(m, n, k)`` probe of one layer."""
+        gemm = layer.gemm
+        return (
+            _round_to(gemm.m, 64, lo=64, hi=self.max_dim),
+            _round_to(gemm.n, 16, lo=16, hi=self.max_dim),
+            _round_to(gemm.k, 64, lo=64, hi=self.max_dim),
+        )
+
+    def probe_operands(
+        self, layer: LayerShape, density: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministic (weight, activations) probe pair for one layer."""
+        m, n, k = self.probe_shape(layer)
+        rng = np.random.default_rng(self.seed)
+        weight = rng.normal(size=(m, k))
+        if density < 1.0:
+            # Unstructured mask: every pattern kernel re-compresses it into
+            # its own format inside ``prepare`` (dropping values its pattern
+            # cannot keep), so one probe serves the whole shortlist.
+            weight *= rng.random((m, k)) < density
+        activations = rng.normal(size=(k, n))
+        return weight, activations
+
+    def measure(
+        self,
+        kernel: SpMMKernel,
+        layer: LayerShape,
+        density: float,
+    ) -> float | None:
+        """Best-of-``repeats`` wall time of one candidate, ``None`` on failure.
+
+        A candidate whose functional engine cannot run the probe (pattern
+        constraint the static pruning did not see) simply keeps its
+        analytical rank instead of aborting the plan.
+        """
+        weight, activations = self.probe_operands(layer, density)
+        try:
+            prepared = kernel.prepare_cached(weight)
+            kernel.run(prepared, activations)  # warm-up, excluded from timing
+            best = float("inf")
+            for _ in range(self.repeats):
+                start = time.perf_counter()
+                kernel.run(prepared, activations)
+                best = min(best, time.perf_counter() - start)
+        except Exception:
+            return None
+        return best
+
+    def refine(
+        self,
+        scored: list[tuple[KernelSpec, SpMMKernel, float]],
+        layer: LayerShape,
+        density: float,
+    ) -> int:
+        """Index (into ``scored``) of the refined winner.
+
+        ``scored`` is the feasible candidate list ordered by analytical time
+        (best first).  The analytical top-``k`` is re-measured; candidates
+        that fail to measure fall back to their analytical rank, and when
+        nothing measures the analytical winner stands.
+        """
+        shortlist = scored[: max(1, self.top_k)]
+        measured: list[tuple[float, int]] = []
+        for index, (_, kernel, _) in enumerate(shortlist):
+            wall = self.measure(kernel, layer, density)
+            if wall is not None:
+                measured.append((wall, index))
+        if not measured:
+            return 0
+        return min(measured)[1]

@@ -1,0 +1,464 @@
+"""Cost-model-driven kernel autotuner and its persistent plan cache.
+
+The paper's central observation is that no single sparse kernel wins
+everywhere — the best choice among shfl-bw, sputnik, cuSPARSELt, vector-wise,
+tile-wise and dense GEMM depends on layer shape, sparsity and GPU (the
+Figure 1 regions).  The :class:`Autotuner` turns that observation into an
+execution plan: for every layer of a workload it enumerates the candidate
+pool (:func:`repro.tune.candidates.default_candidates`), prunes statically
+infeasible kernels from their capability metadata, scores the survivors with
+the analytical timing model (:func:`repro.eval.speedup.layer_time`) and
+assigns each layer the argmin.  An optional
+:class:`~repro.tune.measure.MeasuredRefiner` re-ranks the analytical top-k by
+measured functional wall time.
+
+Plans are persistent and versioned: :class:`PlanCache` stores them as JSON
+keyed by a canonical-JSON request hash — the same hashing discipline as
+:class:`repro.eval.runner.ResultCache` — salted with
+:data:`repro.eval.runner.MODEL_VERSION`, so a timing-model bump orphans every
+cached plan instead of silently serving stale assignments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..eval.runner import (
+    MODEL_VERSION,
+    CacheStats,
+    JsonFileStore,
+    KernelSpec,
+    _freeze_kwargs,
+)
+from ..gpu.arch import get_gpu
+from ..kernels.base import GEMMShape, KernelNotApplicableError
+from ..models.shapes import LayerShape, model_layers
+from .candidates import candidate_density, default_candidates, prune_candidates
+from .measure import MeasuredRefiner
+
+__all__ = [
+    "PLAN_FILENAME",
+    "LayerAssignment",
+    "TuningPlan",
+    "PlanCache",
+    "Autotuner",
+    "gemm_layer",
+]
+
+#: File the :class:`PlanCache` keeps inside its cache directory.
+PLAN_FILENAME = "tuning-plans.json"
+
+
+def gemm_layer(gemm: tuple[int, int, int], *, name: str | None = None) -> LayerShape:
+    """A single explicit ``(M, N, K)`` problem as a one-layer workload
+    (the Figure 1 tuning mode)."""
+    m, n, k = (int(v) for v in gemm)
+    return LayerShape(name or f"gemm-{m}x{n}x{k}", GEMMShape(m=m, n=n, k=k))
+
+
+@dataclass(frozen=True)
+class LayerAssignment:
+    """The tuned kernel choice for one layer of a workload.
+
+    ``time_s`` is the modelled time of one occurrence; ``count`` the layer's
+    multiplicity; ``considered`` / ``pruned`` record how many candidates were
+    scored and how many the static capability stage rejected.
+    """
+
+    layer: str
+    kernel: str
+    kernel_kwargs: tuple[tuple[str, object], ...]
+    label: str
+    time_s: float
+    count: int = 1
+    considered: int = 0
+    pruned: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel_kwargs", _freeze_kwargs(self.kernel_kwargs))
+
+    @property
+    def total_time_s(self) -> float:
+        """Modelled time of all occurrences of the layer."""
+        return self.time_s * self.count
+
+    def to_dict(self) -> dict:
+        return {
+            "layer": self.layer,
+            "kernel": self.kernel,
+            "kernel_kwargs": dict(self.kernel_kwargs),
+            "label": self.label,
+            "time_s": self.time_s,
+            "count": self.count,
+            "considered": self.considered,
+            "pruned": self.pruned,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LayerAssignment":
+        return cls(
+            layer=data["layer"],
+            kernel=data["kernel"],
+            kernel_kwargs=_freeze_kwargs(data.get("kernel_kwargs", {})),
+            label=data.get("label", data["kernel"]),
+            time_s=data["time_s"],
+            count=data.get("count", 1),
+            considered=data.get("considered", 0),
+            pruned=data.get("pruned", 0),
+        )
+
+
+@dataclass(frozen=True)
+class TuningPlan:
+    """A versioned per-layer kernel assignment for one operating point.
+
+    Exactly one of ``model`` (a :func:`repro.models.shapes.model_layers`
+    name) or ``gemm`` (an explicit problem) identifies the workload, the same
+    convention as :class:`repro.eval.runner.RunConfig`.  ``mode`` is
+    ``"model"`` for purely analytical plans and ``"measured"`` when a
+    refinement pass re-ranked the shortlist; ``salt`` pins the timing-model
+    version the plan was produced under.
+    """
+
+    gpu: str
+    sparsity: float
+    assignments: tuple[LayerAssignment, ...]
+    model: str | None = None
+    gemm: tuple[int, int, int] | None = None
+    mode: str = "model"
+    salt: str = MODEL_VERSION
+    candidates: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if (self.model is None) == (self.gemm is None):
+            raise ValueError("exactly one of model / gemm must be set")
+        object.__setattr__(self, "assignments", tuple(self.assignments))
+        object.__setattr__(self, "candidates", tuple(self.candidates))
+        if self.gemm is not None:
+            object.__setattr__(self, "gemm", tuple(int(v) for v in self.gemm))
+
+    @property
+    def workload(self) -> str:
+        """Human-readable workload identifier."""
+        if self.model is not None:
+            return self.model
+        m, n, k = self.gemm
+        return f"gemm-{m}x{n}x{k}"
+
+    @property
+    def total_time_s(self) -> float:
+        """Modelled whole-workload time under the plan."""
+        return sum(assignment.total_time_s for assignment in self.assignments)
+
+    def assignment_for(self, layer: str) -> LayerAssignment:
+        """The assignment of one layer by name."""
+        for assignment in self.assignments:
+            if assignment.layer == layer:
+                return assignment
+        raise KeyError(f"plan has no layer {layer!r}")
+
+    def kernel_histogram(self) -> dict[str, int]:
+        """How many layers each kernel label won."""
+        histogram: dict[str, int] = {}
+        for assignment in self.assignments:
+            histogram[assignment.label] = histogram.get(assignment.label, 0) + 1
+        return histogram
+
+    def to_dict(self) -> dict:
+        return {
+            "gpu": self.gpu,
+            "sparsity": self.sparsity,
+            "model": self.model,
+            "gemm": list(self.gemm) if self.gemm is not None else None,
+            "mode": self.mode,
+            "salt": self.salt,
+            "candidates": list(self.candidates),
+            "assignments": [assignment.to_dict() for assignment in self.assignments],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TuningPlan":
+        gemm = data.get("gemm")
+        return cls(
+            gpu=data["gpu"],
+            sparsity=data["sparsity"],
+            model=data.get("model"),
+            gemm=tuple(gemm) if gemm is not None else None,
+            mode=data.get("mode", "model"),
+            salt=data.get("salt", MODEL_VERSION),
+            candidates=tuple(data.get("candidates", ())),
+            assignments=tuple(
+                LayerAssignment.from_dict(entry)
+                for entry in data.get("assignments", ())
+            ),
+        )
+
+
+def _layers_signature(layers: Sequence[LayerShape]) -> list[list]:
+    """Canonical digest input for the workload's layer list: the plan must
+    invalidate when the shapes it was tuned for change.
+
+    Convolution layers additionally hash their :class:`Conv2dSpec` and input
+    resolution — two convolutions can lower to the *same* implicit-GEMM shape
+    (e.g. a 1x1 with 9x the input channels of a 3x3) yet time differently
+    through the unfold overhead, so the GEMM shape alone must not alias them.
+    """
+    signature: list[list] = []
+    for layer in layers:
+        entry: list = [
+            layer.name,
+            layer.gemm.m,
+            layer.gemm.n,
+            layer.gemm.k,
+            layer.count,
+            layer.kind,
+        ]
+        if layer.kind == "conv":
+            conv = layer.conv
+            entry.append(
+                [
+                    conv.in_channels,
+                    conv.out_channels,
+                    conv.kernel_size,
+                    conv.stride,
+                    conv.padding,
+                    layer.batch,
+                    layer.height,
+                    layer.width,
+                ]
+            )
+        signature.append(entry)
+    return signature
+
+
+def plan_request_hash(
+    *,
+    gpu: str,
+    sparsity: float,
+    layers: Sequence[LayerShape],
+    candidates: tuple[KernelSpec, ...],
+    mode: str,
+    refiner: MeasuredRefiner | None,
+    model: str | None = None,
+    gemm: tuple[int, int, int] | None = None,
+    salt: str = MODEL_VERSION,
+) -> str:
+    """Stable hex digest of one tuning request.
+
+    Canonical-JSON hashing with the timing :data:`MODEL_VERSION` as salt,
+    exactly the discipline of :meth:`repro.eval.runner.RunConfig.config_hash`:
+    the same request hashes identically across processes, and a model bump
+    reads as a cold cache.
+    """
+    payload = json.dumps(
+        {
+            "salt": salt,
+            "gpu": gpu,
+            "sparsity": sparsity,
+            "model": model,
+            "gemm": list(gemm) if gemm is not None else None,
+            "layers": _layers_signature(layers),
+            "candidates": [
+                {"name": spec.name, "kwargs": dict(spec.kwargs)} for spec in candidates
+            ],
+            "mode": mode,
+            "refiner": refiner.to_dict() if refiner is not None else None,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class PlanCache:
+    """Persistent on-disk JSON cache of :class:`TuningPlan` results.
+
+    One JSON file (:data:`PLAN_FILENAME`) inside ``cache_dir``, on the same
+    atomic :class:`repro.eval.runner.JsonFileStore` substrate as the sweep
+    result cache; each entry keeps the plan dict next to the request digest
+    so the file is debuggable by eye.  Entries whose ``salt`` disagrees with
+    the cache's read as misses (the hash already guarantees this for new
+    keys; the explicit check also invalidates hand-edited files).
+    """
+
+    def __init__(self, cache_dir: str | Path, *, salt: str = MODEL_VERSION) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.salt = salt
+        self._store = JsonFileStore(self.cache_dir / PLAN_FILENAME)
+        self.path = self._store.path
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: str) -> TuningPlan | None:
+        entry = self._store.get(key)
+        if entry is None or "plan" not in entry:
+            return None
+        try:
+            plan = TuningPlan.from_dict(entry["plan"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        if plan.salt != self.salt:
+            return None
+        return plan
+
+    def put(self, key: str, plan: TuningPlan) -> None:
+        self._store.put(key, {"plan": plan.to_dict()})
+
+    def flush(self) -> None:
+        """Write the store atomically (write-temp + rename)."""
+        self._store.flush()
+
+
+@dataclass
+class Autotuner:
+    """Plans per-layer kernel assignments for whole workloads.
+
+    ``candidates`` defaults to the full paper line-up; ``cache_dir`` enables
+    the persistent :class:`PlanCache`; ``refiner`` switches planning to the
+    measured-refinement mode.  ``stats`` accumulates plan-cache hits/misses
+    across the tuner's lifetime (same accounting class as the sweep runner).
+    """
+
+    candidates: tuple[KernelSpec, ...] = field(default_factory=default_candidates)
+    cache_dir: str | Path | None = None
+    salt: str = MODEL_VERSION
+    refiner: MeasuredRefiner | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.candidates = tuple(self.candidates)
+        if not self.candidates:
+            raise ValueError("the autotuner needs at least one candidate kernel")
+        self.cache = (
+            PlanCache(self.cache_dir, salt=self.salt)
+            if self.cache_dir is not None
+            else None
+        )
+
+    @property
+    def mode(self) -> str:
+        return "measured" if self.refiner is not None else "model"
+
+    # ------------------------------ planning ----------------------------- #
+    def plan(
+        self,
+        model: str,
+        gpu: str,
+        sparsity: float,
+        *,
+        layers: Sequence[LayerShape] | None = None,
+    ) -> TuningPlan:
+        """Tune one named workload at one (GPU, sparsity) operating point.
+
+        ``layers`` overrides the workload's default layer shapes (e.g. a
+        different token batch); the plan cache keys on the actual shapes, so
+        an override never aliases the default plan.
+        """
+        resolved = list(layers) if layers is not None else model_layers(model)
+        return self._plan(resolved, gpu, sparsity, model=model)
+
+    def plan_gemm(
+        self, gemm: tuple[int, int, int], gpu: str, sparsity: float
+    ) -> TuningPlan:
+        """Tune a single explicit GEMM problem (the Figure 1 mode)."""
+        shape = tuple(int(v) for v in gemm)
+        return self._plan([gemm_layer(shape)], gpu, sparsity, gemm=shape)
+
+    def _plan(
+        self,
+        layers: Sequence[LayerShape],
+        gpu: str,
+        sparsity: float,
+        *,
+        model: str | None = None,
+        gemm: tuple[int, int, int] | None = None,
+    ) -> TuningPlan:
+        if not layers:
+            raise ValueError("cannot plan an empty workload")
+        if not 0.0 <= sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
+        key = plan_request_hash(
+            gpu=gpu,
+            sparsity=sparsity,
+            layers=layers,
+            candidates=self.candidates,
+            mode=self.mode,
+            refiner=self.refiner,
+            model=model,
+            gemm=gemm,
+            salt=self.salt,
+        )
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+        self.stats.misses += 1
+
+        arch = get_gpu(gpu)
+        density = 1.0 - sparsity
+        assignments = tuple(
+            self._assign_layer(arch, layer, density) for layer in layers
+        )
+        plan = TuningPlan(
+            gpu=arch.name,
+            sparsity=sparsity,
+            assignments=assignments,
+            model=model,
+            gemm=gemm,
+            mode=self.mode,
+            salt=self.salt,
+            candidates=tuple(spec.display_label for spec in self.candidates),
+        )
+        if self.cache is not None:
+            self.cache.put(key, plan)
+            self.cache.flush()
+        return plan
+
+    def _assign_layer(self, arch, layer: LayerShape, density: float) -> LayerAssignment:
+        """Argmin of the timing model over the feasible candidates of one
+        layer (first-in-pool-order wins exact ties, so plans are stable)."""
+        # Imported here: repro.eval.speedup imports the runner this module
+        # shares types with, and the experiment layer imports both.
+        from ..eval.speedup import layer_time
+
+        feasible, rejected = prune_candidates(self.candidates, arch, layer, density)
+        scored: list[tuple[KernelSpec, object, float]] = []
+        for spec, kernel in feasible:
+            try:
+                time_s = layer_time(
+                    kernel, arch, layer, candidate_density(kernel, density)
+                )
+            except (KernelNotApplicableError, ValueError) as exc:
+                # Dynamic (shape-dependent) inapplicability the static
+                # capability stage cannot see.
+                rejected[spec.display_label] = str(exc)
+                continue
+            scored.append((spec, kernel, time_s))
+        if not scored:
+            raise KernelNotApplicableError(
+                f"no feasible kernel for layer {layer.name!r} on {arch.name} "
+                f"at density {density:g}: "
+                + "; ".join(f"{label}: {why}" for label, why in rejected.items())
+            )
+        ranked = sorted(range(len(scored)), key=lambda i: (scored[i][2], i))
+        ordered = [scored[i] for i in ranked]
+        winner = 0
+        if self.refiner is not None:
+            winner = self.refiner.refine(ordered, layer, density)
+        spec, _, time_s = ordered[winner]
+        return LayerAssignment(
+            layer=layer.name,
+            kernel=spec.name,
+            kernel_kwargs=spec.kwargs,
+            label=spec.display_label,
+            time_s=time_s,
+            count=layer.count,
+            considered=len(scored),
+            pruned=len(self.candidates) - len(scored),
+        )

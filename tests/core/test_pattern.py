@@ -1,6 +1,5 @@
 """Tests for the pattern definitions."""
 
-import numpy as np
 import pytest
 
 from repro.core.pattern import PatternKind, ShflBWPattern

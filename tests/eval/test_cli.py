@@ -93,6 +93,40 @@ class TestSweepFlags:
         assert "--jobs/--cache-dir only apply" in captured.err
 
 
+class TestTuneFlags:
+    def test_autotune_experiment_smoke(self, capsys):
+        assert main(["autotune"]) == 0
+        out = capsys.readouterr().out
+        assert "Autotuned kernel selection" in out
+        assert "per-layer assignments" in out
+
+    def test_plan_dir_reports_hits_on_second_run(self, tmp_path, capsys):
+        plan_dir = tmp_path / "plans"
+        args = ["autotune", "--plan-dir", str(plan_dir)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "plan cache: 0 hits" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second
+        assert (plan_dir / "tuning-plans.json").exists()
+
+    def test_tune_flag_augments_headline(self, capsys):
+        assert main(["headline", "--tune"]) == 0
+        assert "autotuned" in capsys.readouterr().out
+
+    def test_plan_dir_implies_tune(self, tmp_path, capsys):
+        assert main(["headline", "--plan-dir", str(tmp_path / "p")]) == 0
+        out = capsys.readouterr().out
+        assert "autotuned" in out
+        assert "plan cache:" in out
+
+    def test_tune_flags_warn_for_untunable_experiments(self, capsys):
+        assert main(["analysis", "--tune"]) == 0
+        captured = capsys.readouterr()
+        assert "--tune/--plan-dir/--measured only apply" in captured.err
+
+
 class TestReportExports:
     def test_json_is_deterministic(self, capsys):
         from repro.eval.experiments import run_experiment

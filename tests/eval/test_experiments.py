@@ -33,6 +33,59 @@ class TestRegistry:
         for gpu in ("V100", "T4", "A100"):
             assert gpu in text
 
+    def test_autotune_registered(self):
+        assert "autotune" in available_experiments()
+
+
+class TestAutotuneExperiment:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_experiment(
+            "autotune", models=("transformer",), gpus=("V100",), sparsity=0.75
+        )
+
+    def test_summary_and_assignment_tables(self, report):
+        text = report.to_text()
+        assert "best single kernel" in text
+        assert "per-layer assignments" in text
+        assert "ffn1" in text
+
+    def test_plan_metadata_and_records(self, report):
+        plans = report.metadata["plans"]
+        assert "transformer|V100" in plans
+        assert plans["transformer|V100"]["assignments"]
+        labels = {record["label"] for record in report.records}
+        assert "Autotuned plan" in labels
+
+    def test_advantage_is_at_least_one(self, report):
+        (summary, *_rest) = report.tables
+        for row in summary.rows:
+            advantage = row[-1]
+            assert advantage >= 1.0 - 1e-12
+
+    def test_headline_with_tuner_adds_column(self):
+        from repro.tune import Autotuner
+
+        report = run_experiment("headline", tuner=Autotuner())
+        (table,) = report.tables
+        assert table.columns[-1] == "autotuned"
+        for row in table.rows:
+            assert row[-1] > 1.0
+
+    def test_figure6_with_tuner_dominates_single_kernels(self):
+        from repro.tune import Autotuner
+
+        report = run_experiment(
+            "figure6", tuner=Autotuner(), models=("transformer",), gpus=("V100",)
+        )
+        (table,) = report.tables
+        rows = {row[0]: row[1:] for row in table.rows}
+        planned = rows.pop("Autotuned plan")
+        for label, speedups in rows.items():
+            for planned_cell, single_cell in zip(planned, speedups):
+                if single_cell is not None:
+                    assert planned_cell >= single_cell * (1 - 1e-12), label
+
 
 class TestCLI:
     def test_list_option(self, capsys):

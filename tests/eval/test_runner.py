@@ -18,7 +18,6 @@ from repro.eval.runner import (
     KernelSpec,
     ResultCache,
     RunConfig,
-    RunRecord,
     SweepRunner,
     SweepSpec,
     execute_config,
@@ -279,7 +278,6 @@ class TestResultCache:
         assert restored.config.label == "second"
 
     def test_not_applicable_results_are_cached_too(self, tmp_path):
-        config = RunConfig("cusparselt", "V100", 0.75, model="transformer")
         spec = SweepSpec(
             kernels=(KernelSpec("cusparselt"),),
             gpus=("V100",),

@@ -6,7 +6,6 @@ from repro.gpu.arch import (
     A100,
     T4,
     V100,
-    GPUArch,
     MMAShape,
     available_gpus,
     get_gpu,

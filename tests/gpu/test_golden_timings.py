@@ -13,15 +13,19 @@ full paper grid into a checked-in JSON fixture:
 
 A kernel/simulator refactor that shifts any total time, bound or speedup —
 and therefore potentially a crossover point the paper's claims hinge on —
-fails here with the exact cells that moved.  To shift the goldens
-*deliberately*, regenerate the fixture and review the diff::
+fails here with *every* cell that moved, and additionally writes the full
+structured diff to ``golden-diff.json`` (path overridable via the
+``GOLDEN_DIFF_PATH`` environment variable) so CI can upload it as an
+artifact and regressions are diagnosable from the Actions UI.  To shift the
+goldens *deliberately*, regenerate the fixture and review the diff::
 
-    PYTHONPATH=src python -m pytest tests/gpu/test_golden_timings.py --update-goldens
+    python -m pytest tests/gpu/test_golden_timings.py --update-goldens
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -91,32 +95,83 @@ def build_goldens() -> dict:
     }
 
 
-def _assert_leaf_equal(path: str, golden, current) -> None:
-    __tracebackhide__ = True
+def _leaf_matches(golden, current) -> bool:
     if isinstance(golden, float) and isinstance(current, (int, float)):
-        assert current == pytest.approx(golden, rel=REL_TOL, abs=1e-15), (
-            f"{path}: golden {golden!r} vs current {current!r}"
-        )
-    else:
-        assert current == golden, f"{path}: golden {golden!r} vs current {current!r}"
+        return current == pytest.approx(golden, rel=REL_TOL, abs=1e-15)
+    return current == golden
 
 
-def _assert_tree_equal(path: str, golden, current) -> None:
+def _tree_diff(path: str, golden, current, diffs: list[dict]) -> None:
+    """Collect every differing cell (not just the first) into ``diffs``."""
     if isinstance(golden, dict):
-        assert isinstance(current, dict), f"{path}: structure changed"
-        assert set(current) == set(golden), (
-            f"{path}: keys changed "
-            f"(missing {sorted(set(golden) - set(current))}, "
-            f"new {sorted(set(current) - set(golden))})"
-        )
+        if not isinstance(current, dict):
+            diffs.append({"path": path, "kind": "structure-changed"})
+            return
+        missing = sorted(set(golden) - set(current))
+        new = sorted(set(current) - set(golden))
+        if missing or new:
+            diffs.append(
+                {"path": path, "kind": "keys-changed", "missing": missing, "new": new}
+            )
         for key in golden:
-            _assert_tree_equal(f"{path}/{key}", golden[key], current[key])
+            if key in current:
+                _tree_diff(f"{path}/{key}", golden[key], current[key], diffs)
     elif isinstance(golden, list):
-        assert len(current) == len(golden), f"{path}: length changed"
+        if not isinstance(current, list) or len(current) != len(golden):
+            diffs.append({"path": path, "kind": "length-changed"})
+            return
         for i, (g, c) in enumerate(zip(golden, current)):
-            _assert_tree_equal(f"{path}[{i}]", g, c)
-    else:
-        _assert_leaf_equal(path, golden, current)
+            _tree_diff(f"{path}[{i}]", g, c, diffs)
+    elif not _leaf_matches(golden, current):
+        diffs.append(
+            {"path": path, "kind": "value-changed", "golden": golden, "current": current}
+        )
+
+
+def golden_diff_path() -> Path:
+    """Where the structured diff lands (CI uploads this file on failure)."""
+    return Path(os.environ.get("GOLDEN_DIFF_PATH", "golden-diff.json"))
+
+
+def _write_diff_artifact(section: str, diffs: list[dict]) -> Path:
+    """Merge one section's diff into the artifact file (sections are checked
+    by separate tests, and all of them must land in one artifact)."""
+    path = golden_diff_path()
+    payload: dict = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            payload = {}
+    if not isinstance(payload, dict):
+        payload = {}
+    payload["model_version"] = MODEL_VERSION
+    payload[section] = diffs
+    path.write_text(json.dumps(payload, indent=1, default=str), encoding="utf-8")
+    return path
+
+
+def _check_tree(section: str, golden, current) -> None:
+    __tracebackhide__ = True
+    diffs: list[dict] = []
+    _tree_diff(section, golden, current, diffs)
+    if not diffs:
+        return
+    artifact = _write_diff_artifact(section, diffs)
+    preview = "\n".join(
+        f"  {d['path']}: {d['kind']}"
+        + (
+            f" golden={d['golden']!r} current={d['current']!r}"
+            if d["kind"] == "value-changed"
+            else ""
+        )
+        for d in diffs[:10]
+    )
+    more = f"\n  ... and {len(diffs) - 10} more" if len(diffs) > 10 else ""
+    pytest.fail(
+        f"{len(diffs)} golden '{section}' cell(s) moved "
+        f"(full structured diff written to {artifact}):\n{preview}{more}"
+    )
 
 
 @pytest.fixture(scope="module")
@@ -153,13 +208,46 @@ def test_golden_model_version(goldens):
 def test_golden_simulate_totals_and_bounds(goldens):
     """simulate() totals and bound classification over GPUs x kernels x
     sparsities are unchanged."""
-    _assert_tree_equal("simulate", goldens["simulate"], _simulate_grid())
+    _check_tree("simulate", goldens["simulate"], _simulate_grid())
 
 
 def test_golden_figure6_speedups(goldens):
     """The full Figure 6 speedup grid (and its None applicability holes) is
     unchanged."""
-    _assert_tree_equal("figure6", goldens["figure6"], _figure6_grid())
+    _check_tree("figure6", goldens["figure6"], _figure6_grid())
+
+
+class TestDiffArtifact:
+    """The failure path itself: a moved cell must produce a structured,
+    uploadable diff file naming exactly the cells that moved."""
+
+    def test_mismatch_writes_artifact_and_fails(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GOLDEN_DIFF_PATH", str(tmp_path / "golden-diff.json"))
+        golden = {"V100": {"k": {"0.75": {"total_time_s": 1.0, "bound": "memory"}}}}
+        current = {"V100": {"k": {"0.75": {"total_time_s": 2.0, "bound": "memory"}}}}
+        with pytest.raises(pytest.fail.Exception, match="1 golden 'simulate'"):
+            _check_tree("simulate", golden, current)
+        payload = json.loads((tmp_path / "golden-diff.json").read_text())
+        assert payload["model_version"] == MODEL_VERSION
+        (diff,) = payload["simulate"]
+        assert diff["path"] == "simulate/V100/k/0.75/total_time_s"
+        assert diff["kind"] == "value-changed"
+        assert diff["golden"] == 1.0 and diff["current"] == 2.0
+
+    def test_sections_merge_into_one_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GOLDEN_DIFF_PATH", str(tmp_path / "golden-diff.json"))
+        with pytest.raises(pytest.fail.Exception):
+            _check_tree("simulate", {"a": 1.0}, {"a": 2.0})
+        with pytest.raises(pytest.fail.Exception, match="keys-changed"):
+            _check_tree("figure6", {"b": 1.0}, {"c": 1.0})
+        payload = json.loads((tmp_path / "golden-diff.json").read_text())
+        assert set(payload) == {"model_version", "simulate", "figure6"}
+
+    def test_matching_trees_write_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GOLDEN_DIFF_PATH", str(tmp_path / "golden-diff.json"))
+        tree = {"a": [1.0, 2.0], "b": None}
+        _check_tree("simulate", tree, {"a": [1.0, 2.0], "b": None})
+        assert not (tmp_path / "golden-diff.json").exists()
 
 
 def test_golden_grid_is_complete(goldens):

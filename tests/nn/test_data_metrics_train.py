@@ -9,7 +9,6 @@ from repro.nn.data import SyntheticClassificationTask, SyntheticTranslationTask
 from repro.nn.metrics import bleu_score, perplexity, token_accuracy, top1_accuracy
 from repro.nn.train import (
     TrainConfig,
-    apply_masks,
     build_masks,
     mask_gradients,
     prune_model,

@@ -6,7 +6,6 @@ import pytest
 from repro.pruning.patterns import (
     BalancedPruner,
     BlockwisePruner,
-    ShflBWPruner,
     UnstructuredPruner,
     VectorwisePruner,
 )

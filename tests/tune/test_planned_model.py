@@ -1,0 +1,142 @@
+"""PlannedModel execution, plan serialisation and measured refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import prune_shflbw
+from repro.eval.runner import KernelSpec
+from repro.kernels.base import GEMMShape
+from repro.kernels.registry import make_kernel
+from repro.models.shapes import LayerShape
+from repro.tune import (
+    Autotuner,
+    MeasuredRefiner,
+    PlannedModel,
+    TuningPlan,
+    gemm_layer,
+)
+
+
+class TestPlanSerialisation:
+    def test_dict_round_trip(self):
+        plan = Autotuner().plan("transformer", "V100", 0.75)
+        assert TuningPlan.from_dict(plan.to_dict()) == plan
+
+    def test_gemm_plan_round_trip(self):
+        plan = Autotuner().plan_gemm((512, 64, 512), "T4", 0.85)
+        assert TuningPlan.from_dict(plan.to_dict()) == plan
+
+    def test_workload_exclusivity_enforced(self):
+        with pytest.raises(ValueError):
+            TuningPlan(gpu="V100", sparsity=0.5, assignments=())
+
+
+class TestPlannedModel:
+    def test_layers_resolved_from_model_name(self):
+        plan = Autotuner().plan("transformer", "V100", 0.75)
+        planned = PlannedModel(plan)
+        assert set(planned.layers) == {a.layer for a in plan.assignments}
+        assert planned.total_time_s == pytest.approx(plan.total_time_s)
+        names = [name for name, _, _ in planned.layer_times()]
+        assert names == [a.layer for a in plan.assignments]
+
+    def test_kernel_instances_match_assignments_and_are_cached(self):
+        plan = Autotuner().plan("transformer", "V100", 0.75)
+        planned = PlannedModel(plan)
+        kernel = planned.kernel_for("ffn1")
+        assert kernel.name == make_kernel(plan.assignment_for("ffn1").kernel).name
+        assert planned.kernel_for("ffn1") is kernel
+
+    def test_matmul_routes_through_assigned_kernel(self, rng):
+        layer = LayerShape("fc", GEMMShape(m=32, n=16, k=48))
+        spec = KernelSpec("shfl-bw", kwargs={"vector_size": 8}, label="Shfl-BW,V=8")
+        tuner = Autotuner(candidates=(spec,))
+        plan = tuner.plan("transformer", "V100", 0.75, layers=[layer])
+        planned = PlannedModel(plan, layers=[layer])
+
+        weight = rng.normal(size=(32, 48))
+        weight[weight == 0.0] = 0.1
+        pruned, result = prune_shflbw(weight, sparsity=0.75, vector_size=8, seed=0)
+        activations = rng.normal(size=(48, 16))
+        out = planned.matmul("fc", pruned, activations, row_indices=result.row_indices)
+        np.testing.assert_allclose(out, pruned @ activations, atol=1e-10)
+
+    def test_dense_assignment_is_exact(self, rng):
+        layer = LayerShape("fc", GEMMShape(m=32, n=16, k=48))
+        spec = KernelSpec("dense", label="Dense")
+        plan = Autotuner(candidates=(spec,)).plan(
+            "transformer", "V100", 0.75, layers=[layer]
+        )
+        planned = PlannedModel(plan, layers=[layer])
+        weight = rng.normal(size=(32, 48))
+        activations = rng.normal(size=(48, 16))
+        np.testing.assert_allclose(
+            planned.matmul("fc", weight, activations), weight @ activations, atol=1e-12
+        )
+
+    def test_gemm_plan_builds_its_own_layer(self):
+        plan = Autotuner().plan_gemm((256, 32, 256), "V100", 0.75)
+        planned = PlannedModel(plan)
+        assert list(planned.layers) == [plan.assignments[0].layer]
+
+    def test_mismatched_layers_rejected(self):
+        plan = Autotuner().plan("transformer", "V100", 0.75)
+        with pytest.raises(ValueError, match="absent"):
+            PlannedModel(plan, layers=[gemm_layer((64, 16, 64))])
+
+
+class TestMeasuredRefinement:
+    def test_probe_shape_is_downscaled_and_aligned(self):
+        refiner = MeasuredRefiner(max_dim=256)
+        m, n, k = refiner.probe_shape(LayerShape("big", GEMMShape(4096, 300, 1024)))
+        assert (m, n, k) == (256, 256, 256)
+        m, n, k = refiner.probe_shape(LayerShape("small", GEMMShape(100, 8, 70)))
+        assert m % 64 == 0 and k % 64 == 0 and n % 16 == 0
+        assert m >= 64 and n >= 16 and k >= 64
+
+    def test_probe_operands_are_deterministic_and_sparse(self):
+        refiner = MeasuredRefiner(seed=7)
+        layer = gemm_layer((256, 64, 256))
+        w1, a1 = refiner.probe_operands(layer, 0.25)
+        w2, a2 = refiner.probe_operands(layer, 0.25)
+        np.testing.assert_array_equal(w1, w2)
+        np.testing.assert_array_equal(a1, a2)
+        density = np.count_nonzero(w1) / w1.size
+        assert 0.15 < density < 0.35
+
+    def test_measure_failure_returns_none(self):
+        class Exploding:
+            def prepare_cached(self, weight):
+                raise RuntimeError("boom")
+
+        refiner = MeasuredRefiner(repeats=1)
+        assert refiner.measure(Exploding(), gemm_layer((64, 16, 64)), 0.5) is None
+
+    def test_refine_falls_back_to_analytical_winner(self):
+        class Exploding:
+            def prepare_cached(self, weight):
+                raise RuntimeError("boom")
+
+        refiner = MeasuredRefiner(repeats=1, top_k=2)
+        scored = [(None, Exploding(), 1.0), (None, Exploding(), 2.0)]
+        assert refiner.refine(scored, gemm_layer((64, 16, 64)), 0.5) == 0
+
+    def test_measured_plan_smoke(self):
+        """Measured mode produces a feasible plan tagged as measured."""
+        tuner = Autotuner(refiner=MeasuredRefiner(top_k=2, repeats=1, max_dim=128))
+        plan = tuner.plan("transformer", "V100", 0.75)
+        assert plan.mode == "measured"
+        pool = {spec.display_label for spec in tuner.candidates}
+        assert {a.label for a in plan.assignments} <= pool
+
+    def test_measured_and_model_plans_cache_separately(self, tmp_path):
+        model_tuner = Autotuner(cache_dir=tmp_path)
+        model_tuner.plan_gemm((256, 32, 256), "V100", 0.75)
+        measured_tuner = Autotuner(
+            cache_dir=tmp_path, refiner=MeasuredRefiner(top_k=1, repeats=1)
+        )
+        measured_tuner.plan_gemm((256, 32, 256), "V100", 0.75)
+        assert measured_tuner.stats.hits == 0
+        assert measured_tuner.stats.misses == 1
