@@ -51,6 +51,7 @@ __all__ = [
     "SweepRunner",
     "execute_config",
     "serial_executor",
+    "batched_executor",
     "process_executor",
 ]
 
@@ -282,6 +283,32 @@ class SweepSpec:
         return configs
 
 
+def _evaluate_cell(config: RunConfig, kernel, arch, shape, layers) -> RunRecord:
+    """Evaluate one cell on the scalar timing model with resolved inputs.
+
+    The estimate half of :func:`execute_config`, shared with the batched
+    executor's fallback path so both produce identical records from the same
+    code (and the fallback reuses cached kernels / layer lists instead of
+    re-resolving them per cell).
+    """
+    from ..kernels.base import KernelNotApplicableError
+    from .speedup import model_time
+
+    if shape is not None:
+        try:
+            timing = kernel.estimate(arch, shape, config.density)
+        except (KernelNotApplicableError, ValueError) as exc:
+            return RunRecord(config, status="not-applicable", detail=str(exc))
+        return RunRecord(
+            config, status="ok", time_s=timing.total_time_s, bound=timing.bound
+        )
+    try:
+        total = model_time(kernel, arch, layers, config.density)
+    except (KernelNotApplicableError, ValueError) as exc:
+        return RunRecord(config, status="not-applicable", detail=str(exc))
+    return RunRecord(config, status="ok", time_s=total)
+
+
 def execute_config(config: RunConfig) -> RunRecord:
     """Evaluate one grid cell on the analytical timing model.
 
@@ -293,10 +320,9 @@ def execute_config(config: RunConfig) -> RunRecord:
     # Imported lazily: this module is the orchestration substrate the sweep
     # modules build on, so importing them at the top would be circular.
     from ..gpu.arch import get_gpu
-    from ..kernels.base import GEMMShape, KernelNotApplicableError
+    from ..kernels.base import GEMMShape
     from ..kernels.registry import make_kernel
     from ..models.shapes import model_layers
-    from .speedup import model_time
 
     # Grid-setup errors — unknown GPU / kernel / model, malformed GEMM shape
     # — must raise, not read as "not-applicable": they mean the *spec* is
@@ -312,29 +338,271 @@ def execute_config(config: RunConfig) -> RunRecord:
             detail=f"kernel {kernel.name!r} only runs on {', '.join(supported)}",
         )
     if config.gemm is not None:
-        shape = GEMMShape(*config.gemm)
-        try:
-            timing = kernel.estimate(arch, shape, config.density)
-        except (KernelNotApplicableError, ValueError) as exc:
-            return RunRecord(config, status="not-applicable", detail=str(exc))
-        return RunRecord(
-            config, status="ok", time_s=timing.total_time_s, bound=timing.bound
-        )
-    layers = model_layers(config.model)
-    try:
-        total = model_time(kernel, arch, layers, config.density)
-    except (KernelNotApplicableError, ValueError) as exc:
-        return RunRecord(config, status="not-applicable", detail=str(exc))
-    return RunRecord(config, status="ok", time_s=total)
+        return _evaluate_cell(config, kernel, arch, GEMMShape(*config.gemm), None)
+    return _evaluate_cell(config, kernel, arch, None, model_layers(config.model))
 
 
 def serial_executor(configs: list[RunConfig], *, jobs: int | None = None) -> list[RunRecord]:
-    """Evaluate every config in-process, in order (the test executor)."""
+    """Evaluate every config in-process, in order (the scalar oracle
+    executor: one :func:`execute_config` call per cell)."""
     return [execute_config(config) for config in configs]
+
+
+def _statically_feasible(capabilities, arch, kinds, density: float) -> bool:
+    """Whether every layer kind of a cell passes the kernel's static
+    capability check (cells that do not are routed to the scalar path, which
+    reproduces the exact not-applicable detail strings)."""
+    return all(
+        capabilities.infeasible_reason(arch, kind=kind, density=density) is None
+        for kind in kinds
+    )
+
+
+def batched_executor(
+    configs: list[RunConfig], *, jobs: int | None = None
+) -> list[RunRecord]:
+    """Evaluate configs through the batched estimation engine.
+
+    Cells are grouped by (kernel, kwargs, GPU) and each group's whole
+    workload x sparsity grid — every layer of every model cell plus every
+    explicit GEMM cell — is evaluated in a single
+    :meth:`~repro.kernels.base.SpMMKernel.estimate_grid` call; model cells
+    then reduce their layer slices with the scalar accumulation order.
+    Records are bit-identical to :func:`serial_executor`: the batched math
+    reproduces the scalar model exactly, and any cell the batch cannot
+    express (static infeasibility, per-cell applicability errors) falls back
+    to the scalar :func:`_evaluate_cell` path.
+    """
+    # Imported lazily for the same circularity reason as execute_config.
+    import numpy as np
+
+    from ..gpu.arch import get_gpu
+    from ..gpu.simulator import LaunchBatch, simulate_batch
+    from ..kernels.base import (
+        GEMMShape,
+        KernelNotApplicableError,
+        conv_unfold_factor,
+        no_conv_support_detail,
+    )
+    from ..kernels.registry import make_kernel
+    from ..models.shapes import model_layers
+
+    records: list[RunRecord | None] = [None] * len(configs)
+    groups: dict[tuple, list[int]] = {}
+    for index, config in enumerate(configs):
+        groups.setdefault(
+            (config.kernel, config.kernel_kwargs, config.gpu), []
+        ).append(index)
+
+    kernels: dict[tuple, object] = {}
+    model_cache: dict[str, list] = {}
+    # Per-model cell templates: the layer shapes, conv unfold factors and
+    # occurrence counts every model cell of a group expands to.
+    template_cache: dict[str, tuple[list, list[float], list[int], frozenset]] = {}
+    per_gpu_batches: dict[str, list] = {}
+    per_gpu_groups: dict[str, list] = {}
+    batch_cache: dict[tuple, object] = {}
+    for (kernel_name, kernel_kwargs, gpu), indices in groups.items():
+        # Grid-setup errors (unknown GPU / kernel / model, malformed GEMM
+        # shape) must raise exactly as in execute_config.
+        arch = get_gpu(gpu)
+        kernel_key = (kernel_name, kernel_kwargs)
+        kernel = kernels.get(kernel_key)
+        if kernel is None:
+            kernel = kernels.setdefault(
+                kernel_key, make_kernel(kernel_name, **dict(kernel_kwargs))
+            )
+        supported = getattr(kernel, "supported_archs", None)
+        if supported is not None and arch.name not in supported:
+            detail = f"kernel {kernel.name!r} only runs on {', '.join(supported)}"
+            for i in indices:
+                records[i] = RunRecord(
+                    configs[i], status="not-applicable", detail=detail
+                )
+            continue
+
+        # Flatten every statically feasible cell of the group into one list
+        # of (shape, density) simulator cells; statically infeasible cells
+        # take the scalar path, which reproduces the exact detail strings.
+        capabilities = kernel.capabilities()
+        # A kernel with no static constraints at all (dense, vector-wise,
+        # Shfl-BW) accepts every cell; skip the per-cell capability walk.
+        unconstrained = (
+            capabilities.supported_archs is None
+            and not capabilities.requires_sparse_tensor_core
+            and capabilities.fixed_density is None
+            and capabilities.supports_conv
+        )
+        feasibility: dict[tuple, bool] = {}
+        cells = 0
+        shape_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        density_parts: list[tuple[float, int]] = []
+        unfold_factors: list[float] = []
+        counts: list[int] = []
+        spans: list[tuple[int, int, int, object, object]] = []
+        for i in indices:
+            config = configs[i]
+            if config.gemm is not None:
+                shape = GEMMShape(*config.gemm)
+                layers = None
+                template = (
+                    (
+                        np.array([shape.m], dtype=np.int64),
+                        np.array([shape.n], dtype=np.int64),
+                        np.array([shape.k], dtype=np.int64),
+                    ),
+                    [0.0],
+                    [1],
+                    frozenset(("linear",)),
+                )
+            else:
+                shape = None
+                template = template_cache.get(config.model)
+                if template is None:
+                    layers = model_cache.setdefault(
+                        config.model, model_layers(config.model)
+                    )
+                    template = template_cache.setdefault(
+                        config.model,
+                        (
+                            (
+                                np.array([la.gemm.m for la in layers], dtype=np.int64),
+                                np.array([la.gemm.n for la in layers], dtype=np.int64),
+                                np.array([la.gemm.k for la in layers], dtype=np.int64),
+                            ),
+                            [
+                                conv_unfold_factor(layer.conv.kernel_size)
+                                if layer.kind == "conv"
+                                else 0.0
+                                for layer in layers
+                            ],
+                            [layer.count for layer in layers],
+                            frozenset(layer.kind for layer in layers),
+                        ),
+                    )
+                layers = model_cache[config.model]
+            cell_arrays, cell_factors, cell_counts, kinds = template
+            density = config.density
+            if unconstrained:
+                feasible = True
+            else:
+                feasible = feasibility.get((kinds, density))
+                if feasible is None:
+                    feasible = feasibility.setdefault(
+                        (kinds, density),
+                        _statically_feasible(capabilities, arch, kinds, density),
+                    )
+            if not feasible:
+                if (
+                    layers is not None
+                    and layers[0].kind == "conv"
+                    and not kernel.supports_conv
+                ):
+                    # The scalar path would raise on the first layer with
+                    # exactly this message; skip the exception machinery.
+                    records[i] = RunRecord(
+                        config,
+                        status="not-applicable",
+                        detail=no_conv_support_detail(kernel.name),
+                    )
+                else:
+                    records[i] = _evaluate_cell(config, kernel, arch, shape, layers)
+                continue
+            start = cells
+            cells += len(cell_factors)
+            shape_parts.append(cell_arrays)
+            density_parts.append((density, len(cell_factors)))
+            unfold_factors.extend(cell_factors)
+            counts.extend(cell_counts)
+            spans.append((i, start, cells, shape, layers))
+        if not spans:
+            continue
+
+        # Arch-agnostic kernels produce identical launch batches on every
+        # GPU; reuse the batch built for the same cell composition instead
+        # of rebuilding it per architecture.
+        signature = None
+        if kernel.launch_arch_agnostic:
+            signature = (
+                kernel_name,
+                kernel_kwargs,
+                tuple(
+                    (configs[i].model, configs[i].gemm, configs[i].density)
+                    for i, _, _, _, _ in spans
+                ),
+            )
+            batch = batch_cache.get(signature)
+            if batch is not None:
+                per_gpu_batches.setdefault(gpu, []).append(batch)
+                per_gpu_groups.setdefault(gpu, []).append(
+                    (spans, unfold_factors, counts, kernel.conv_unfold_overhead)
+                )
+                continue
+
+        shapes = (
+            np.concatenate([part[0] for part in shape_parts]),
+            np.concatenate([part[1] for part in shape_parts]),
+            np.concatenate([part[2] for part in shape_parts]),
+        )
+        densities = np.repeat(
+            np.array([density for density, _ in density_parts]),
+            np.array([count for _, count in density_parts]),
+        )
+        try:
+            batch = kernel.build_launch_batch(arch, shapes, densities)
+        except (KernelNotApplicableError, ValueError):
+            # Per-cell applicability the static stage cannot see (e.g. shape
+            # divisibility): the scalar path reproduces the exact records.
+            for i, _, _, shape, layers in spans:
+                records[i] = _evaluate_cell(configs[i], kernel, arch, shape, layers)
+            continue
+        if signature is not None:
+            batch_cache[signature] = batch
+        per_gpu_batches.setdefault(gpu, []).append(batch)
+        per_gpu_groups.setdefault(gpu, []).append(
+            (spans, unfold_factors, counts, kernel.conv_unfold_overhead)
+        )
+
+    # One simulate_batch call per GPU covers every kernel group's cells (the
+    # model is element-wise, so concatenation cannot change any number).
+    for gpu, batches in per_gpu_batches.items():
+        arch = get_gpu(gpu)
+        timing = simulate_batch(arch, LaunchBatch.concat(batches))
+        offset = 0
+        for (spans, unfold_factors, counts, unfold_overhead), batch in zip(
+            per_gpu_groups[gpu], batches
+        ):
+            totals = timing.total_time_s[offset : offset + len(batch)]
+            # Convolution unfolding overhead, exactly the estimate_conv
+            # expression; factors are 0.0 for linear / 1x1 cells, where the
+            # adjustment adds an exact 0.0.  The per-layer `time * count`
+            # terms then accumulate in the same order as the scalar sum in
+            # model_time (plain Python floats, not a pairwise reduction).
+            factors = np.asarray(unfold_factors)
+            totals = totals + totals * unfold_overhead * factors
+            weighted = (totals * np.asarray(counts)).tolist()
+            for i, start, stop, shape, layers in spans:
+                config = configs[i]
+                if shape is not None:
+                    records[i] = RunRecord(
+                        config,
+                        status="ok",
+                        time_s=float(totals[start]),
+                        bound=timing.bound[offset + start],
+                    )
+                else:
+                    total = 0.0
+                    for term in weighted[start:stop]:
+                        total += term
+                    records[i] = RunRecord(config, status="ok", time_s=total)
+            offset += len(batch)
+
+    assert all(record is not None for record in records)
+    return records  # type: ignore[return-value]
 
 
 def _execute_chunk(configs: list[RunConfig]) -> list[RunRecord]:
-    return [execute_config(config) for config in configs]
+    return batched_executor(configs)
 
 
 def process_executor(
@@ -510,12 +778,17 @@ class SweepResult:
 class SweepRunner:
     """Executes :class:`SweepSpec` grids with caching and parallelism.
 
-    ``jobs`` > 1 selects the process-pool executor (serial otherwise);
-    ``executor`` injects a custom one (tests pass :func:`serial_executor`).
-    ``cache_dir`` enables the persistent :class:`ResultCache`.  The runner
-    deduplicates identical cells within a grid, so a config appearing twice
-    is computed once.  ``stats`` accumulates hit/miss counts across every
-    ``run`` call on this runner.
+    The default executor is :func:`batched_executor` — the pure-analytical
+    fast path that evaluates each (kernel, GPU, workload) group's sparsity
+    grid through the batched estimation engine and produces records
+    bit-identical to the scalar :func:`serial_executor`.  ``jobs`` > 1
+    selects the process-pool executor (whose workers batch their chunks the
+    same way); ``executor`` injects a custom one (tests pass
+    :func:`serial_executor` as the oracle).  ``cache_dir`` enables the
+    persistent :class:`ResultCache`.  The runner deduplicates identical
+    cells within a grid, so a config appearing twice is computed once.
+    ``stats`` accumulates hit/miss counts across every ``run`` call on this
+    runner.
     """
 
     def __init__(
@@ -531,7 +804,7 @@ class SweepRunner:
             ResultCache(cache_dir, salt=salt) if cache_dir is not None else None
         )
         if executor is None:
-            executor = process_executor if (jobs or 0) > 1 else serial_executor
+            executor = process_executor if (jobs or 0) > 1 else batched_executor
         self._executor = executor
         self.stats = CacheStats()
 

@@ -9,8 +9,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..gpu.arch import GPUArch
-from ..kernels.base import GEMMShape, KernelNotApplicableError, SpMMKernel
+from ..kernels.base import (
+    GEMMShape,
+    KernelNotApplicableError,
+    SpMMKernel,
+    conv_unfold_factor,
+    no_conv_support_detail,
+)
 from ..kernels.registry import (
     DENSE_BASELINE_LABEL,
     paper_baseline_specs,
@@ -22,7 +30,9 @@ __all__ = [
     "SpeedupPoint",
     "kernel_time",
     "layer_time",
+    "layer_times_grid",
     "model_time",
+    "model_time_grid",
     "model_speedup",
     "spmm_throughput_sweep",
     "figure6_sweep",
@@ -101,6 +111,68 @@ def model_time(
     return sum(
         layer_time(kernel, arch, layer, density) * layer.count for layer in layers
     )
+
+
+def _layer_grid(
+    kernel: SpMMKernel, arch: GPUArch, layers: list[LayerShape], densities: np.ndarray
+) -> np.ndarray:
+    """Per-occurrence layer times over a ``densities x layers`` grid.
+
+    The batched twin of looping :func:`layer_time`: one
+    :meth:`~repro.kernels.base.SpMMKernel.estimate_grid` call covers every
+    ``(density, layer)`` cell, and the convolution unfolding overhead is
+    applied to the conv columns with exactly the scalar
+    ``estimate_conv`` expression.  Raises
+    :class:`~repro.kernels.base.KernelNotApplicableError` /
+    :class:`ValueError` exactly when the scalar loop would on any cell.
+    """
+    for layer in layers:
+        if layer.kind == "conv" and not kernel.supports_conv:
+            raise KernelNotApplicableError(no_conv_support_detail(kernel.name))
+    densities = np.asarray(densities, dtype=np.float64)
+    shapes = [layer.gemm for layer in layers] * len(densities)
+    cell_densities = np.repeat(densities, len(layers))
+    timing = kernel.estimate_grid(arch, shapes, cell_densities)
+    totals = timing.total_time_s.reshape(len(densities), len(layers))
+    # Unfold overhead per conv column, scaled by the shared
+    # conv_unfold_factor — the exact expression of SpMMKernel.estimate_conv
+    # (linear layers and 1x1 convs carry factor 0.0 and add an exact 0.0).
+    factors = np.array(
+        [
+            conv_unfold_factor(layer.conv.kernel_size)
+            if layer.kind == "conv"
+            else 0.0
+            for layer in layers
+        ]
+    )
+    if np.any(factors > 0.0):
+        totals = totals + totals * kernel.conv_unfold_overhead * factors[None, :]
+    return totals
+
+
+def layer_times_grid(
+    kernel: SpMMKernel, arch: GPUArch, layers: list[LayerShape], density: float
+) -> np.ndarray:
+    """Per-occurrence time of every layer at one density, in one batched call
+    (the autotuner's candidate-scoring fast path)."""
+    return _layer_grid(kernel, arch, layers, np.array([density]))[0]
+
+
+def model_time_grid(
+    kernel: SpMMKernel, arch: GPUArch, layers: list[LayerShape], densities: np.ndarray
+) -> np.ndarray:
+    """Whole-workload time at every density in one batched call.
+
+    The batched twin of :func:`model_time`: entry ``i`` is bit-identical to
+    ``model_time(kernel, arch, layers, densities[i])`` (the per-layer
+    accumulation runs in the same order as the scalar sum).
+    """
+    densities = np.asarray(densities, dtype=np.float64)
+    times = _layer_grid(kernel, arch, layers, densities)
+    totals = np.zeros(len(densities))
+    for column, layer in enumerate(layers):
+        totals += times[:, column] * layer.count
+    return totals
 
 
 def model_speedup(

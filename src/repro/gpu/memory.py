@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .arch import GPUArch
+from .vectorize import anytrue, stack_parts
 
 #: Bytes per FP16 value; the paper evaluates half precision throughout.
 BYTES_FP16 = 2
@@ -167,6 +170,234 @@ class TrafficBreakdown:
         if dram <= 0:
             return float("inf")
         return flops / dram
+
+
+# --------------------------------------------------------------------------- #
+# Batched (structure-of-arrays) traffic — the vectorized twin of
+# OperandTraffic / TrafficBreakdown used by repro.gpu.simulator.simulate_batch.
+# --------------------------------------------------------------------------- #
+@dataclass
+class OperandBatch:
+    """One operand *slot* across a batch of launches.
+
+    The scalar model stores one :class:`OperandTraffic` per operand per
+    launch; the batched model stores one array per field with one entry per
+    launch.  Every formula below is the scalar expression applied
+    element-wise, so a batch of launches produces bit-identical numbers to
+    looping :meth:`OperandTraffic.dram_bytes` one launch at a time.
+    """
+
+    name: str
+    bytes: np.ndarray
+    reads: np.ndarray
+    access_efficiency: np.ndarray
+    is_write: np.ndarray
+
+    def raw_bytes(self) -> np.ndarray:
+        """Per-launch bytes requested before cache filtering."""
+        return self.bytes * self.reads
+
+    def dram_bytes(self, arch: GPUArch) -> np.ndarray:
+        """Per-launch DRAM bytes after L2 filtering / efficiency penalties."""
+        reads = self.reads
+        # Single-read streams (outputs, metadata, weights) never hit the L2
+        # re-read filter; skip its arithmetic when the slot cannot qualify.
+        if reads.ndim == 0 and reads <= 1.0:
+            return (self.bytes * reads) / self.access_efficiency
+        usable_l2 = arch.l2_capacity / 2
+        safe_bytes = np.where(self.bytes > 0, self.bytes, 1.0)
+        # Denormal footprints overflow the ratio to inf, exactly like the
+        # scalar division; the min() clamps it to 1.0 either way.
+        with np.errstate(over="ignore"):
+            hit_fraction = np.minimum(1.0, usable_l2 / safe_bytes)
+        adjusted = (~self.is_write) & (reads > 1.0) & (self.bytes > 0)
+        effective_reads = np.where(
+            adjusted, 1.0 + (reads - 1.0) * (1.0 - hit_fraction), reads
+        )
+        return (self.bytes * effective_reads) / self.access_efficiency
+
+
+@dataclass
+class TrafficBatch:
+    """Operand traffic streams of a whole batch of launches.
+
+    ``size`` is the batch length; each :meth:`add` appends one operand slot
+    shared by every launch (scalars broadcast).  Launches with fewer operands
+    than their batch-mates pad the missing slots with zero-byte streams,
+    which contribute exactly ``0.0`` to every aggregate, so the per-launch
+    accumulation order over the real operands matches the scalar
+    :class:`TrafficBreakdown` sums term by term.
+    """
+
+    size: int
+    slots: list[OperandBatch] = field(default_factory=list)
+
+    def _as_array(self, value, dtype=np.float64) -> np.ndarray:
+        arr = np.asarray(value, dtype=dtype)
+        if arr.ndim and arr.shape != (self.size,):
+            raise ValueError(
+                f"expected a scalar or a length-{self.size} array, got shape {arr.shape}"
+            )
+        return arr
+
+    def add(
+        self,
+        name: str,
+        bytes: np.ndarray | float,
+        *,
+        reads: np.ndarray | float = 1.0,
+        access_efficiency: np.ndarray | float = 1.0,
+        is_write: np.ndarray | bool = False,
+        validate: bool = True,
+    ) -> "TrafficBatch":
+        """Append one operand slot and return ``self`` for chaining.
+
+        Scalar fields stay 0-d (numpy broadcasts them in every aggregate);
+        per-launch arrays must have length ``size``.  ``validate`` may be
+        switched off by callers whose inputs are non-negative / in-range by
+        construction (the kernel grid builders validate their own inputs
+        before deriving the traffic).
+        """
+        bytes_ = self._as_array(bytes)
+        reads_ = self._as_array(reads)
+        efficiency = self._as_array(access_efficiency)
+        write = self._as_array(is_write, dtype=bool)
+        if validate:
+            if anytrue(bytes_ < 0):
+                raise ValueError(f"operand {name!r} has negative bytes")
+            if anytrue(reads_ < 0):
+                raise ValueError(f"operand {name!r} has negative read count")
+            if anytrue((efficiency <= 0.0) | (efficiency > 1.0)):
+                raise ValueError(
+                    f"operand {name!r} access efficiency must be in (0, 1]"
+                )
+        self.slots.append(OperandBatch(name, bytes_, reads_, efficiency, write))
+        return self
+
+    @classmethod
+    def from_breakdowns(cls, breakdowns: list[TrafficBreakdown]) -> "TrafficBatch":
+        """Stack per-launch :class:`TrafficBreakdown` objects into one batch.
+
+        Slot ``i`` holds the ``i``-th operand of each launch; launches with
+        fewer operands pad with zero-byte streams *after* their real
+        operands, preserving the scalar summation order.
+        """
+        size = len(breakdowns)
+        batch = cls(size)
+        max_ops = max((len(b.operands) for b in breakdowns), default=0)
+        for slot in range(max_ops):
+            ops = [
+                b.operands[slot] if slot < len(b.operands) else None for b in breakdowns
+            ]
+            name = next((op.name for op in ops if op is not None), f"slot{slot}")
+            batch.add(
+                name,
+                np.array([op.bytes if op is not None else 0.0 for op in ops]),
+                reads=np.array([op.reads if op is not None else 0.0 for op in ops]),
+                access_efficiency=np.array(
+                    [op.access_efficiency if op is not None else 1.0 for op in ops]
+                ),
+                is_write=np.array(
+                    [op.is_write if op is not None else False for op in ops]
+                ),
+            )
+        return batch
+
+    @classmethod
+    def concat(cls, parts: "list[TrafficBatch]") -> "TrafficBatch":
+        """Stack several traffic batches end to end.
+
+        Slot ``j`` of the result concatenates slot ``j`` of every part;
+        parts with fewer slots pad with zero-byte streams, which contribute
+        an exact ``0.0`` to every aggregate (same argument as
+        :meth:`from_breakdowns`).
+        """
+        sizes = [part.size for part in parts]
+        merged = cls(sum(sizes))
+        max_slots = max((len(part.slots) for part in parts), default=0)
+        for slot in range(max_slots):
+            ops = [
+                part.slots[slot] if slot < len(part.slots) else None for part in parts
+            ]
+            merged.slots.append(
+                OperandBatch(
+                    name=next((op.name for op in ops if op is not None), f"slot{slot}"),
+                    bytes=stack_parts(
+                        [op.bytes if op else None for op in ops], sizes, 0.0
+                    ),
+                    reads=stack_parts(
+                        [op.reads if op else None for op in ops], sizes, 0.0
+                    ),
+                    access_efficiency=stack_parts(
+                        [op.access_efficiency if op else None for op in ops], sizes, 1.0
+                    ),
+                    is_write=stack_parts(
+                        [op.is_write if op else None for op in ops],
+                        sizes,
+                        False,
+                        dtype=bool,
+                    ),
+                )
+            )
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Aggregates (element-wise twins of the TrafficBreakdown methods)
+    # ------------------------------------------------------------------ #
+    def total_raw_bytes(self) -> np.ndarray:
+        """Per-launch bytes requested before any cache filtering."""
+        total = np.zeros(self.size)
+        for slot in self.slots:
+            total += slot.raw_bytes()
+        return total
+
+    def total_dram_bytes(self, arch: GPUArch) -> np.ndarray:
+        """Per-launch DRAM bytes after L2 filtering / efficiency penalties."""
+        total = np.zeros(self.size)
+        for slot in self.slots:
+            total += slot.dram_bytes(arch)
+        return total
+
+    def _check_bandwidth_efficiency(self, bandwidth_efficiency) -> np.ndarray:
+        efficiency = self._as_array(bandwidth_efficiency)
+        if anytrue((efficiency <= 0.0) | (efficiency > 1.0)):
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+        return efficiency
+
+    def dram_time(
+        self,
+        arch: GPUArch,
+        *,
+        bandwidth_efficiency: np.ndarray | float = 1.0,
+        dram_bytes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-launch DRAM delivery time (``dram_bytes`` may be precomputed)."""
+        efficiency = self._check_bandwidth_efficiency(bandwidth_efficiency)
+        if dram_bytes is None:
+            dram_bytes = self.total_dram_bytes(arch)
+        return dram_bytes / (arch.dram_bandwidth * efficiency)
+
+    def l2_time(
+        self, arch: GPUArch, *, bandwidth_efficiency: np.ndarray | float = 1.0
+    ) -> np.ndarray:
+        """Per-launch raw-traffic delivery time through the L2."""
+        efficiency = self._check_bandwidth_efficiency(bandwidth_efficiency)
+        return self.total_raw_bytes() / (arch.l2_bandwidth * efficiency)
+
+    def memory_time(
+        self,
+        arch: GPUArch,
+        *,
+        bandwidth_efficiency: np.ndarray | float = 1.0,
+        dram_bytes: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-launch memory-stream time: the slower of DRAM and L2."""
+        return np.maximum(
+            self.dram_time(
+                arch, bandwidth_efficiency=bandwidth_efficiency, dram_bytes=dram_bytes
+            ),
+            self.l2_time(arch, bandwidth_efficiency=bandwidth_efficiency),
+        )
 
 
 def gather_access_efficiency(contiguous_bytes: float) -> float:

@@ -19,6 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from .vectorize import anytrue
+
 
 @dataclass(frozen=True)
 class PipelineSpec:
@@ -129,6 +133,81 @@ def pipeline_time(spec: PipelineSpec, *, prefetch_metadata: bool = True) -> Pipe
     return PipelineEstimate(
         total_time=total,
         steady_state_time=spec.k_steps * steady,
+        prologue_time=prologue,
+        bound=bound,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Batched (array-accepting) variant — the element-wise twin of pipeline_time
+# used by repro.gpu.simulator.simulate_batch.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PipelineBatch:
+    """Per-launch pipeline estimates (the array twin of :class:`PipelineEstimate`)."""
+
+    total_time: np.ndarray
+    steady_state_time: np.ndarray
+    prologue_time: np.ndarray
+    bound: np.ndarray
+
+
+def pipeline_time_grid(
+    *,
+    compute_time: np.ndarray,
+    load_time: np.ndarray,
+    meta_time: np.ndarray,
+    k_steps: np.ndarray,
+    pipeline_stages: np.ndarray,
+    meta_prefetch_steps: np.ndarray,
+    prefetch_metadata: np.ndarray,
+    meta_bulk_efficiency: np.ndarray | float = 1.0,
+    validate: bool = True,
+) -> PipelineBatch:
+    """Element-wise :func:`pipeline_time` over per-launch stream arrays.
+
+    Every expression mirrors the scalar model term by term (the two
+    metadata behaviours and the overlap / serial regimes are selected by
+    masks), so each launch's numbers are bit-identical to building its
+    :class:`PipelineSpec` and calling :func:`pipeline_time`.  ``validate``
+    may be switched off by callers whose inputs are valid by construction
+    (the simulator derives them from an already-validated launch batch).
+    """
+    bulk_efficiency = np.asarray(meta_bulk_efficiency, dtype=np.float64)
+    if validate:
+        if anytrue(compute_time < 0) or anytrue(load_time < 0) or anytrue(meta_time < 0):
+            raise ValueError("stream times must be non-negative")
+        if anytrue(k_steps < 1):
+            raise ValueError("k_steps must be >= 1")
+        if anytrue(pipeline_stages < 1):
+            raise ValueError("pipeline_stages must be >= 1")
+        if anytrue(meta_prefetch_steps < 1):
+            raise ValueError("meta_prefetch_steps must be >= 1")
+        if anytrue((bulk_efficiency <= 0.0) | (bulk_efficiency > 1.0)):
+            raise ValueError("meta_bulk_efficiency must be in (0, 1]")
+
+    bulk = np.asarray(prefetch_metadata, dtype=bool) & (meta_prefetch_steps > 1)
+    memory_stream = np.where(bulk, load_time + meta_time * bulk_efficiency, load_time)
+    serial_meta = np.where(bulk, 0.0, meta_time)
+
+    overlapped = pipeline_stages >= 2
+    steady = np.where(
+        overlapped,
+        serial_meta + np.maximum(compute_time, memory_stream),
+        serial_meta + compute_time + memory_stream,
+    )
+    bound = np.where(
+        overlapped,
+        np.where(compute_time >= memory_stream + serial_meta, "compute", "memory"),
+        "serial",
+    )
+
+    warmup_iters = np.minimum(pipeline_stages - 1, k_steps)
+    prologue = warmup_iters * memory_stream
+    steady_state = k_steps * steady
+    return PipelineBatch(
+        total_time=prologue + steady_state,
+        steady_state_time=steady_state,
         prologue_time=prologue,
         bound=bound,
     )

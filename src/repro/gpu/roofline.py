@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from .arch import GPUArch
 from .memory import BYTES_FP16, BYTES_FP32
 from .tiling import optimal_tile_extent
@@ -53,6 +55,46 @@ def attainable_flops(
         arch=arch.name,
         operation_intensity=operation_intensity,
         attainable_flops=attainable,
+        peak_flops=peak,
+        memory_bound=bw_limited < peak,
+    )
+
+
+@dataclass(frozen=True)
+class RooflineBatch:
+    """Many kernels placed on one GPU's roofline (array twin of
+    :class:`RooflinePoint`)."""
+
+    arch: str
+    operation_intensity: np.ndarray
+    attainable_flops: np.ndarray
+    peak_flops: float
+    memory_bound: np.ndarray
+
+    @property
+    def efficiency(self) -> np.ndarray:
+        """Per-kernel fraction of peak throughput attainable."""
+        if self.peak_flops <= 0:
+            return np.zeros_like(self.attainable_flops)
+        return self.attainable_flops / self.peak_flops
+
+
+def attainable_flops_grid(
+    arch: GPUArch,
+    operation_intensity: np.ndarray,
+    *,
+    use_tensor_core: bool = True,
+) -> RooflineBatch:
+    """Element-wise :func:`attainable_flops` over an intensity array."""
+    intensity = np.asarray(operation_intensity, dtype=np.float64)
+    if np.any(intensity < 0):
+        raise ValueError("operation intensity must be non-negative")
+    peak = arch.peak_flops(use_tensor_core)
+    bw_limited = intensity * arch.dram_bandwidth
+    return RooflineBatch(
+        arch=arch.name,
+        operation_intensity=intensity,
+        attainable_flops=np.minimum(peak, bw_limited),
         peak_flops=peak,
         memory_bound=bw_limited < peak,
     )

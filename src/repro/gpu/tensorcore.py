@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .arch import GPUArch, MMAShape
+from .vectorize import anytrue
 
 
 def ceil_div(a: int, b: int) -> int:
@@ -129,6 +132,120 @@ def cuda_core_time(
     time = useful_flops / achieved
     return ComputeEstimate(
         time_s=time, issued_flops=useful_flops, useful_flops=useful_flops
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Batched (array-accepting) variants — element-wise twins of the scalar
+# estimators above, used by repro.gpu.simulator.simulate_batch.  Inputs are
+# arrays with one entry per launch; every expression mirrors the scalar one
+# so the results are bit-identical to looping the scalar functions.
+# --------------------------------------------------------------------------- #
+def ceil_div_array(a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
+    """Element-wise integer ceiling division for positive operands."""
+    if anytrue(b <= 0):
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class ComputeBatch:
+    """Per-launch compute estimates (the array twin of :class:`ComputeEstimate`)."""
+
+    time_s: np.ndarray
+    issued_flops: np.ndarray
+    useful_flops: np.ndarray
+
+    @property
+    def utilization(self) -> np.ndarray:
+        issued = self.issued_flops
+        safe = np.where(issued > 0, issued, 1.0)
+        return np.where(issued > 0, self.useful_flops / safe, 0.0)
+
+
+def mma_instructions_grid(
+    tile_m: np.ndarray, tile_n: np.ndarray, tile_k: np.ndarray, mma: MMAShape
+) -> np.ndarray:
+    """Element-wise :func:`mma_instructions_for_tile`."""
+    if anytrue(tile_m <= 0) or anytrue(tile_n <= 0) or anytrue(tile_k <= 0):
+        raise ValueError("tile dimensions must be positive")
+    return (
+        ceil_div_array(tile_m, mma.m)
+        * ceil_div_array(tile_n, mma.n)
+        * ceil_div_array(tile_k, mma.k)
+    )
+
+
+def _check_efficiency_array(efficiency: np.ndarray) -> np.ndarray:
+    efficiency = np.asarray(efficiency, dtype=np.float64)
+    if anytrue((efficiency <= 0.0) | (efficiency > 1.0)):
+        raise ValueError("efficiency must be in (0, 1]")
+    return efficiency
+
+
+def tensor_core_time_grid(
+    arch: GPUArch,
+    useful_flops: np.ndarray,
+    *,
+    tile_m: np.ndarray,
+    tile_n: np.ndarray,
+    tile_k: np.ndarray,
+    num_tiles: np.ndarray,
+    efficiency: np.ndarray,
+) -> ComputeBatch:
+    """Element-wise :func:`tensor_core_time` over a batch of launches."""
+    efficiency = _check_efficiency_array(efficiency)
+    useful_flops = np.asarray(useful_flops, dtype=np.float64)
+    tile_flops = (mma_instructions_grid(tile_m, tile_n, tile_k, arch.mma) * arch.mma.flops)
+    issued = tile_flops.astype(np.float64) * np.asarray(num_tiles, dtype=np.float64)
+    issued = np.maximum(issued, useful_flops)
+    time = issued / (arch.tensor_flops * efficiency)
+    return ComputeBatch(time_s=time, issued_flops=issued, useful_flops=useful_flops)
+
+
+def cuda_core_time_grid(
+    arch: GPUArch,
+    useful_flops: np.ndarray,
+    *,
+    efficiency: np.ndarray,
+) -> ComputeBatch:
+    """Element-wise :func:`cuda_core_time` (unit occupancy / lane width, the
+    form the simulator uses)."""
+    efficiency = _check_efficiency_array(efficiency)
+    useful_flops = np.asarray(useful_flops, dtype=np.float64)
+    achieved = arch.cuda_core_flops * efficiency
+    time = useful_flops / achieved
+    return ComputeBatch(
+        time_s=time, issued_flops=useful_flops, useful_flops=useful_flops
+    )
+
+
+def sparse_tensor_core_time_grid(
+    arch: GPUArch,
+    useful_flops: np.ndarray,
+    *,
+    tile_m: np.ndarray,
+    tile_n: np.ndarray,
+    tile_k: np.ndarray,
+    num_tiles: np.ndarray,
+    efficiency: np.ndarray,
+) -> ComputeBatch:
+    """Element-wise :func:`sparse_tensor_core_time`."""
+    dense = tensor_core_time_grid(
+        arch,
+        useful_flops,
+        tile_m=tile_m,
+        tile_n=tile_n,
+        tile_k=tile_k,
+        num_tiles=num_tiles,
+        efficiency=efficiency,
+    )
+    if not arch.supports_sparse_tensor_core:
+        return dense
+    return ComputeBatch(
+        time_s=dense.time_s / 2.0,
+        issued_flops=dense.issued_flops,
+        useful_flops=dense.useful_flops,
     )
 
 

@@ -19,9 +19,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from .arch import GPUArch
 from .memory import BYTES_FP16, BYTES_FP32
-from .tensorcore import ceil_div
+from .tensorcore import ceil_div, ceil_div_array
+from .vectorize import anytrue
 
 
 @dataclass(frozen=True)
@@ -141,6 +144,133 @@ def wave_efficiency(arch: GPUArch, tile: TileConfig, num_tiles: int) -> float:
     """
     waves = wave_count(arch, tile, num_tiles)
     return num_tiles / (waves * concurrent_tiles(arch, tile))
+
+
+# --------------------------------------------------------------------------- #
+# Batched (array-accepting) variants — element-wise twins of the scalar
+# occupancy / wave model above, operating on per-launch tile-field arrays.
+# --------------------------------------------------------------------------- #
+def smem_bytes_grid(
+    tile_m: np.ndarray,
+    tile_n: np.ndarray,
+    tile_k: np.ndarray,
+    pipeline_stages: np.ndarray,
+) -> np.ndarray:
+    """Element-wise :attr:`TileConfig.smem_bytes`."""
+    a_tile = tile_m * tile_k * BYTES_FP16
+    b_tile = tile_k * tile_n * BYTES_FP16
+    return (a_tile + b_tile) * pipeline_stages
+
+
+def register_bytes_grid(
+    tile_m: np.ndarray, tile_n: np.ndarray, accumulator_bytes: np.ndarray
+) -> np.ndarray:
+    """Element-wise :attr:`TileConfig.register_bytes` (same 25 % staging
+    overhead, same truncation towards zero as the scalar ``int()``)."""
+    accumulators = tile_m * tile_n * accumulator_bytes
+    return (accumulators.astype(np.float64) * 1.25).astype(np.int64)
+
+
+def occupancy_grid(
+    arch: GPUArch,
+    *,
+    tile_m: np.ndarray,
+    tile_n: np.ndarray,
+    tile_k: np.ndarray,
+    threads: np.ndarray,
+    pipeline_stages: np.ndarray,
+    accumulator_bytes: np.ndarray,
+) -> np.ndarray:
+    """Element-wise :func:`occupancy`."""
+    smem = smem_bytes_grid(tile_m, tile_n, tile_k, pipeline_stages)
+    regs = register_bytes_grid(tile_m, tile_n, accumulator_bytes)
+    by_smem = arch.shared_mem_per_sm // np.maximum(smem, 1)
+    by_regs = arch.register_file_per_sm // np.maximum(regs, 1)
+    by_threads = arch.max_threads_per_sm // threads
+    return np.maximum(1, np.minimum(np.minimum(by_smem, by_regs), by_threads))
+
+
+def concurrent_tiles_grid(
+    arch: GPUArch,
+    *,
+    tile_m: np.ndarray,
+    tile_n: np.ndarray,
+    tile_k: np.ndarray,
+    threads: np.ndarray,
+    pipeline_stages: np.ndarray,
+    accumulator_bytes: np.ndarray,
+) -> np.ndarray:
+    """Element-wise :func:`concurrent_tiles`."""
+    return (
+        occupancy_grid(
+            arch,
+            tile_m=tile_m,
+            tile_n=tile_n,
+            tile_k=tile_k,
+            threads=threads,
+            pipeline_stages=pipeline_stages,
+            accumulator_bytes=accumulator_bytes,
+        )
+        * arch.sm_count
+    )
+
+
+def wave_count_grid(num_tiles: np.ndarray, concurrent: np.ndarray) -> np.ndarray:
+    """Element-wise :func:`wave_count` given precomputed concurrent tiles."""
+    if anytrue(num_tiles <= 0):
+        raise ValueError("num_tiles must be positive")
+    return ceil_div_array(num_tiles, concurrent)
+
+
+def _next_pow2_grid(dim: np.ndarray) -> np.ndarray:
+    """Element-wise ``1 << (max(dim, 1) - 1).bit_length()``.
+
+    ``bit_length`` is recovered from the ``frexp`` exponent, which is exact
+    for every integer a float64 can represent (the grids here are far below
+    2**53).
+    """
+    x = np.maximum(dim, 1) - 1
+    bit_length = np.frexp(x.astype(np.float64))[1]
+    return np.left_shift(np.int64(1), bit_length)
+
+
+def default_gemm_tile_grid(
+    m: np.ndarray, n: np.ndarray, k: np.ndarray, *, min_tiles: int = 96
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Element-wise :func:`default_gemm_tile` over problem-shape arrays.
+
+    Returns the ``(tile_m, tile_n, tile_k)`` arrays; the remaining
+    :class:`TileConfig` fields are the constructor defaults (128 threads,
+    2 pipeline stages, FP32 accumulators), exactly as the scalar helper
+    produces.  The scalar shrink-until-``min_tiles`` loops run at most twice
+    per dimension (128 -> 64 -> 32), so two masked halvings reproduce them.
+    """
+    if anytrue(m <= 0) or anytrue(n <= 0):
+        raise ValueError("problem dimensions must be positive")
+
+    def _fit(dim: np.ndarray, preferred: int) -> np.ndarray:
+        return np.where(
+            dim >= preferred, preferred, np.maximum(16, _next_pow2_grid(dim))
+        )
+
+    tile_m = _fit(m, 128)
+    tile_n = _fit(n, 128)
+    tile_k = _fit(k, 64)
+
+    def grid(tm: np.ndarray, tn: np.ndarray) -> np.ndarray:
+        return ceil_div_array(m, tm) * ceil_div_array(n, tn)
+
+    for _ in range(2):
+        shrink = (grid(tile_m, tile_n) < min_tiles) & (tile_m > 32)
+        if not anytrue(shrink):
+            break
+        tile_m = np.where(shrink, tile_m // 2, tile_m)
+    for _ in range(2):
+        shrink = (grid(tile_m, tile_n) < min_tiles) & (tile_n > 32)
+        if not anytrue(shrink):
+            break
+        tile_n = np.where(shrink, tile_n // 2, tile_n)
+    return tile_m, tile_n, tile_k
 
 
 def optimal_tile_extent(arch: GPUArch, *, accumulator_bytes: int = BYTES_FP32) -> float:

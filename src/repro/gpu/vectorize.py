@@ -1,0 +1,63 @@
+"""Micro-helpers shared by the batched (array) variants of the GPU model.
+
+The batched estimation engine runs many small numpy expressions per sweep
+group; the generic :func:`numpy.any` wrapper and eager scalar broadcasting
+are measurable overhead at that granularity.  These helpers keep the hot
+paths lean without changing semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["anytrue", "stack_parts"]
+
+
+def anytrue(mask) -> bool:
+    """``bool(np.any(mask))`` without the ufunc-wrapper overhead.
+
+    Accepts plain Python bools (scalar comparisons), numpy bool scalars and
+    arrays alike, so validation code can write ``anytrue(x <= 0)`` whether
+    ``x`` is a scalar or a per-launch array.
+    """
+    if isinstance(mask, bool):
+        return mask
+    return bool(mask.any())
+
+
+def stack_parts(values: list, sizes, fill=None, *, dtype=np.float64) -> np.ndarray:
+    """Stack one field of several batch parts end to end, scalars preserved.
+
+    ``values[i]`` is part ``i``'s field (a length-``sizes[i]`` array, a
+    scalar/0-d value, or — when ``fill`` is given — ``None`` meaning "this
+    part lacks the field, pad with ``fill``").  Three regimes, cheapest
+    first:
+
+    * the same scalar in every part stays 0-d (numpy broadcasts it through
+      the merged batch for free),
+    * scalar-per-part merges as a step function with one ``np.repeat``,
+    * anything else materialises per part (``np.full`` is markedly cheaper
+      than ``broadcast_to`` here) and concatenates.
+
+    Because scalars and their materialised forms are element-wise
+    indistinguishable, stacking cannot change any launch's numbers — the
+    property both ``LaunchBatch.concat`` and ``TrafficBatch.concat`` lean
+    on.
+    """
+    arrays = [
+        None if value is None else np.asarray(value, dtype=dtype) for value in values
+    ]
+    if all(arr is None or arr.ndim == 0 for arr in arrays):
+        items = [fill if arr is None else arr.item() for arr in arrays]
+        first = items[0]
+        if all(item == first for item in items[1:]):
+            return np.asarray(first, dtype=dtype)
+        return np.repeat(np.array(items, dtype=dtype), np.asarray(sizes))
+    return np.concatenate(
+        [
+            np.full(n, fill if arr is None else arr, dtype=dtype)
+            if arr is None or arr.ndim == 0
+            else arr
+            for arr, n in zip(arrays, sizes)
+        ]
+    )

@@ -25,9 +25,17 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
-from ..gpu.memory import BYTES_FP16, TrafficBreakdown
-from ..gpu.simulator import KernelLaunch, KernelTiming, simulate
-from ..gpu.tensorcore import ceil_div
+from ..gpu.memory import BYTES_FP16, TrafficBatch, TrafficBreakdown
+from ..gpu.simulator import (
+    KernelLaunch,
+    KernelTiming,
+    LaunchBatch,
+    TimingBatch,
+    simulate,
+    simulate_batch,
+)
+from ..gpu.tensorcore import ceil_div, ceil_div_array
+from ..gpu.vectorize import anytrue
 from ..sparse.spconv import Conv2dSpec
 
 __all__ = [
@@ -39,6 +47,13 @@ __all__ = [
     "activation_traffic",
     "output_traffic",
     "conv_to_gemm_shape",
+    "conv_unfold_factor",
+    "no_conv_support_detail",
+    "shape_arrays",
+    "weight_traffic_grid",
+    "activation_traffic_grid",
+    "output_traffic_grid",
+    "merge_traffic_grid",
 ]
 
 
@@ -80,6 +95,31 @@ def conv_to_gemm_shape(spec: Conv2dSpec, batch: int, height: int, width: int) ->
         raise ValueError("batch and spatial dimensions must be positive")
     oh, ow = spec.output_hw(height, width)
     return GEMMShape(m=spec.gemm_m, n=batch * oh * ow, k=spec.gemm_k)
+
+
+def no_conv_support_detail(name: str) -> str:
+    """The single source of the 'no convolution implementation' message.
+
+    Raised by :meth:`SpMMKernel.estimate_conv`, reported by
+    :meth:`KernelCapabilities.infeasible_reason` and reproduced verbatim by
+    the batched grid paths, whose records must match the scalar executor's
+    string for string.
+    """
+    return f"kernel {name!r} has no convolution implementation"
+
+
+def conv_unfold_factor(kernel_size: int) -> float:
+    """Replicated share ``1 - 1 / (KH * KW)`` of the im2col unfolding.
+
+    The single source of the expression every conv estimate scales its
+    unfolding overhead by — scalar :meth:`SpMMKernel.estimate_conv` and the
+    batched grid paths alike — so the batch == scalar bit-exactness cannot
+    drift.  A 1x1 convolution (im2col is a pure reshape) returns 0.0.
+    """
+    replication = kernel_size * kernel_size
+    if replication <= 1:
+        return 0.0
+    return 1.0 - 1.0 / replication
 
 
 # --------------------------------------------------------------------------- #
@@ -161,6 +201,106 @@ def merge_traffic(*parts: TrafficBreakdown) -> TrafficBreakdown:
 
 
 # --------------------------------------------------------------------------- #
+# Batched (array-accepting) traffic builders — element-wise twins of the
+# scalar builders above, consumed by the kernels' build_launch_batch
+# overrides.  ``ms``/``ns``/``ks``/``densities`` carry one entry per grid
+# cell; every expression mirrors its scalar twin term by term so a batched
+# estimate reproduces the scalar one bit for bit.
+# --------------------------------------------------------------------------- #
+def shape_arrays(
+    shapes,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a list of GEMM shapes into ``(ms, ns, ks)`` int64 arrays.
+
+    Callers on the hot path may pass a pre-built ``(ms, ns, ks)`` array
+    triple instead of shape objects (the sweep executor caches these per
+    workload); it is returned as-is.
+    """
+    if isinstance(shapes, tuple) and len(shapes) == 3 and isinstance(shapes[0], np.ndarray):
+        return shapes
+    ms = np.array([shape.m for shape in shapes], dtype=np.int64)
+    ns = np.array([shape.n for shape in shapes], dtype=np.int64)
+    ks = np.array([shape.k for shape in shapes], dtype=np.int64)
+    return ms, ns, ks
+
+
+def weight_traffic_grid(
+    ms: np.ndarray,
+    ks: np.ndarray,
+    densities: np.ndarray,
+    *,
+    column_tiles: np.ndarray | float = 1.0,
+    value_bytes: int = BYTES_FP16,
+    access_efficiency: float = 1.0,
+) -> TrafficBatch:
+    """Element-wise :func:`weight_traffic`."""
+    traffic = TrafficBatch(len(ms))
+    traffic.add(
+        "weight",
+        ms * ks * densities * value_bytes,
+        reads=np.asarray(column_tiles, dtype=np.float64),
+        access_efficiency=access_efficiency,
+        validate=False,
+    )
+    return traffic
+
+
+def activation_traffic_grid(
+    ms: np.ndarray,
+    ns: np.ndarray,
+    ks: np.ndarray,
+    *,
+    row_tile: np.ndarray | int,
+    kept_fraction: np.ndarray | float = 1.0,
+    value_bytes: int = BYTES_FP16,
+    access_efficiency: float = 1.0,
+    row_tiles: np.ndarray | None = None,
+) -> TrafficBatch:
+    """Element-wise :func:`activation_traffic`.
+
+    ``row_tiles`` optionally passes a precomputed ``ceil(ms / row_tile)``
+    (kernels that also need the quotient for their grid reuse it here).
+    """
+    row_tile = np.asarray(row_tile)
+    if anytrue(row_tile <= 0):
+        raise ValueError("row_tile must be positive")
+    kept_fraction = np.asarray(kept_fraction, dtype=np.float64)
+    if anytrue((kept_fraction <= 0.0) | (kept_fraction > 1.0)):
+        raise ValueError("kept_fraction must be in (0, 1]")
+    if row_tiles is None:
+        row_tiles = ceil_div_array(ms, row_tile)
+    reads = row_tiles * kept_fraction
+    traffic = TrafficBatch(len(ms))
+    traffic.add(
+        "activation",
+        ks * ns * value_bytes,
+        reads=np.maximum(kept_fraction, reads),
+        access_efficiency=access_efficiency,
+        validate=False,
+    )
+    return traffic
+
+
+def output_traffic_grid(
+    ms: np.ndarray, ns: np.ndarray, *, value_bytes: int = BYTES_FP16
+) -> TrafficBatch:
+    """Element-wise :func:`output_traffic`."""
+    traffic = TrafficBatch(len(ms))
+    traffic.add("output", ms * ns * value_bytes, is_write=True, validate=False)
+    return traffic
+
+
+def merge_traffic_grid(*parts: TrafficBatch) -> TrafficBatch:
+    """Combine several traffic batches into one (slot order preserved)."""
+    merged = TrafficBatch(parts[0].size if parts else 0)
+    for part in parts:
+        if part.size != merged.size:
+            raise ValueError("cannot merge traffic batches of different sizes")
+        merged.slots.extend(part.slots)
+    return merged
+
+
+# --------------------------------------------------------------------------- #
 # Prepare cache helpers
 # --------------------------------------------------------------------------- #
 def _freeze_prepare_arg(value):
@@ -222,7 +362,7 @@ class KernelCapabilities:
         if self.requires_sparse_tensor_core and not arch.supports_sparse_tensor_core:
             return f"{arch.name} has no sparse tensor cores"
         if kind == "conv" and not self.supports_conv:
-            return f"kernel {self.name!r} has no convolution implementation"
+            return no_conv_support_detail(self.name)
         if (
             not self.is_dense
             and self.fixed_density is not None
@@ -266,6 +406,12 @@ class SpMMKernel(abc.ABC):
     requires_sparse_tensor_core: bool = False
     #: How many compressed weights :meth:`prepare_cached` keeps per kernel.
     prepare_cache_size: int = 8
+    #: Whether :meth:`build_launch` / :meth:`build_launch_batch` ignore the
+    #: target architecture entirely (no split-K heuristics, efficiency
+    #: tables or capability gates inside the launch construction).  The
+    #: batched sweep executor reuses such kernels' launch batches across
+    #: GPUs instead of rebuilding them per architecture.
+    launch_arch_agnostic: bool = False
     #: Fractional time overhead of the on-the-fly im2col unfolding at full
     #: ``KH x KW`` replication (1x1 convolutions unfold for free).
     conv_unfold_overhead: float = 0.05
@@ -318,6 +464,48 @@ class SpMMKernel(abc.ABC):
         launch = self.build_launch(arch, shape, density, **kwargs)
         return simulate(arch, launch)
 
+    def build_launch_batch(
+        self,
+        arch: GPUArch,
+        shapes: list[GEMMShape],
+        densities: np.ndarray,
+        **kwargs,
+    ) -> LaunchBatch:
+        """Describe one launch per ``(shape, density)`` cell as one batch.
+
+        The generic fallback stacks scalar :meth:`build_launch` calls, which
+        vectorizes the simulator but not the launch construction; the
+        registry kernels override this with fully vectorized builders.  Any
+        cell the kernel cannot run raises exactly as :meth:`build_launch`
+        does (the batch is all-or-nothing; callers needing per-cell
+        applicability fall back to the scalar path).
+        """
+        launches = [
+            self.build_launch(arch, shape, float(density), **kwargs)
+            for shape, density in zip(shapes, densities, strict=True)
+        ]
+        return LaunchBatch.from_launches(launches)
+
+    def estimate_grid(
+        self,
+        arch: GPUArch,
+        shapes: list[GEMMShape],
+        densities: np.ndarray,
+        **kwargs,
+    ) -> TimingBatch:
+        """Estimate every ``(shape, density)`` cell of a grid in one batch.
+
+        The batched twin of :meth:`estimate`: ``shapes`` and ``densities``
+        are parallel sequences (one entry per cell — callers expand their
+        own cross products), and cell ``i`` of the returned
+        :class:`~repro.gpu.simulator.TimingBatch` is bit-identical to
+        ``estimate(arch, shapes[i], densities[i])``.
+        """
+        batch = self.build_launch_batch(
+            arch, list(shapes), np.asarray(densities, dtype=np.float64), **kwargs
+        )
+        return simulate_batch(arch, batch)
+
     def estimate_conv(
         self,
         arch: GPUArch,
@@ -339,17 +527,13 @@ class SpMMKernel(abc.ABC):
         (whose im2col is a pure reshape) pays nothing.
         """
         if not self.supports_conv:
-            raise KernelNotApplicableError(
-                f"kernel {self.name!r} has no convolution implementation"
-            )
+            raise KernelNotApplicableError(no_conv_support_detail(self.name))
         shape = conv_to_gemm_shape(spec, batch, height, width)
         timing = self.estimate(arch, shape, density, **kwargs)
-        replication = spec.kernel_size * spec.kernel_size
-        if replication <= 1:
+        factor = conv_unfold_factor(spec.kernel_size)
+        if factor == 0.0:
             return timing
-        unfold_s = (
-            timing.total_time_s * self.conv_unfold_overhead * (1.0 - 1.0 / replication)
-        )
+        unfold_s = timing.total_time_s * self.conv_unfold_overhead * factor
         return dataclasses.replace(
             timing,
             total_time_s=timing.total_time_s + unfold_s,

@@ -16,9 +16,9 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
-from ..gpu.memory import BYTES_INDEX, TrafficBreakdown
-from ..gpu.simulator import ComputeUnit, KernelLaunch
-from ..gpu.tensorcore import ceil_div
+from ..gpu.memory import BYTES_INDEX, TrafficBatch, TrafficBreakdown
+from ..gpu.simulator import ComputeUnit, KernelLaunch, LaunchBatch
+from ..gpu.tensorcore import ceil_div, ceil_div_array
 from ..gpu.tiling import TileConfig
 from ..sparse.convert import dense_to_block
 from ..sparse.formats import BlockSparseMatrix
@@ -27,9 +27,14 @@ from .base import (
     GEMMShape,
     SpMMKernel,
     activation_traffic,
+    activation_traffic_grid,
     merge_traffic,
+    merge_traffic_grid,
     output_traffic,
+    output_traffic_grid,
+    shape_arrays,
     weight_traffic,
+    weight_traffic_grid,
 )
 
 __all__ = ["CusparseBSRKernel"]
@@ -120,4 +125,52 @@ class CusparseBSRKernel(SpMMKernel):
             bandwidth_efficiency=self.bandwidth_efficiency,
             prefetch_metadata=False,
             launches=2,  # the library performs a separate analysis/setup pass
+        )
+
+    def build_launch_batch(
+        self, arch: GPUArch, shapes, densities, **kwargs
+    ) -> LaunchBatch:
+        """Vectorized :meth:`build_launch` over whole grids."""
+        v = kwargs.get("block_size", self.block_size)
+        ms, ns, ks = shape_arrays(shapes)
+        densities = np.asarray(densities, dtype=np.float64)
+        ragged = (ms % v != 0) | (ks % v != 0)
+        if np.any(ragged):
+            offender = int(np.argmax(ragged))
+            bad = GEMMShape(int(ms[offender]), int(ns[offender]), int(ks[offender]))
+            raise ValueError(f"GEMM shape {bad} is not divisible by block size {v}")
+        tile_n = np.minimum(64, np.maximum(16, ns))
+        block_rows = ceil_div_array(ms, v)
+        traffic = merge_traffic_grid(
+            weight_traffic_grid(ms, ks, densities),
+            activation_traffic_grid(
+                ms, ns, ks, row_tile=v, kept_fraction=densities, row_tiles=block_rows
+            ),
+            output_traffic_grid(ms, ns),
+        )
+        meta = TrafficBatch(len(ms))
+        meta.add(
+            "metadata",
+            block_rows * ceil_div_array(ks, v) * densities * BYTES_INDEX
+            + (block_rows + 1) * BYTES_INDEX,
+            validate=False,
+        )
+        return LaunchBatch(
+            validate=False,
+            names=[f"{self.name}-v{v}"],
+            useful_flops=2.0 * ms * ns * ks * densities,
+            traffic=traffic,
+            meta_traffic=meta,
+            tile_m=v,
+            tile_n=tile_n,
+            tile_k=v,
+            threads=128,
+            pipeline_stages=2,
+            num_tiles=block_rows * ceil_div_array(ns, tile_n),
+            k_steps=np.maximum(1, np.round(ks * densities / v).astype(np.int64)),
+            compute_unit=ComputeUnit.TENSOR_CORE,
+            compute_efficiency=self._efficiency(arch, v),
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=False,
+            launches=2,
         )

@@ -14,10 +14,10 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
-from ..gpu.memory import TrafficBreakdown
-from ..gpu.simulator import ComputeUnit, KernelLaunch
-from ..gpu.tensorcore import ceil_div
-from ..gpu.tiling import default_gemm_tile
+from ..gpu.memory import TrafficBatch, TrafficBreakdown
+from ..gpu.simulator import ComputeUnit, KernelLaunch, LaunchBatch
+from ..gpu.tensorcore import ceil_div, ceil_div_array
+from ..gpu.tiling import default_gemm_tile, default_gemm_tile_grid
 from ..sparse.convert import dense_to_balanced
 from ..sparse.formats import Balanced24Matrix
 from ..sparse.spmm import spmm_balanced
@@ -26,9 +26,14 @@ from .base import (
     KernelNotApplicableError,
     SpMMKernel,
     activation_traffic,
+    activation_traffic_grid,
     merge_traffic,
+    merge_traffic_grid,
     output_traffic,
+    output_traffic_grid,
+    shape_arrays,
     weight_traffic,
+    weight_traffic_grid,
 )
 
 __all__ = ["CusparseLtKernel"]
@@ -99,6 +104,60 @@ class CusparseLtKernel(SpMMKernel):
             tile=tile,
             num_tiles=n_tiles_m * n_tiles_n,
             k_steps=tile.k_steps(shape.k),
+            compute_unit=ComputeUnit.SPARSE_TENSOR_CORE,
+            compute_efficiency=self.compute_efficiency,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=True,
+            meta_prefetch_steps=4,
+        )
+
+    def build_launch_batch(
+        self, arch: GPUArch, shapes, densities, **kwargs
+    ) -> LaunchBatch:
+        """Vectorized :meth:`build_launch` over whole grids (every cell must
+        sit at the balanced density on a sparse-tensor-core arch, exactly as
+        :meth:`check_applicable` enforces per cell)."""
+        densities = np.asarray(densities, dtype=np.float64)
+        off_pattern = np.abs(densities - self.fixed_density) > 1e-9
+        if np.any(off_pattern):
+            bad = float(densities[np.argmax(off_pattern)])
+            raise KernelNotApplicableError(
+                f"balanced 2:4 sparsity only supports density {self.fixed_density}, "
+                f"got {bad}"
+            )
+        if not arch.supports_sparse_tensor_core:
+            raise KernelNotApplicableError(
+                f"{arch.name} has no sparse tensor cores; cuSPARSELt 2:4 SpMM "
+                "is only evaluated on A100 in the paper"
+            )
+        ms, ns, ks = shape_arrays(shapes)
+        tile_m, tile_n, tile_k = default_gemm_tile_grid(ms, ns, ks)
+        traffic = merge_traffic_grid(
+            weight_traffic_grid(
+                ms,
+                ks,
+                self.fixed_density,
+                column_tiles=ceil_div_array(ns, tile_n),
+            ),
+            activation_traffic_grid(ms, ns, ks, row_tile=tile_m, kept_fraction=1.0),
+            output_traffic_grid(ms, ns),
+        )
+        meta = TrafficBatch(len(ms))
+        meta.add(
+            "metadata",
+            ms * ks * self.fixed_density * self.metadata_bits_per_kept / 8.0,
+        )
+        return LaunchBatch(
+            validate=False,
+            names=[self.name],
+            useful_flops=2.0 * ms * ns * ks * self.fixed_density,
+            traffic=traffic,
+            meta_traffic=meta,
+            tile_m=tile_m,
+            tile_n=tile_n,
+            tile_k=tile_k,
+            num_tiles=ceil_div_array(ms, tile_m) * ceil_div_array(ns, tile_n),
+            k_steps=ceil_div_array(ks, tile_k),
             compute_unit=ComputeUnit.SPARSE_TENSOR_CORE,
             compute_efficiency=self.compute_efficiency,
             bandwidth_efficiency=self.bandwidth_efficiency,

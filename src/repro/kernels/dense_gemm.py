@@ -15,17 +15,22 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
-from ..gpu.simulator import ComputeUnit, KernelLaunch
-from ..gpu.tensorcore import ceil_div
-from ..gpu.tiling import TileConfig, default_gemm_tile
+from ..gpu.simulator import ComputeUnit, KernelLaunch, LaunchBatch
+from ..gpu.tensorcore import ceil_div, ceil_div_array
+from ..gpu.tiling import TileConfig, default_gemm_tile, default_gemm_tile_grid
 from ..sparse.spmm import dense_gemm
 from .base import (
     GEMMShape,
     SpMMKernel,
     activation_traffic,
+    activation_traffic_grid,
     merge_traffic,
+    merge_traffic_grid,
     output_traffic,
+    output_traffic_grid,
+    shape_arrays,
     weight_traffic,
+    weight_traffic_grid,
 )
 
 __all__ = ["DenseTensorCoreGEMM", "DenseCudaCoreGEMM"]
@@ -89,6 +94,45 @@ class DenseTensorCoreGEMM(SpMMKernel):
             launches=launches,
         )
 
+    def build_launch_batch(
+        self, arch: GPUArch, shapes, densities, **kwargs
+    ) -> LaunchBatch:
+        """Vectorized :meth:`build_launch` over whole grids (splits-K and
+        tile shrinking included, cell by cell)."""
+        ms, ns, ks = shape_arrays(shapes)
+        tile_m, tile_n, tile_k = default_gemm_tile_grid(ms, ns, ks)
+        n_tiles_n = ceil_div_array(ns, tile_n)
+        num_tiles = ceil_div_array(ms, tile_m) * n_tiles_n
+        traffic = merge_traffic_grid(
+            weight_traffic_grid(ms, ks, 1.0, column_tiles=n_tiles_n),
+            activation_traffic_grid(ms, ns, ks, row_tile=tile_m),
+            output_traffic_grid(ms, ns),
+        )
+        split_k = np.ones_like(num_tiles)
+        for _ in range(3):  # 1 -> 2 -> 4 -> 8, exactly the scalar while loop
+            grow = (num_tiles * split_k < arch.sm_count) & (split_k < 8)
+            split_k = np.where(grow, split_k * 2, split_k)
+        split = split_k > 1
+        workspace = np.where(split, ms * ns * 4.0 * split_k, 0.0)
+        traffic.add("splitk-workspace-write", workspace, is_write=True)
+        traffic.add("splitk-workspace-read", workspace)
+        return LaunchBatch(
+            validate=False,
+            names=[self.name],
+            useful_flops=2.0 * ms * ns * ks,
+            traffic=traffic,
+            tile_m=tile_m,
+            tile_n=tile_n,
+            tile_k=tile_k,
+            num_tiles=num_tiles * split_k,
+            k_steps=np.maximum(1, ceil_div_array(ceil_div_array(ks, tile_k), split_k)),
+            compute_unit=ComputeUnit.TENSOR_CORE,
+            compute_efficiency=self.compute_efficiency,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=False,
+            launches=np.where(split, 2, 1),
+        )
+
 
 class DenseCudaCoreGEMM(SpMMKernel):
     """CUDA-core dense GEMM (no tensor cores), the Figure 1 reference curve."""
@@ -103,6 +147,8 @@ class DenseCudaCoreGEMM(SpMMKernel):
     # the CUDA-core one.
     compute_efficiency = 0.6
     bandwidth_efficiency = 0.85
+    #: The launch description never consults the architecture.
+    launch_arch_agnostic = True
 
     def prepare(self, weight: np.ndarray, **kwargs) -> np.ndarray:
         return np.asarray(weight, dtype=np.float64)
@@ -136,6 +182,37 @@ class DenseCudaCoreGEMM(SpMMKernel):
             tile=tile,
             num_tiles=n_tiles_m * n_tiles_n,
             k_steps=tile.k_steps(shape.k),
+            compute_unit=ComputeUnit.CUDA_CORE,
+            compute_efficiency=self.compute_efficiency,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=False,
+        )
+
+    def build_launch_batch(
+        self, arch: GPUArch, shapes, densities, **kwargs
+    ) -> LaunchBatch:
+        """Vectorized :meth:`build_launch` over whole grids."""
+        ms, ns, ks = shape_arrays(shapes)
+        tile_m = np.minimum(64, np.maximum(16, ms))
+        tile_n = np.minimum(64, np.maximum(16, ns))
+        tile_k = np.minimum(32, np.maximum(8, ks))
+        traffic = merge_traffic_grid(
+            weight_traffic_grid(ms, ks, 1.0, column_tiles=ceil_div_array(ns, tile_n)),
+            activation_traffic_grid(ms, ns, ks, row_tile=tile_m),
+            output_traffic_grid(ms, ns),
+        )
+        return LaunchBatch(
+            validate=False,
+            names=[self.name],
+            useful_flops=2.0 * ms * ns * ks,
+            traffic=traffic,
+            tile_m=tile_m,
+            tile_n=tile_n,
+            tile_k=tile_k,
+            threads=256,
+            pipeline_stages=2,
+            num_tiles=ceil_div_array(ms, tile_m) * ceil_div_array(ns, tile_n),
+            k_steps=ceil_div_array(ks, tile_k),
             compute_unit=ComputeUnit.CUDA_CORE,
             compute_efficiency=self.compute_efficiency,
             bandwidth_efficiency=self.bandwidth_efficiency,

@@ -25,13 +25,14 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
-from ..gpu.memory import BYTES_INDEX, TrafficBreakdown
-from ..gpu.simulator import KernelLaunch
+from ..gpu.memory import BYTES_INDEX, TrafficBatch, TrafficBreakdown
+from ..gpu.simulator import KernelLaunch, LaunchBatch
+from ..gpu.tensorcore import ceil_div_array
 from ..sparse.convert import dense_to_shflbw
 from ..sparse.formats import ShflBWMatrix
 from ..sparse.spconv import Conv2dSpec, conv2d_sparse
 from ..sparse.spmm import spmm_shflbw
-from .base import GEMMShape
+from .base import GEMMShape, shape_arrays
 from .vector_wise import VectorWiseKernel
 
 __all__ = ["ShflBWKernel", "ShflBWConvKernel"]
@@ -109,6 +110,33 @@ class ShflBWKernel(VectorWiseKernel):
                 "output-reorder-write", shape.m * shape.n * 2, is_write=True
             )
         return launch
+
+    def build_launch_batch(
+        self, arch: GPUArch, shapes, densities, **kwargs
+    ) -> LaunchBatch:
+        """Vectorized :meth:`build_launch`: the vector-wise batch with the
+        Shfl-BW metadata stream (column indices + row-shuffle indices)."""
+        batch = super().build_launch_batch(arch, shapes, densities, **kwargs)
+        v = kwargs.get("vector_size", self.vector_size)
+        ms, ns, ks = shape_arrays(shapes)
+        densities = np.asarray(densities, dtype=np.float64)
+        batch.names = [f"{self.name}-v{v}"] * len(batch)
+        batch.prefetch_metadata = np.broadcast_to(
+            np.bool_(self.prefetch_metadata), (len(batch),)
+        )
+        batch.meta_prefetch_steps = np.broadcast_to(
+            np.int64(self.meta_prefetch_steps), (len(batch),)
+        )
+        column_meta = ceil_div_array(ms, v) * (ks * densities) * BYTES_INDEX
+        row_meta = ms * BYTES_INDEX if self.reordered_write_back else 0.0
+        meta = TrafficBatch(len(ms))
+        meta.add("metadata", column_meta + row_meta)
+        batch.meta_traffic = meta
+        if not self.reordered_write_back:
+            batch.launches = batch.launches + 1
+            batch.traffic.add("output-reorder-read", ms * ns * 2)
+            batch.traffic.add("output-reorder-write", ms * ns * 2, is_write=True)
+        return batch
 
 
 class ShflBWConvKernel(ShflBWKernel):

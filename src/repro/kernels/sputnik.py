@@ -20,9 +20,9 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
-from ..gpu.memory import BYTES_INDEX, TrafficBreakdown
-from ..gpu.simulator import ComputeUnit, KernelLaunch
-from ..gpu.tensorcore import ceil_div
+from ..gpu.memory import BYTES_INDEX, TrafficBatch, TrafficBreakdown
+from ..gpu.simulator import ComputeUnit, KernelLaunch, LaunchBatch
+from ..gpu.tensorcore import ceil_div, ceil_div_array
 from ..gpu.tiling import TileConfig
 from ..sparse.convert import dense_to_csr
 from ..sparse.formats import CSRMatrix
@@ -31,9 +31,14 @@ from .base import (
     GEMMShape,
     SpMMKernel,
     activation_traffic,
+    activation_traffic_grid,
     merge_traffic,
+    merge_traffic_grid,
     output_traffic,
+    output_traffic_grid,
+    shape_arrays,
     weight_traffic,
+    weight_traffic_grid,
 )
 
 __all__ = ["SputnikKernel", "CusparseCSRKernel", "unstructured_union_fraction"]
@@ -67,6 +72,8 @@ class _UnstructuredKernel(SpMMKernel):
     compute_efficiency = 0.35
     bandwidth_efficiency = 0.75
     activation_access_efficiency = 0.8
+    #: The launch description never consults the architecture.
+    launch_arch_agnostic = True
 
     def prepare(self, weight: np.ndarray, **kwargs) -> CSRMatrix:
         return dense_to_csr(weight)
@@ -110,6 +117,56 @@ class _UnstructuredKernel(SpMMKernel):
             tile=tile,
             num_tiles=n_tiles,
             k_steps=tile.k_steps(shape.k),
+            compute_unit=ComputeUnit.CUDA_CORE,
+            compute_efficiency=self.compute_efficiency,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=True,
+            meta_prefetch_steps=2,
+        )
+
+    def build_launch_batch(
+        self, arch: GPUArch, shapes, densities, **kwargs
+    ) -> LaunchBatch:
+        """Vectorized :meth:`build_launch` over whole grids."""
+        ms, ns, ks = shape_arrays(shapes)
+        densities = np.asarray(densities, dtype=np.float64)
+        if np.any((densities <= 0.0) | (densities > 1.0)):
+            raise ValueError("density must be in (0, 1]")
+        tile_n = np.minimum(self.col_tile, np.maximum(8, ns))
+        kept = 1.0 - (1.0 - densities) ** self.row_tile
+        row_tiles = ceil_div_array(ms, self.row_tile)
+        traffic = merge_traffic_grid(
+            weight_traffic_grid(ms, ks, densities),
+            activation_traffic_grid(
+                ms,
+                ns,
+                ks,
+                row_tile=self.row_tile,
+                kept_fraction=kept,
+                access_efficiency=self.activation_access_efficiency,
+                row_tiles=row_tiles,
+            ),
+            output_traffic_grid(ms, ns),
+        )
+        meta = TrafficBatch(len(ms))
+        meta.add(
+            "metadata",
+            ms * ks * densities * BYTES_INDEX + (ms + 1) * BYTES_INDEX,
+            validate=False,
+        )
+        return LaunchBatch(
+            validate=False,
+            names=[self.name],
+            useful_flops=2.0 * ms * ns * ks * densities,
+            traffic=traffic,
+            meta_traffic=meta,
+            tile_m=self.row_tile,
+            tile_n=tile_n,
+            tile_k=32,
+            threads=128,
+            pipeline_stages=2,
+            num_tiles=row_tiles * ceil_div_array(ns, tile_n),
+            k_steps=ceil_div_array(ks, 32),
             compute_unit=ComputeUnit.CUDA_CORE,
             compute_efficiency=self.compute_efficiency,
             bandwidth_efficiency=self.bandwidth_efficiency,

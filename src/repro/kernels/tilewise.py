@@ -11,10 +11,12 @@ launch per row-group stream plus a per-stream synchronisation cost.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..gpu.arch import GPUArch
-from ..gpu.simulator import KernelLaunch
-from ..gpu.tensorcore import ceil_div
-from .base import GEMMShape
+from ..gpu.simulator import KernelLaunch, LaunchBatch
+from ..gpu.tensorcore import ceil_div, ceil_div_array
+from .base import GEMMShape, shape_arrays
 from .vector_wise import VectorWiseKernel
 
 __all__ = ["TileWiseKernel"]
@@ -58,3 +60,18 @@ class TileWiseKernel(VectorWiseKernel):
         # software pipelining across row groups.
         launch.prefetch_metadata = False
         return launch
+
+    def build_launch_batch(
+        self, arch: GPUArch, shapes, densities, **kwargs
+    ) -> LaunchBatch:
+        """Vectorized :meth:`build_launch`: the vector-wise batch with the
+        per-stream launch and synchronisation overheads."""
+        batch = super().build_launch_batch(arch, shapes, densities, **kwargs)
+        v = kwargs.get("vector_size", self.vector_size)
+        ms, _, _ = shape_arrays(shapes)
+        streams = np.minimum(self.max_streams, ceil_div_array(ms, v))
+        batch.names = [f"{self.name}-v{v}"] * len(batch)
+        batch.launches = streams
+        batch.extra_overhead_s = streams * self.stream_overhead_s
+        batch.prefetch_metadata = np.broadcast_to(np.bool_(False), (len(batch),))
+        return batch

@@ -14,9 +14,9 @@ import numpy as np
 
 from ..core.pattern import PatternKind
 from ..gpu.arch import GPUArch
-from ..gpu.memory import BYTES_INDEX, TrafficBreakdown
-from ..gpu.simulator import ComputeUnit, KernelLaunch
-from ..gpu.tensorcore import ceil_div
+from ..gpu.memory import BYTES_INDEX, TrafficBatch, TrafficBreakdown
+from ..gpu.simulator import ComputeUnit, KernelLaunch, LaunchBatch
+from ..gpu.tensorcore import ceil_div, ceil_div_array
 from ..gpu.tiling import TileConfig
 from ..sparse.convert import dense_to_vector_wise
 from ..sparse.formats import VectorSparseMatrix
@@ -25,9 +25,14 @@ from .base import (
     GEMMShape,
     SpMMKernel,
     activation_traffic,
+    activation_traffic_grid,
     merge_traffic,
+    merge_traffic_grid,
     output_traffic,
+    output_traffic_grid,
+    shape_arrays,
     weight_traffic,
+    weight_traffic_grid,
 )
 
 __all__ = ["VectorWiseKernel"]
@@ -42,6 +47,8 @@ class VectorWiseKernel(SpMMKernel):
 
     compute_efficiency = 0.80
     bandwidth_efficiency = 0.85
+    #: The launch description never consults the architecture.
+    launch_arch_agnostic = True
     #: Stitched reduction-tile width (columns gathered per main-loop step).
     stitch_tile_k = 32
     #: Output-tile width along N.
@@ -105,6 +112,49 @@ class VectorWiseKernel(SpMMKernel):
             tile=tile,
             num_tiles=n_tiles,
             k_steps=max(1, ceil_div(kept_per_group, tile.tile_k)),
+            compute_unit=ComputeUnit.TENSOR_CORE,
+            compute_efficiency=self.compute_efficiency,
+            bandwidth_efficiency=self.bandwidth_efficiency,
+            prefetch_metadata=True,
+            meta_prefetch_steps=4,
+        )
+
+    def build_launch_batch(
+        self, arch: GPUArch, shapes, densities, **kwargs
+    ) -> LaunchBatch:
+        """Vectorized :meth:`build_launch` over whole grids."""
+        v = kwargs.get("vector_size", self.vector_size)
+        ms, ns, ks = shape_arrays(shapes)
+        densities = np.asarray(densities, dtype=np.float64)
+        ragged = ms % v != 0
+        if np.any(ragged):
+            bad = int(ms[np.argmax(ragged)])
+            raise ValueError(f"M={bad} is not divisible by V={v}")
+        tile_n = np.minimum(self.tile_n, np.maximum(16, ns))
+        groups = ceil_div_array(ms, v)
+        traffic = merge_traffic_grid(
+            weight_traffic_grid(ms, ks, densities),
+            activation_traffic_grid(
+                ms, ns, ks, row_tile=v, kept_fraction=densities, row_tiles=groups
+            ),
+            output_traffic_grid(ms, ns),
+        )
+        meta = TrafficBatch(len(ms))
+        meta.add("metadata", groups * (ks * densities) * BYTES_INDEX, validate=False)
+        kept_per_group = np.maximum(1, np.round(ks * densities).astype(np.int64))
+        return LaunchBatch(
+            validate=False,
+            names=[f"{self.name}-v{v}"],
+            useful_flops=2.0 * ms * ns * ks * densities,
+            traffic=traffic,
+            meta_traffic=meta,
+            tile_m=v,
+            tile_n=tile_n,
+            tile_k=self.stitch_tile_k,
+            threads=128,
+            pipeline_stages=3,
+            num_tiles=groups * ceil_div_array(ns, tile_n),
+            k_steps=np.maximum(1, ceil_div_array(kept_per_group, self.stitch_tile_k)),
             compute_unit=ComputeUnit.TENSOR_CORE,
             compute_efficiency=self.compute_efficiency,
             bandwidth_efficiency=self.bandwidth_efficiency,

@@ -15,8 +15,16 @@ The paper's kernels operate on four weight-sparsity patterns (Figure 3):
 
 Every container knows how to reconstruct the dense matrix (`to_dense`), which
 is what the functional SpMM references and the test-suite invariants are built
-on.  Values are stored as ``float32`` numpy arrays (FP16 quantisation effects
-are out of scope; the performance model accounts for FP16 byte counts).
+on.  Values are stored as ``float64`` numpy arrays — the dtype every
+functional kernel and reference in :mod:`repro.sparse` computes in — so
+conversions never round (FP16 quantisation effects are out of scope; the
+performance model accounts for FP16 byte counts).
+
+The ``from_dense`` / ``to_dense`` conversions are vectorized
+(``nonzero`` / ``bincount`` / fancy indexing); the original per-row and
+per-block loop implementations live on as oracles in
+:mod:`repro.sparse.spmm_reference` and the property suite asserts
+equivalence.
 """
 
 from __future__ import annotations
@@ -94,31 +102,30 @@ class CSRMatrix:
 
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
-        """Compress a dense matrix, dropping exact zeros."""
+        """Compress a dense matrix, dropping exact zeros.
+
+        One ``nonzero`` scan replaces the per-row loop (row-major order, so
+        indices come out exactly as the loop produced them); oracle:
+        :func:`repro.sparse.spmm_reference.csr_from_dense_loop`.
+        """
         dense = _as_2d_float(dense)
         m, k = dense.shape
+        rows, cols = np.nonzero(dense)
         indptr = np.zeros(m + 1, dtype=np.int64)
-        indices: list[np.ndarray] = []
-        data: list[np.ndarray] = []
-        for i in range(m):
-            cols = np.nonzero(dense[i])[0]
-            indices.append(cols)
-            data.append(dense[i, cols])
-            indptr[i + 1] = indptr[i] + len(cols)
+        np.cumsum(np.bincount(rows, minlength=m), out=indptr[1:])
         return cls(
             shape=(m, k),
-            data=np.concatenate(data) if data else np.zeros(0),
-            indices=np.concatenate(indices) if indices else np.zeros(0, dtype=np.int64),
+            data=dense[rows, cols],
+            indices=cols.astype(np.int64),
             indptr=indptr,
         )
 
     def to_dense(self) -> np.ndarray:
-        """Reconstruct the dense matrix."""
+        """Reconstruct the dense matrix (one fancy-indexed scatter)."""
         m, k = self.shape
         out = np.zeros((m, k), dtype=np.float64)
-        for i in range(m):
-            start, end = self.indptr[i], self.indptr[i + 1]
-            out[i, self.indices[start:end]] = self.data[start:end]
+        rows = np.repeat(np.arange(m), np.diff(self.indptr))
+        out[rows, self.indices] = self.data
         return out
 
     def row_nnz(self) -> np.ndarray:
@@ -197,43 +204,41 @@ class BlockSparseMatrix:
 
     @classmethod
     def from_dense(cls, dense: np.ndarray, block_size: int) -> "BlockSparseMatrix":
-        """Compress a dense matrix, keeping every block with any non-zero."""
+        """Compress a dense matrix, keeping every block with any non-zero.
+
+        A reshape/transpose view exposes the block grid and one ``nonzero``
+        scan (block-row major, matching the original nested loops) selects
+        the stored blocks; oracle:
+        :func:`repro.sparse.spmm_reference.block_from_dense_loop`.
+        """
         dense = _as_2d_float(dense)
         m, k = dense.shape
         v = block_size
+        if v <= 0:
+            raise ValueError("block_size must be positive")
         if m % v or k % v:
             raise ValueError(f"shape {dense.shape} is not divisible by V={v}")
-        blocks: list[np.ndarray] = []
-        indices: list[int] = []
+        blocks = dense.reshape(m // v, v, k // v, v).transpose(0, 2, 1, 3)
+        block_rows, block_cols = np.nonzero(np.any(blocks != 0.0, axis=(2, 3)))
         indptr = np.zeros(m // v + 1, dtype=np.int64)
-        for bi in range(m // v):
-            count = 0
-            for bj in range(k // v):
-                block = dense[bi * v : (bi + 1) * v, bj * v : (bj + 1) * v]
-                if np.any(block != 0.0):
-                    blocks.append(block.copy())
-                    indices.append(bj)
-                    count += 1
-            indptr[bi + 1] = indptr[bi] + count
-        data = np.stack(blocks) if blocks else np.zeros((0, v, v))
+        np.cumsum(np.bincount(block_rows, minlength=m // v), out=indptr[1:])
+        data = blocks[block_rows, block_cols]
         return cls(
             shape=(m, k),
             block_size=v,
-            data=data,
-            block_indices=np.asarray(indices, dtype=np.int64),
+            data=data if len(data) else np.zeros((0, v, v)),
+            block_indices=block_cols.astype(np.int64),
             block_indptr=indptr,
         )
 
     def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense matrix (one fancy-indexed block scatter)."""
         m, k = self.shape
         v = self.block_size
-        out = np.zeros((m, k), dtype=np.float64)
-        for bi in range(self.num_block_rows):
-            start, end = self.block_indptr[bi], self.block_indptr[bi + 1]
-            for pos in range(start, end):
-                bj = self.block_indices[pos]
-                out[bi * v : (bi + 1) * v, bj * v : (bj + 1) * v] = self.data[pos]
-        return out
+        out = np.zeros((m // v, k // v, v, v), dtype=np.float64)
+        rows = np.repeat(np.arange(self.num_block_rows), np.diff(self.block_indptr))
+        out[rows, self.block_indices] = self.data
+        return out.transpose(0, 2, 1, 3).reshape(m, k)
 
 
 # --------------------------------------------------------------------------- #

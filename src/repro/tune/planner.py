@@ -37,7 +37,12 @@ from ..eval.runner import (
 from ..gpu.arch import get_gpu
 from ..kernels.base import GEMMShape, KernelNotApplicableError
 from ..models.shapes import LayerShape, model_layers
-from .candidates import candidate_density, default_candidates, prune_candidates
+from .candidates import (
+    build_kernel,
+    candidate_density,
+    default_candidates,
+    prune_candidates,
+)
 from .measure import MeasuredRefiner
 
 __all__ = [
@@ -320,14 +325,19 @@ class Autotuner:
 
     ``candidates`` defaults to the full paper line-up; ``cache_dir`` enables
     the persistent :class:`PlanCache`; ``refiner`` switches planning to the
-    measured-refinement mode.  ``stats`` accumulates plan-cache hits/misses
-    across the tuner's lifetime (same accounting class as the sweep runner).
+    measured-refinement mode.  ``batched`` (the default) scores each
+    candidate over every feasible layer in one batched timing-model call
+    (:func:`repro.eval.speedup.layer_times_grid`); the scalar path remains
+    as the bit-identical oracle.  ``stats`` accumulates plan-cache
+    hits/misses across the tuner's lifetime (same accounting class as the
+    sweep runner).
     """
 
     candidates: tuple[KernelSpec, ...] = field(default_factory=default_candidates)
     cache_dir: str | Path | None = None
     salt: str = MODEL_VERSION
     refiner: MeasuredRefiner | None = None
+    batched: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -402,9 +412,12 @@ class Autotuner:
 
         arch = get_gpu(gpu)
         density = 1.0 - sparsity
-        assignments = tuple(
-            self._assign_layer(arch, layer, density) for layer in layers
-        )
+        if self.batched:
+            assignments = self._assign_layers_batched(arch, layers, density)
+        else:
+            assignments = tuple(
+                self._assign_layer(arch, layer, density) for layer in layers
+            )
         plan = TuningPlan(
             gpu=arch.name,
             sparsity=sparsity,
@@ -422,7 +435,8 @@ class Autotuner:
 
     def _assign_layer(self, arch, layer: LayerShape, density: float) -> LayerAssignment:
         """Argmin of the timing model over the feasible candidates of one
-        layer (first-in-pool-order wins exact ties, so plans are stable)."""
+        layer, scored one scalar estimate at a time (the batched path's
+        oracle)."""
         # Imported here: repro.eval.speedup imports the runner this module
         # shares types with, and the experiment layer imports both.
         from ..eval.speedup import layer_time
@@ -440,6 +454,85 @@ class Autotuner:
                 rejected[spec.display_label] = str(exc)
                 continue
             scored.append((spec, kernel, time_s))
+        return self._choose(arch, layer, density, scored, rejected)
+
+    def _assign_layers_batched(
+        self, arch, layers: Sequence[LayerShape], density: float
+    ) -> tuple[LayerAssignment, ...]:
+        """Assign every layer of a workload with batched candidate scoring.
+
+        Each candidate is scored over all its feasible layers in a single
+        :func:`~repro.eval.speedup.layer_times_grid` call (one batched
+        timing-model evaluation instead of one scalar call per layer); the
+        per-layer argmin, tie-breaking, rejection bookkeeping and refinement
+        then replicate :meth:`_assign_layer` exactly, so the two paths
+        produce identical plans.
+        """
+        from ..eval.speedup import layer_time, layer_times_grid
+
+        scored_per_layer: list[list[tuple[KernelSpec, object, float]]] = [
+            [] for _ in layers
+        ]
+        # Static rejects land before dynamic ones per layer, matching the
+        # prune-then-score dict order of the scalar path.
+        static_rejects: list[dict[str, str]] = [{} for _ in layers]
+        dynamic_rejects: list[dict[str, str]] = [{} for _ in layers]
+        for spec in self.candidates:
+            kernel = build_kernel(spec)
+            capabilities = kernel.capabilities()
+            scored_density = candidate_density(kernel, density)
+            feasible: list[int] = []
+            for position, layer in enumerate(layers):
+                reason = capabilities.infeasible_reason(
+                    arch, kind=layer.kind, density=scored_density
+                )
+                if reason is None:
+                    feasible.append(position)
+                else:
+                    static_rejects[position][spec.display_label] = reason
+            if not feasible:
+                continue
+            try:
+                times = layer_times_grid(
+                    kernel, arch, [layers[p] for p in feasible], scored_density
+                )
+            except (KernelNotApplicableError, ValueError):
+                # Some layer of this candidate fails dynamically; score the
+                # layers one by one so the per-layer outcomes (and their
+                # rejection reasons) match the scalar path exactly.
+                for position in feasible:
+                    try:
+                        time_s = layer_time(
+                            kernel, arch, layers[position], scored_density
+                        )
+                    except (KernelNotApplicableError, ValueError) as exc:
+                        dynamic_rejects[position][spec.display_label] = str(exc)
+                        continue
+                    scored_per_layer[position].append((spec, kernel, time_s))
+                continue
+            for slot, position in enumerate(feasible):
+                scored_per_layer[position].append((spec, kernel, float(times[slot])))
+        return tuple(
+            self._choose(
+                arch,
+                layer,
+                density,
+                scored_per_layer[position],
+                {**static_rejects[position], **dynamic_rejects[position]},
+            )
+            for position, layer in enumerate(layers)
+        )
+
+    def _choose(
+        self,
+        arch,
+        layer: LayerShape,
+        density: float,
+        scored: list[tuple[KernelSpec, object, float]],
+        rejected: dict[str, str],
+    ) -> LayerAssignment:
+        """Pick the winning candidate for one layer from its scored pool
+        (first-in-pool-order wins exact ties, so plans are stable)."""
         if not scored:
             raise KernelNotApplicableError(
                 f"no feasible kernel for layer {layer.name!r} on {arch.name} "

@@ -20,11 +20,12 @@ from repro.eval.runner import (
     RunConfig,
     SweepRunner,
     SweepSpec,
+    batched_executor,
     execute_config,
     process_executor,
     serial_executor,
 )
-from repro.eval.speedup import figure1_spec, headline_spec
+from repro.eval.speedup import figure1_spec, figure6_spec, headline_spec
 
 SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 
@@ -210,6 +211,94 @@ class TestExecutors:
     def test_jobs_one_falls_back_to_serial(self):
         configs = small_spec().expand()
         assert process_executor(configs, jobs=1) == serial_executor(configs)
+
+
+class TestBatchedExecutor:
+    """The batched fast path must be indistinguishable from the scalar loop:
+    same records, same floats, same not-applicable details — on every grid
+    the evaluation actually runs plus randomly composed ones."""
+
+    @pytest.mark.parametrize(
+        "spec_factory", [figure1_spec, figure6_spec, headline_spec]
+    )
+    def test_paper_grids_bit_identical(self, spec_factory):
+        configs = spec_factory().expand()
+        assert batched_executor(configs) == serial_executor(configs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        kernels=st.lists(
+            st.sampled_from(
+                [
+                    ("dense", ()),
+                    ("dense-cudacore", ()),
+                    ("sputnik", ()),
+                    ("cusparse-csr", ()),
+                    ("cusparselt", ()),
+                    ("tilewise", ()),
+                    ("shfl-bw", (("vector_size", 32),)),
+                    ("vector-wise", (("vector_size", 64),)),
+                    ("cusparse-bsr", (("block_size", 32),)),
+                ]
+            ),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+        gpus=st.lists(
+            st.sampled_from(("V100", "T4", "A100")), min_size=1, max_size=3, unique=True
+        ),
+        sparsities=st.lists(
+            st.sampled_from((0.0, 0.25, 0.5, 0.75, 0.9)),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ),
+        workload=st.one_of(
+            st.sampled_from(("transformer", "gnmt", "resnet50")).map(
+                lambda model: {"models": (model,)}
+            ),
+            st.tuples(
+                st.integers(1, 64).map(lambda i: i * 32),
+                st.integers(1, 2048),
+                st.integers(1, 64).map(lambda i: i * 32),
+            ).map(lambda gemm: {"gemm": gemm}),
+        ),
+    )
+    def test_random_specs_bit_identical(self, kernels, gpus, sparsities, workload):
+        spec = SweepSpec(
+            kernels=tuple(KernelSpec(name, kwargs=kwargs) for name, kwargs in kernels),
+            gpus=tuple(gpus),
+            sparsities=tuple(sparsities),
+            **workload,
+        )
+        configs = spec.expand()
+        assert batched_executor(configs) == serial_executor(configs)
+
+    def test_batched_is_the_default_executor(self):
+        assert SweepRunner()._executor is batched_executor
+
+    def test_grid_setup_errors_still_raise(self):
+        config = RunConfig(kernel="no-such-kernel", gpu="V100", sparsity=0.5,
+                           model="transformer")
+        with pytest.raises(KeyError):
+            batched_executor([config])
+        config = RunConfig(kernel="dense", gpu="no-such-gpu", sparsity=0.5,
+                           model="transformer")
+        with pytest.raises(KeyError):
+            batched_executor([config])
+
+    def test_ragged_shape_falls_back_to_scalar_records(self):
+        """A grid whose shapes a vector kernel rejects per cell (M % V != 0)
+        must produce the scalar path's not-applicable records."""
+        spec = SweepSpec(
+            kernels=(KernelSpec("vector-wise", kwargs=(("vector_size", 64),)),),
+            gpus=("V100",),
+            sparsities=(0.5,),
+            gemm=(100, 64, 256),
+        )
+        configs = spec.expand()
+        assert batched_executor(configs) == serial_executor(configs)
 
 
 class TestResultCache:

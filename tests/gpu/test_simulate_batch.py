@@ -1,0 +1,284 @@
+"""Hypothesis net: the batched simulator is bit-identical to the scalar one.
+
+``simulate_batch`` over a :class:`LaunchBatch` stacked from arbitrary
+:class:`KernelLaunch` descriptions must reproduce every field of every
+scalar ``simulate`` result *exactly* — total and component times, waves,
+bound classification, utilization — across random tiles, traffic
+breakdowns, compute units and architectures.  This is the contract the
+whole batched estimation engine (and the sweep fast path on top of it)
+rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.arch import available_gpus, get_gpu
+from repro.gpu.memory import TrafficBatch, TrafficBreakdown
+from repro.gpu.pipeline import pipeline_time_grid
+from repro.gpu.roofline import attainable_flops, attainable_flops_grid
+from repro.gpu.simulator import (
+    ComputeUnit,
+    KernelLaunch,
+    LaunchBatch,
+    simulate,
+    simulate_batch,
+)
+from repro.gpu.tiling import TileConfig
+
+SETTINGS = dict(max_examples=60, deadline=None)
+
+gpus = st.sampled_from(sorted(available_gpus()))
+units = st.sampled_from(list(ComputeUnit))
+efficiencies = st.floats(min_value=0.05, max_value=1.0)
+
+
+@st.composite
+def traffic_breakdowns(draw, min_operands=0, max_operands=4):
+    traffic = TrafficBreakdown()
+    for index in range(draw(st.integers(min_operands, max_operands))):
+        traffic.add(
+            f"op{index}",
+            draw(st.floats(min_value=0.0, max_value=1e9)),
+            reads=draw(st.floats(min_value=0.0, max_value=40.0)),
+            access_efficiency=draw(st.floats(min_value=0.05, max_value=1.0)),
+            is_write=draw(st.booleans()),
+        )
+    return traffic
+
+
+@st.composite
+def launches(draw):
+    tile = TileConfig(
+        tile_m=draw(st.integers(1, 256)),
+        tile_n=draw(st.integers(1, 256)),
+        tile_k=draw(st.integers(1, 128)),
+        threads=32 * draw(st.integers(1, 8)),
+        pipeline_stages=draw(st.integers(1, 4)),
+    )
+    return KernelLaunch(
+        name=draw(st.sampled_from(["a", "b", "c"])),
+        useful_flops=draw(st.floats(min_value=0.0, max_value=1e13)),
+        traffic=draw(traffic_breakdowns()),
+        meta_traffic=draw(traffic_breakdowns(max_operands=2)),
+        tile=tile,
+        num_tiles=draw(st.integers(1, 20000)),
+        k_steps=draw(st.integers(1, 512)),
+        compute_unit=draw(units),
+        compute_efficiency=draw(efficiencies),
+        bandwidth_efficiency=draw(efficiencies),
+        prefetch_metadata=draw(st.booleans()),
+        meta_prefetch_steps=draw(st.integers(1, 8)),
+        extra_overhead_s=draw(st.floats(min_value=0.0, max_value=1e-3)),
+        launches=draw(st.integers(1, 8)),
+    )
+
+
+class TestSimulateBatchMatchesScalar:
+    @settings(**SETTINGS)
+    @given(batch=st.lists(launches(), min_size=1, max_size=8), gpu=gpus)
+    def test_every_field_bit_identical(self, batch, gpu):
+        arch = get_gpu(gpu)
+        timing = simulate_batch(arch, LaunchBatch.from_launches(batch))
+        assert len(timing) == len(batch)
+        for index, launch in enumerate(batch):
+            assert timing.timing(index) == simulate(arch, launch)
+
+    @settings(**SETTINGS)
+    @given(batch=st.lists(launches(), min_size=2, max_size=6), gpu=gpus)
+    def test_concat_is_transparent(self, batch, gpu):
+        """Merging batches cannot change any launch's numbers."""
+        arch = get_gpu(gpu)
+        split = LaunchBatch.concat(
+            [LaunchBatch.from_launches([launch]) for launch in batch]
+        )
+        merged = simulate_batch(arch, split)
+        whole = simulate_batch(arch, LaunchBatch.from_launches(batch))
+        for index in range(len(batch)):
+            assert merged.timing(index) == whole.timing(index)
+
+    @settings(**SETTINGS)
+    @given(launch=launches(), gpu=gpus)
+    def test_derived_rates_match(self, launch, gpu):
+        arch = get_gpu(gpu)
+        scalar = simulate(arch, launch)
+        batch = simulate_batch(arch, LaunchBatch.from_launches([launch]))
+        assert float(batch.achieved_tflops[0]) == scalar.achieved_tflops
+        assert float(batch.achieved_bandwidth_gbs[0]) == scalar.achieved_bandwidth_gbs
+
+
+class TestComputeGrids:
+    @settings(**SETTINGS)
+    @given(
+        gpu=gpus,
+        tiles=st.tuples(st.integers(1, 256), st.integers(1, 256), st.integers(1, 128)),
+        num_tiles=st.integers(1, 5000),
+        useful=st.floats(min_value=0.0, max_value=1e12),
+        efficiency=efficiencies,
+    )
+    def test_sparse_tensor_core_grid_matches_scalar(
+        self, gpu, tiles, num_tiles, useful, efficiency
+    ):
+        from repro.gpu.tensorcore import (
+            sparse_tensor_core_time,
+            sparse_tensor_core_time_grid,
+        )
+
+        arch = get_gpu(gpu)
+        tile_m, tile_n, tile_k = tiles
+        scalar = sparse_tensor_core_time(
+            arch,
+            useful,
+            tile_m=tile_m,
+            tile_n=tile_n,
+            tile_k=tile_k,
+            num_tiles=num_tiles,
+            efficiency=efficiency,
+        )
+        batch = sparse_tensor_core_time_grid(
+            arch,
+            np.array([useful]),
+            tile_m=np.array([tile_m]),
+            tile_n=np.array([tile_n]),
+            tile_k=np.array([tile_k]),
+            num_tiles=np.array([num_tiles]),
+            efficiency=np.array([efficiency]),
+        )
+        assert float(batch.time_s[0]) == scalar.time_s
+        assert float(batch.issued_flops[0]) == scalar.issued_flops
+        assert float(batch.utilization[0]) == scalar.utilization
+
+
+class TestLaunchBatchValidation:
+    def _minimal(self, **overrides):
+        fields = dict(
+            names=["k"],
+            useful_flops=np.array([1.0]),
+            traffic=TrafficBatch(1),
+            tile_m=np.array([16]),
+            tile_n=np.array([16]),
+            tile_k=np.array([16]),
+            num_tiles=np.array([1]),
+            k_steps=np.array([1]),
+        )
+        fields.update(overrides)
+        return LaunchBatch(**fields)
+
+    def test_minimal_batch_simulates(self):
+        timing = simulate_batch(get_gpu("V100"), self._minimal())
+        assert len(timing) == 1 and timing.total_time_s[0] > 0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"useful_flops": np.array([-1.0])},
+            {"num_tiles": np.array([0])},
+            {"k_steps": np.array([0])},
+            {"launches": np.array([0])},
+            {"compute_efficiency": np.array([0.0])},
+            {"bandwidth_efficiency": np.array([1.5])},
+            {"tile_m": np.array([0])},
+        ],
+    )
+    def test_field_ranges_enforced(self, overrides):
+        with pytest.raises(ValueError):
+            self._minimal(**overrides)
+
+    def test_name_count_checked(self):
+        with pytest.raises(ValueError):
+            self._minimal(names=["a", "b"])
+
+    def test_scalar_useful_flops_rejected_with_clear_message(self):
+        with pytest.raises(ValueError, match="one entry per launch"):
+            self._minimal(useful_flops=1.0e9)
+
+    def test_traffic_size_checked(self):
+        with pytest.raises(ValueError):
+            self._minimal(traffic=TrafficBatch(3))
+
+    def test_unknown_compute_unit_code_rejected(self):
+        with pytest.raises(ValueError):
+            self._minimal(compute_unit=np.array([7], dtype=np.int8))
+
+    def test_empty_from_launches_rejected(self):
+        with pytest.raises(ValueError):
+            LaunchBatch.from_launches([])
+
+    def test_empty_concat_rejected(self):
+        with pytest.raises(ValueError):
+            LaunchBatch.concat([])
+
+
+class TestTrafficBatch:
+    @settings(**SETTINGS)
+    @given(
+        breakdowns=st.lists(traffic_breakdowns(), min_size=1, max_size=5), gpu=gpus
+    )
+    def test_from_breakdowns_matches_scalar_aggregates(self, breakdowns, gpu):
+        arch = get_gpu(gpu)
+        batch = TrafficBatch.from_breakdowns(breakdowns)
+        raw = batch.total_raw_bytes()
+        dram = batch.total_dram_bytes(arch)
+        memory = batch.memory_time(arch, bandwidth_efficiency=0.85)
+        for index, breakdown in enumerate(breakdowns):
+            assert float(raw[index]) == breakdown.total_raw_bytes()
+            assert float(dram[index]) == breakdown.total_dram_bytes(arch)
+            assert float(memory[index]) == breakdown.memory_time(
+                arch, bandwidth_efficiency=0.85
+            )
+
+    def test_add_validates(self):
+        batch = TrafficBatch(2)
+        with pytest.raises(ValueError, match="negative bytes"):
+            batch.add("w", np.array([-1.0, 0.0]))
+        with pytest.raises(ValueError, match="negative read"):
+            batch.add("w", 1.0, reads=np.array([-1.0, 1.0]))
+        with pytest.raises(ValueError, match="access efficiency"):
+            batch.add("w", 1.0, access_efficiency=0.0)
+        with pytest.raises(ValueError, match="length-2"):
+            batch.add("w", np.array([1.0, 2.0, 3.0]))
+
+    def test_bandwidth_efficiency_validated(self):
+        batch = TrafficBatch(1).add("w", 8.0)
+        with pytest.raises(ValueError):
+            batch.dram_time(get_gpu("V100"), bandwidth_efficiency=0.0)
+
+
+class TestPipelineGridValidation:
+    def test_invalid_streams_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_time_grid(
+                compute_time=np.array([-1.0]),
+                load_time=np.array([0.0]),
+                meta_time=np.array([0.0]),
+                k_steps=np.array([1]),
+                pipeline_stages=np.array([2]),
+                meta_prefetch_steps=np.array([4]),
+                prefetch_metadata=np.array([True]),
+            )
+
+
+class TestRooflineGrid:
+    @settings(**SETTINGS)
+    @given(
+        intensities=st.lists(
+            st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=8
+        ),
+        gpu=gpus,
+        tensor=st.booleans(),
+    )
+    def test_matches_scalar_roofline(self, intensities, gpu, tensor):
+        arch = get_gpu(gpu)
+        batch = attainable_flops_grid(
+            arch, np.array(intensities), use_tensor_core=tensor
+        )
+        for index, intensity in enumerate(intensities):
+            point = attainable_flops(arch, intensity, use_tensor_core=tensor)
+            assert float(batch.attainable_flops[index]) == point.attainable_flops
+            assert bool(batch.memory_bound[index]) == point.memory_bound
+            assert float(batch.efficiency[index]) == point.efficiency
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            attainable_flops_grid(get_gpu("T4"), np.array([-1.0]))

@@ -1,0 +1,202 @@
+"""Hypothesis net: every kernel's batched grid estimation matches scalar.
+
+For every kernel in the registry's paper line-up, over random shapes,
+densities and architectures:
+
+* ``estimate_grid`` must reproduce ``estimate`` *bit for bit* on every cell
+  a scalar estimate accepts (every :class:`KernelTiming` field, not just the
+  totals),
+* ``build_launch_batch`` must raise exactly when the scalar path raises
+  (same exception type) on grids containing an invalid cell,
+* the model-grid helpers (``model_time_grid`` / ``layer_times_grid``) must
+  reproduce the scalar ``model_time`` / ``layer_time`` sums, convolution
+  unfolding overhead included.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.speedup import layer_time, layer_times_grid, model_time, model_time_grid
+from repro.gpu.arch import available_gpus, get_gpu
+from repro.kernels.base import GEMMShape, KernelNotApplicableError, SpMMKernel
+from repro.kernels.registry import make_kernel, paper_baseline_specs
+from repro.models.shapes import model_layers
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+#: Every distinct kernel of the paper line-up (label -> constructor spec).
+KERNEL_SPECS = sorted(paper_baseline_specs().items())
+gpus = st.sampled_from(sorted(available_gpus()))
+kernel_specs = st.sampled_from(KERNEL_SPECS)
+#: Multiples of 64 keep every vector/block size in the line-up divisible.
+aligned_dims = st.integers(min_value=1, max_value=48).map(lambda i: i * 64)
+batch_dims = st.integers(min_value=1, max_value=4096)
+densities = st.sampled_from((0.05, 0.1, 0.25, 0.5, 0.75, 1.0))
+
+
+def _supported(kernel, arch) -> bool:
+    supported = getattr(kernel, "supported_archs", None)
+    return supported is None or arch.name in supported
+
+
+@st.composite
+def grids(draw):
+    cells = draw(st.integers(min_value=1, max_value=6))
+    shapes = [
+        GEMMShape(draw(aligned_dims), draw(batch_dims), draw(aligned_dims))
+        for _ in range(cells)
+    ]
+    return shapes, [draw(densities) for _ in range(cells)]
+
+
+class TestEstimateGridMatchesScalar:
+    def test_every_registry_kernel_overrides_the_batched_builder(self):
+        for _, (name, kwargs) in KERNEL_SPECS:
+            kernel = make_kernel(name, **kwargs)
+            assert (
+                type(kernel).build_launch_batch is not SpMMKernel.build_launch_batch
+            ), f"{name} still uses the scalar fallback builder"
+
+    @settings(**SETTINGS)
+    @given(spec=kernel_specs, grid=grids(), gpu=gpus)
+    def test_cells_bit_identical(self, spec, grid, gpu):
+        _, (name, kwargs) = spec
+        kernel = make_kernel(name, **kwargs)
+        arch = get_gpu(gpu)
+        if not _supported(kernel, arch):
+            return
+        shapes, cell_densities = grid
+        scalars = []
+        for shape, density in zip(shapes, cell_densities):
+            try:
+                scalars.append(kernel.estimate(arch, shape, density))
+            except (KernelNotApplicableError, ValueError):
+                scalars.append(None)
+        if any(timing is None for timing in scalars):
+            # The scalar path rejects some cell; the batch must reject the
+            # whole grid with the same exception family.
+            with pytest.raises((KernelNotApplicableError, ValueError)):
+                kernel.estimate_grid(arch, shapes, cell_densities)
+            return
+        timing = kernel.estimate_grid(arch, shapes, cell_densities)
+        assert len(timing) == len(shapes)
+        for index, scalar in enumerate(scalars):
+            assert timing.timing(index) == scalar
+
+    @settings(**SETTINGS)
+    @given(grid=grids(), gpu=gpus, vector_size=st.sampled_from((8, 16, 32, 64)))
+    def test_vector_size_kwarg_respected(self, grid, gpu, vector_size):
+        kernel = make_kernel("shfl-bw")
+        arch = get_gpu(gpu)
+        shapes, cell_densities = grid
+        timing = kernel.estimate_grid(
+            arch, shapes, cell_densities, vector_size=vector_size
+        )
+        for index, (shape, density) in enumerate(zip(shapes, cell_densities)):
+            assert timing.timing(index) == kernel.estimate(
+                arch, shape, density, vector_size=vector_size
+            )
+
+    @settings(**SETTINGS)
+    @given(grid=grids(), gpu=gpus, prefetch=st.booleans(), writeback=st.booleans())
+    def test_shflbw_ablation_variants_match(self, grid, gpu, prefetch, writeback):
+        """The ablation knobs (metadata prefetch off, un-fused write-back)
+        flow through the batched builder exactly as through the scalar one."""
+        from repro.kernels.shflbw import ShflBWKernel
+
+        kernel = ShflBWKernel(
+            vector_size=32,
+            prefetch_metadata=prefetch,
+            reordered_write_back=writeback,
+        )
+        arch = get_gpu(gpu)
+        shapes, cell_densities = grid
+        timing = kernel.estimate_grid(arch, shapes, cell_densities)
+        for index, scalar in enumerate(timing.timings()):
+            assert scalar == kernel.estimate(
+                arch, shapes[index], cell_densities[index]
+            )
+
+    def test_generic_fallback_builder_matches_scalar_too(self):
+        """A custom kernel without an override still gets a correct (if
+        unvectorized) batched path from the base class."""
+
+        class Custom(type(make_kernel("dense"))):
+            name = "custom-dense"
+            build_launch_batch = SpMMKernel.build_launch_batch
+
+        kernel = Custom()
+        arch = get_gpu("V100")
+        shapes = [GEMMShape(256, 64, 512), GEMMShape(128, 1024, 128)]
+        timing = kernel.estimate_grid(arch, shapes, [1.0, 1.0])
+        for index, shape in enumerate(shapes):
+            assert timing.timing(index) == kernel.estimate(arch, shape, 1.0)
+
+
+class TestModelGrids:
+    @settings(**SETTINGS)
+    @given(
+        spec=kernel_specs,
+        model=st.sampled_from(("transformer", "gnmt", "resnet50")),
+        gpu=gpus,
+        grid=st.lists(densities, min_size=1, max_size=4),
+    )
+    def test_model_time_grid_matches_scalar_sum(self, spec, model, gpu, grid):
+        _, (name, kwargs) = spec
+        kernel = make_kernel(name, **kwargs)
+        arch = get_gpu(gpu)
+        if not _supported(kernel, arch):
+            return
+        layers = model_layers(model)
+        scalars = []
+        for density in grid:
+            try:
+                scalars.append(model_time(kernel, arch, layers, density))
+            except (KernelNotApplicableError, ValueError):
+                scalars.append(None)
+        if any(total is None for total in scalars):
+            with pytest.raises((KernelNotApplicableError, ValueError)):
+                model_time_grid(kernel, arch, layers, grid)
+            return
+        totals = model_time_grid(kernel, arch, layers, grid)
+        assert totals.shape == (len(grid),)
+        for index, scalar in enumerate(scalars):
+            assert float(totals[index]) == scalar
+
+    @settings(**SETTINGS)
+    @given(
+        model=st.sampled_from(("transformer", "gnmt", "resnet50")),
+        gpu=gpus,
+        density=densities,
+    )
+    def test_layer_times_grid_matches_layer_time(self, model, gpu, density):
+        kernel = make_kernel("shfl-bw", vector_size=64)
+        arch = get_gpu(gpu)
+        layers = model_layers(model)
+        times = layer_times_grid(kernel, arch, layers, density)
+        assert times.shape == (len(layers),)
+        for index, layer in enumerate(layers):
+            assert float(times[index]) == layer_time(kernel, arch, layer, density)
+
+    def test_conv_unsupported_kernel_raises_scalar_message(self):
+        kernel = make_kernel("sputnik")
+        layers = model_layers("resnet50")
+        with pytest.raises(
+            KernelNotApplicableError, match="no convolution implementation"
+        ):
+            model_time_grid(kernel, get_gpu("V100"), layers, [0.5])
+
+    def test_conv_unfold_overhead_applied(self):
+        """3x3 conv layers must pay the unfold overhead in the batched path
+        (a pure-GEMM batch would undercut the scalar conv estimate)."""
+        kernel = make_kernel("dense")
+        arch = get_gpu("V100")
+        layers = [
+            layer for layer in model_layers("resnet50") if layer.conv.kernel_size > 1
+        ]
+        times = layer_times_grid(kernel, arch, layers, 1.0)
+        for index, layer in enumerate(layers):
+            bare = kernel.estimate(arch, layer.gemm, 1.0).total_time_s
+            assert float(times[index]) > bare

@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.sparse import spmm_reference as ref
 from repro.sparse.formats import (
     Balanced24Matrix,
     BlockSparseMatrix,
@@ -169,3 +172,79 @@ class TestBalanced:
     def test_nnz(self, rng):
         mat = Balanced24Matrix.from_dense(rng.normal(size=(4, 16)))
         assert mat.nnz == 4 * 8
+
+
+class TestVectorizedConversionOracles:
+    """The vectorized from_dense/to_dense must match the seed loop
+    implementations (kept in repro.sparse.spmm_reference) exactly —
+    identical index arrays, identical values, identical dtypes."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shape=st.tuples(st.integers(1, 24), st.integers(1, 24)),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_csr_matches_loop_oracle(self, shape, density, seed):
+        rng = np.random.default_rng(seed)
+        dense = random_sparse_dense(rng, shape, density)
+        vectorized = CSRMatrix.from_dense(dense)
+        oracle = ref.csr_from_dense_loop(dense)
+        assert np.array_equal(vectorized.data, oracle.data)
+        assert np.array_equal(vectorized.indices, oracle.indices)
+        assert np.array_equal(vectorized.indptr, oracle.indptr)
+        assert np.array_equal(vectorized.to_dense(), ref.csr_to_dense_loop(oracle))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        blocks=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+        block_size=st.integers(min_value=1, max_value=5),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_block_matches_loop_oracle(self, blocks, block_size, density, seed):
+        rng = np.random.default_rng(seed)
+        shape = (blocks[0] * block_size, blocks[1] * block_size)
+        dense = random_sparse_dense(rng, shape, density)
+        vectorized = BlockSparseMatrix.from_dense(dense, block_size)
+        oracle = ref.block_from_dense_loop(dense, block_size)
+        assert np.array_equal(vectorized.data, oracle.data)
+        assert np.array_equal(vectorized.block_indices, oracle.block_indices)
+        assert np.array_equal(vectorized.block_indptr, oracle.block_indptr)
+        assert np.array_equal(
+            vectorized.to_dense(), ref.block_to_dense_loop(oracle)
+        )
+
+
+class TestStorageDtype:
+    """The containers promise float64 value storage (the dtype every
+    functional kernel computes in); float32 inputs must be upcast."""
+
+    def test_all_containers_store_float64(self, rng):
+        dense32 = random_sparse_dense(rng, (8, 16), 0.4).astype(np.float32)
+        csr = CSRMatrix.from_dense(dense32)
+        assert csr.data.dtype == np.float64
+        assert csr.to_dense().dtype == np.float64
+        bsr = BlockSparseMatrix.from_dense(dense32, 4)
+        assert bsr.data.dtype == np.float64
+        assert bsr.to_dense().dtype == np.float64
+        vec = VectorSparseMatrix.from_dense(dense32, 4)
+        assert all(panel.dtype == np.float64 for panel in vec.group_values)
+        assert vec.to_dense().dtype == np.float64
+        shfl = ShflBWMatrix.from_dense(dense32, 4, np.arange(8))
+        assert all(
+            panel.dtype == np.float64 for panel in shfl.vector_matrix.group_values
+        )
+        assert shfl.to_dense().dtype == np.float64
+        balanced = Balanced24Matrix.from_dense(dense32)
+        assert balanced.values.dtype == np.float64
+        assert balanced.to_dense().dtype == np.float64
+
+    def test_index_arrays_are_int64(self, rng):
+        dense = random_sparse_dense(rng, (8, 16), 0.4)
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.indices.dtype == np.int64
+        assert csr.indptr.dtype == np.int64
+        bsr = BlockSparseMatrix.from_dense(dense, 4)
+        assert bsr.block_indices.dtype == np.int64
+        assert bsr.block_indptr.dtype == np.int64

@@ -2,8 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.pruning import prune_shflbw
+from repro.sparse import spmm_reference as ref
 from repro.sparse.convert import dense_to_shflbw, dense_to_vector_wise
 from repro.sparse.spconv import Conv2dSpec, col2im, conv2d_dense, conv2d_sparse, im2col, weight_to_gemm
 
@@ -118,3 +121,60 @@ class TestSparseConv:
         sparse = dense_to_vector_wise(np.zeros((8, 10)), 4)
         with pytest.raises(ValueError):
             conv2d_sparse(rng.normal(size=(1, 2, 6, 6)), sparse, spec)
+
+
+class TestVectorizedUnfoldOracles:
+    """The fancy-indexed im2col and the np.add.at col2im must match the seed
+    channel x kernel-position loop nest (kept in
+    repro.sparse.spmm_reference) bit for bit — gathers are pure copies and
+    the scatter-add accumulates duplicates in the same (ki, kj) order."""
+
+    conv_cases = st.tuples(
+        st.integers(1, 3),   # batch
+        st.integers(1, 4),   # channels
+        st.integers(1, 5),   # kernel size
+        st.integers(1, 3),   # stride
+        st.integers(0, 2),   # padding
+        st.integers(0, 6),   # extra input height beyond the minimum
+        st.integers(0, 6),   # extra input width beyond the minimum
+    )
+
+    @staticmethod
+    def _spec_and_shape(case):
+        n, c, k, stride, padding, extra_h, extra_w = case
+        spec = Conv2dSpec(
+            in_channels=c, out_channels=3, kernel_size=k, stride=stride, padding=padding
+        )
+        h = max(1, k - 2 * padding) + extra_h
+        w = max(1, k - 2 * padding) + extra_w
+        return spec, (n, c, h, w)
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=conv_cases, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_im2col_matches_loop_oracle(self, case, seed):
+        spec, shape = self._spec_and_shape(case)
+        inputs = np.random.default_rng(seed).normal(size=shape)
+        assert np.array_equal(im2col(inputs, spec), ref.im2col_loop(inputs, spec))
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=conv_cases, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_col2im_matches_loop_oracle(self, case, seed):
+        spec, shape = self._spec_and_shape(case)
+        n, c, h, w = shape
+        oh, ow = spec.output_hw(h, w)
+        kh = spec.kernel_size
+        cols = np.random.default_rng(seed).normal(size=(c * kh * kh, n * oh * ow))
+        assert np.array_equal(
+            col2im(cols, shape, spec), ref.col2im_loop(cols, shape, spec)
+        )
+
+    def test_col2im_remains_the_im2col_adjoint(self, rng):
+        """<col2im(C), X> == <C, im2col(X)> for random operands."""
+        spec = Conv2dSpec(in_channels=3, out_channels=2, kernel_size=3, stride=2, padding=1)
+        shape = (2, 3, 7, 9)
+        x = rng.normal(size=shape)
+        oh, ow = spec.output_hw(7, 9)
+        cols = rng.normal(size=(3 * 9, 2 * oh * ow))
+        lhs = np.sum(col2im(cols, shape, spec) * x)
+        rhs = np.sum(cols * im2col(x, spec))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
