@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Seed-vs-vectorized wall time of the Shfl-BW pattern-search engine.
+
+Runs :func:`repro.core.pruning.search_shflbw_pattern` (the vectorized
+engine) against the seed loop implementation preserved in
+:mod:`repro.core.reference` on a GNMT-scale search — the 4096 x 1024 LSTM
+gate matrix at V=64, where the seed walks ~260k sorted distance pairs per
+Lloyd step in a Python loop and materialises a 2 GiB ``(n, k, K)`` distance
+intermediate.  Asserts the two engines produce *bit-identical* masks,
+witness permutations and groups, and that the vectorized engine clears
+``--min-speedup`` (default 5x; ~15-20x measured locally).
+
+Also times the two satellite vectorizations (``vector_wise_mask`` and
+``group_rows_by_support``) as informational rows with exact-equality
+asserts.
+
+Run standalone::
+
+    python benchmarks/bench_pattern_search.py
+    python benchmarks/bench_pattern_search.py --smoke  # CI test job
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import reference as ref
+from repro.core.pruning import search_shflbw_pattern, unstructured_mask, vector_wise_mask
+from repro.core.transforms import group_rows_by_support
+
+
+@dataclass
+class BenchResult:
+    stage: str
+    seed_s: float
+    vectorized_s: float
+    gated: bool  # whether this row is held to the --min-speedup bar
+
+    @property
+    def speedup(self) -> float:
+        return self.seed_s / self.vectorized_s if self.vectorized_s > 0 else float("inf")
+
+
+def _time(fn) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _assert_groups_equal(a, b) -> None:
+    assert len(a) == len(b), "group counts differ"
+    for got, want in zip(a, b):
+        np.testing.assert_array_equal(got, want)
+
+
+def run(
+    m: int,
+    k: int,
+    vector_size: int,
+    density: float,
+    kmeans_iters: int,
+    seed: int,
+) -> list[BenchResult]:
+    rng = np.random.default_rng(seed)
+    scores = np.abs(rng.normal(size=(m, k)))
+    results: list[BenchResult] = []
+
+    # --- the full two-stage search (the gated headline row) ---------------- #
+    new_s, new_result = _time(
+        lambda: search_shflbw_pattern(
+            scores, density, vector_size, kmeans_iters=kmeans_iters, seed=seed
+        )
+    )
+    old_s, old_result = _time(
+        lambda: ref.search_shflbw_pattern_loop(
+            scores, density, vector_size, kmeans_iters=kmeans_iters, seed=seed
+        )
+    )
+    np.testing.assert_array_equal(new_result.mask, old_result.mask)
+    np.testing.assert_array_equal(new_result.row_indices, old_result.row_indices)
+    assert new_result.groups == old_result.groups, "row groups differ"
+    assert new_result.retained_score == old_result.retained_score
+    results.append(BenchResult("search_shflbw_pattern", old_s, new_s, gated=True))
+
+    # --- satellite stages (exact-equality asserts, informational) ---------- #
+    new_s, new_mask = _time(lambda: vector_wise_mask(scores, density, vector_size))
+    old_s, old_mask = _time(lambda: ref.vector_wise_mask_loop(scores, density, vector_size))
+    np.testing.assert_array_equal(new_mask, old_mask)
+    results.append(BenchResult("vector_wise_mask", old_s, new_s, gated=False))
+
+    coarse = unstructured_mask(scores, min(1.0, 2.0 * density))
+    new_s, new_groups = _time(lambda: group_rows_by_support(coarse, vector_size))
+    old_s, old_groups = _time(lambda: ref.group_rows_by_support_loop(coarse, vector_size))
+    _assert_groups_equal(new_groups, old_groups)
+    results.append(BenchResult("group_rows_by_support", old_s, new_s, gated=False))
+    return results
+
+
+def report(results: list[BenchResult]) -> str:
+    lines = [
+        f"{'stage':<24} {'seed (s)':>10} {'vectorized (s)':>15} {'speedup':>9}",
+        "-" * 62,
+    ]
+    for r in results:
+        lines.append(
+            f"{r.stage:<24} {r.seed_s:>10.3f} {r.vectorized_s:>15.3f} {r.speedup:>8.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--m", type=int, default=4096, help="rows (GNMT LSTM gate M)")
+    parser.add_argument("--k", type=int, default=1024, help="columns (GNMT hidden K)")
+    parser.add_argument("--vector-size", type=int, default=64)
+    parser.add_argument("--density", type=float, default=0.25)
+    parser.add_argument("--kmeans-iters", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="required vectorized-over-seed speedup for the full search",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small problem, bit-identity asserts only (for CI runners)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.m, args.k = 256, 128
+        args.vector_size = 16
+        args.kmeans_iters = 2
+        args.min_speedup = 0.0
+
+    results = run(
+        m=args.m,
+        k=args.k,
+        vector_size=args.vector_size,
+        density=args.density,
+        kmeans_iters=args.kmeans_iters,
+        seed=args.seed,
+    )
+    print(
+        f"Shfl-BW pattern search, seed vs vectorized  (M={args.m} K={args.k} "
+        f"V={args.vector_size} density={args.density:.0%}, "
+        f"{args.kmeans_iters} Lloyd iters)"
+    )
+    print(report(results))
+
+    failures = [
+        r for r in results if r.gated and args.min_speedup > 0 and r.speedup < args.min_speedup
+    ]
+    if failures:
+        for r in failures:
+            print(
+                f"FAIL: {r.stage} speedup {r.speedup:.1f}x is below the "
+                f"{args.min_speedup:.1f}x bar",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        "masks, permutations and groups are bit-identical"
+        + ("" if args.min_speedup <= 0 else "; speedup bar met")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

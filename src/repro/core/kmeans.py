@@ -13,6 +13,34 @@ variant:
 
 Distances are squared Euclidean, which on binary vectors equals the Hamming
 distance; everything is deterministic given the ``seed``.
+
+This is the vectorized engine; the original scalar implementation (one Python
+loop iteration per sorted distance pair — ``n * k`` iterations per Lloyd
+step) is preserved verbatim in :mod:`repro.core.reference` as the
+bit-for-bit oracle the property tests compare against.  Three techniques
+replace the loops without changing a single output bit:
+
+* **Exact Gram-matrix distances** — on the pattern search's actual inputs
+  (binary mask rows, power-of-two group sizes) every quantity involved is a
+  dyadic rational with a small numerator: points are 0/1, centroids are
+  means of ``V = 2^t`` binary rows (``j / V``), so squared distances are
+  exact multiples of ``1 / V^2`` well below 2^53.  Floating-point addition
+  and multiplication on such values are *exact* in any association order,
+  which makes the BLAS form ``|x|^2 - 2 x.c + |c|^2`` bitwise identical to
+  the seed's elementwise ``((x - c) ** 2).sum()`` — at a matmul's cost
+  instead of an ``(n, k, K)`` broadcast.
+* **Chunked broadcasting** — for inputs outside that regime (non-binary
+  points, non-power-of-two capacities) the seed expression is evaluated
+  verbatim over row blocks: elementwise ops and a last-axis reduction are
+  independent of the leading batch dimension, so the result is bitwise
+  identical while the ``(n, k, K)`` intermediate never materialises.
+* **Prefix-accepted greedy rounds** — the capacity-constrained assignment
+  walks the sorted distance pairs in vectorized chunks.  Within a chunk,
+  duplicate-row pairs are skipped and every pair up to the first *capacity*
+  rejection is provably processed exactly as the sequential greedy would,
+  so whole prefixes are accepted per round instead of one pair per Python
+  iteration; each rejection permanently retires a full cluster, bounding
+  the number of rounds by the cluster count.
 """
 
 from __future__ import annotations
@@ -20,6 +48,68 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["balanced_kmeans", "kmeans_plusplus_init"]
+
+#: Elements per distance-chunk in the broadcast fallback (about 32 MiB of
+#: float64 intermediates per block, instead of the seed's full (n, k, K)).
+_CHUNK_ELEMENTS = 1 << 22
+
+
+def _is_binary(points: np.ndarray) -> bool:
+    """Whether every entry is exactly 0.0 or 1.0 (the pattern-search case)."""
+    return bool(np.all((points == 0.0) | (points == 1.0)))
+
+
+def _exact_denominator(centroids: np.ndarray, capacity: int | None) -> int | None:
+    """A power-of-two ``D`` with ``centroids * D`` exactly integral, if any.
+
+    Multiplying by a power of two only shifts exponents, so the integrality
+    check is itself exact: a hit proves every centroid entry is a dyadic
+    rational ``j / D`` represented without rounding.  Candidates are ``1``
+    (centroids that are raw binary rows, e.g. the k-means++ seeds) and the
+    group capacity when it is a power of two (centroids that are means of
+    ``capacity`` binary rows).  Returns ``None`` when no candidate fits.
+    """
+    candidates = [1]
+    if capacity is not None and capacity > 0 and capacity & (capacity - 1) == 0:
+        candidates.append(capacity)
+    for denom in candidates:
+        scaled = centroids * float(denom)
+        if np.all(scaled == np.rint(scaled)):
+            return denom
+    return None
+
+
+def _pairwise_sq_dists(
+    points: np.ndarray, centroids: np.ndarray, capacity: int | None = None
+) -> np.ndarray:
+    """``(n, k)`` squared distances, bitwise equal to the seed broadcast.
+
+    The fast path rewrites ``|x - c|^2`` as ``|x|^2 - 2 x.c + |c|^2`` and is
+    only taken when every term is provably exact (binary points, dyadic
+    centroids, sums below 2^53) — then *any* summation order, including the
+    BLAS one, yields the identical float.  Otherwise the seed expression is
+    evaluated verbatim over row chunks, which is bitwise identical because
+    elementwise arithmetic and the last-axis pairwise sum do not depend on
+    the leading dimension.
+    """
+    n, dim = points.shape
+    if _is_binary(points):
+        denom = _exact_denominator(centroids, capacity)
+        # Distance numerators are bounded by dim * denom**2; staying far
+        # below 2**53 guarantees every partial sum is exact.
+        if denom is not None and dim * denom * denom < (1 << 52):
+            row_sq = np.einsum("ij,ij->i", points, points)
+            cent_sq = np.einsum("ij,ij->i", centroids, centroids)
+            return row_sq[:, None] - 2.0 * (points @ centroids.T) + cent_sq[None, :]
+    k = centroids.shape[0]
+    dists = np.empty((n, k), dtype=np.float64)
+    chunk = max(1, _CHUNK_ELEMENTS // max(1, k * max(1, dim)))
+    for start in range(0, n, chunk):
+        block = points[start : start + chunk]
+        dists[start : start + chunk] = (
+            (block[:, None, :] - centroids[None, :, :]) ** 2
+        ).sum(axis=2)
+    return dists
 
 
 def kmeans_plusplus_init(
@@ -29,10 +119,24 @@ def kmeans_plusplus_init(
     n = points.shape[0]
     if num_clusters <= 0 or num_clusters > n:
         raise ValueError("num_clusters must be in [1, n_points]")
+    points = np.asarray(points)
+    # Candidate centroids are raw data rows, so on binary inputs every
+    # distance is an exact integer (the Hamming distance) no matter how it
+    # is summed: the Gram form below equals the seed broadcast bit-for-bit
+    # at a matvec's cost per centroid.
+    binary = _is_binary(points)
+    if binary:
+        row_sq = np.einsum("ij,ij->i", points, points)
+
+    def _sq_dists_to(centroid: np.ndarray) -> np.ndarray:
+        if binary:
+            return row_sq - 2.0 * (points @ centroid) + centroid.sum()
+        return np.sum((points - centroid) ** 2, axis=1)
+
     centroids = np.empty((num_clusters, points.shape[1]), dtype=np.float64)
     first = int(rng.integers(n))
     centroids[0] = points[first]
-    closest = np.sum((points - centroids[0]) ** 2, axis=1)
+    closest = _sq_dists_to(centroids[0])
     for c in range(1, num_clusters):
         total = closest.sum()
         if total <= 0:
@@ -42,8 +146,72 @@ def kmeans_plusplus_init(
             probs = closest / total
             idx = int(rng.choice(n, p=probs))
         centroids[c] = points[idx]
-        closest = np.minimum(closest, np.sum((points - centroids[c]) ** 2, axis=1))
+        closest = np.minimum(closest, _sq_dists_to(centroids[c]))
     return centroids
+
+
+def _occurrence_rank(keys: np.ndarray) -> np.ndarray:
+    """Per-element occurrence index among equal keys, in array order."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    new_group = np.empty(keys.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.flatnonzero(new_group)
+    counts = np.diff(np.append(starts, keys.size))
+    ranks = np.empty(keys.size, dtype=np.int64)
+    ranks[order] = np.arange(keys.size, dtype=np.int64) - np.repeat(starts, counts)
+    return ranks
+
+
+def _assign_in_order(order: np.ndarray, n: int, k: int, capacity: int) -> np.ndarray:
+    """Replay the sequential greedy over sorted pairs in vectorized rounds.
+
+    Equivalence to the one-pair-at-a-time loop: within a filtered chunk
+    (unassigned rows, clusters with spare capacity), a pair is rejected by
+    the sequential greedy only if its row was claimed by an earlier chunk
+    pair or its cluster's capacity was exhausted by earlier chunk pairs.
+    Duplicate-row pairs never consume capacity, so up to the first *capacity*
+    rejection every non-duplicate pair is accepted and every duplicate's row
+    is provably already assigned — the whole prefix can be committed at
+    once.  The rejected pair itself targets a now-full cluster, so it is
+    dead; the tail is refiltered and replayed.
+    """
+    assign = np.full(n, -1, dtype=np.int64)
+    remaining = np.full(k, capacity, dtype=np.int64)
+    assigned = 0
+    chunk = max(4096, 4 * n)
+    for start in range(0, order.size, chunk):
+        rows, clusters = np.divmod(order[start : start + chunk], k)
+        live = (assign[rows] == -1) & (remaining[clusters] > 0)
+        rows = rows[live]
+        clusters = clusters[live]
+        while rows.size:
+            first = _occurrence_rank(rows) == 0
+            candidates = np.flatnonzero(first)
+            candidate_clusters = clusters[candidates]
+            ranks = _occurrence_rank(candidate_clusters)
+            rejected = np.flatnonzero(ranks >= remaining[candidate_clusters])
+            if rejected.size:
+                cut = rejected[0]
+                accepted = candidates[:cut]
+                resume = candidates[cut] + 1
+            else:
+                accepted = candidates
+                resume = rows.size
+            if accepted.size:
+                assign[rows[accepted]] = clusters[accepted]
+                remaining -= np.bincount(clusters[accepted], minlength=k)
+                assigned += accepted.size
+                if assigned == n:
+                    return assign
+            rows = rows[resume:]
+            clusters = clusters[resume:]
+            if rows.size:
+                live = (assign[rows] == -1) & (remaining[clusters] > 0)
+                rows = rows[live]
+                clusters = clusters[live]
+    return assign
 
 
 def _balanced_assignment(
@@ -52,26 +220,29 @@ def _balanced_assignment(
     """Greedy capacity-constrained assignment.
 
     Returns an array ``assign`` with ``assign[i]`` the cluster of row ``i``;
-    every cluster receives exactly ``capacity`` rows.
+    every cluster receives exactly ``capacity`` rows.  Bitwise identical to
+    :func:`repro.core.reference.balanced_assignment_loop`.
     """
     n = points.shape[0]
     k = centroids.shape[0]
-    # (n, k) squared distances.
-    dists = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    dists = _pairwise_sq_dists(points, centroids, capacity)
     order = np.argsort(dists, axis=None, kind="stable")
-    assign = np.full(n, -1, dtype=np.int64)
-    remaining = np.full(k, capacity, dtype=np.int64)
-    assigned = 0
-    for flat in order:
-        row, cluster = divmod(int(flat), k)
-        if assign[row] != -1 or remaining[cluster] == 0:
-            continue
-        assign[row] = cluster
-        remaining[cluster] -= 1
-        assigned += 1
-        if assigned == n:
-            break
-    return assign
+    return _assign_in_order(order, n, k, capacity)
+
+
+def _balanced_centroids(
+    points: np.ndarray, assign: np.ndarray, num_clusters: int, group_size: int
+) -> np.ndarray:
+    """Mean of each cluster's rows, all clusters at once.
+
+    The balanced assignment fills every cluster with exactly ``group_size``
+    rows, so a stable sort by cluster id reshapes straight into
+    ``(k, V, K)``; the mean over the middle axis reduces each cluster's rows
+    in the same order (ascending row index) and with the same reduction as
+    the seed's per-cluster ``points[assign == c].mean(axis=0)``.
+    """
+    order = np.argsort(assign, kind="stable")
+    return points[order].reshape(num_clusters, group_size, -1).mean(axis=1)
 
 
 def balanced_kmeans(
@@ -117,17 +288,15 @@ def balanced_kmeans(
     centroids = kmeans_plusplus_init(points, num_clusters, rng)
     assign = _balanced_assignment(points, centroids, group_size)
     for _ in range(max(0, num_iters - 1)):
-        for c in range(num_clusters):
-            members = points[assign == c]
-            if len(members):
-                centroids[c] = members.mean(axis=0)
+        centroids = _balanced_centroids(points, assign, num_clusters, group_size)
         new_assign = _balanced_assignment(points, centroids, group_size)
         if np.array_equal(new_assign, assign):
             break
         assign = new_assign
 
+    order = np.argsort(assign, kind="stable")
     groups = [
-        np.sort(np.nonzero(assign == c)[0]).astype(np.int64)
+        order[c * group_size : (c + 1) * group_size].astype(np.int64)
         for c in range(num_clusters)
     ]
     groups.sort(key=lambda g: int(g[0]))

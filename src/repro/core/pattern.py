@@ -49,8 +49,19 @@ class PatternKind(str, enum.Enum):
 
     @classmethod
     def parse(cls, name: str) -> "PatternKind":
-        """Parse a user-facing pattern name (tolerant of hyphens / case)."""
-        key = name.strip().lower().replace("-", "").replace("_", "").replace(" ", "")
+        """Parse a user-facing pattern name (tolerant of hyphens / case).
+
+        Punctuation that commonly appears in pattern spellings is stripped,
+        so ``"2:4"``, ``"2-in-4"`` and ``"Shfl-BW"`` all resolve.
+        """
+        key = (
+            name.strip()
+            .lower()
+            .replace("-", "")
+            .replace("_", "")
+            .replace(" ", "")
+            .replace(":", "")
+        )
         aliases = {
             "dense": cls.DENSE,
             "unstructured": cls.UNSTRUCTURED,

@@ -78,6 +78,11 @@ def _check_scores(scores: np.ndarray) -> np.ndarray:
     scores = np.asarray(scores, dtype=np.float64)
     if scores.ndim != 2:
         raise ValueError(f"scores must be a 2-D matrix, got shape {scores.shape}")
+    # NaN compares False against everything, so a plain `scores < 0` check
+    # would let non-finite scores flow into argsort and produce silently
+    # wrong masks; reject them explicitly.
+    if not np.all(np.isfinite(scores)):
+        raise ValueError("importance scores must be finite (no NaN / infinity)")
     if np.any(scores < 0):
         raise ValueError("importance scores must be non-negative")
     return scores
@@ -109,6 +114,13 @@ def vector_wise_mask(scores: np.ndarray, density: float, vector_size: int) -> np
 
     Each group keeps the ``round(density * K)`` columns with the largest
     summed score (at least one column per group).
+
+    Vectorized over all groups at once: one reshape, one reduction and one
+    row-wise stable argsort replace the per-group Python loop.  Bitwise
+    identical to :func:`repro.core.reference.vector_wise_mask_loop` — the
+    ``(G, V, K)`` middle-axis sum reduces each group's rows in the same
+    order as the per-group ``sum(axis=0)``, and a stable row-wise argsort
+    matches the per-group 1-D argsort element for element.
     """
     scores = _check_scores(scores)
     if not 0.0 < density <= 1.0:
@@ -118,13 +130,11 @@ def vector_wise_mask(scores: np.ndarray, density: float, vector_size: int) -> np
     if v <= 0 or m % v:
         raise ValueError(f"M={m} must be a positive multiple of V={v}")
     keep_cols = max(1, int(round(density * k)))
-    mask = np.zeros((m, k), dtype=bool)
-    for g in range(m // v):
-        group_scores = scores[g * v : (g + 1) * v, :].sum(axis=0)
-        order = np.argsort(-group_scores, kind="stable")
-        kept = order[:keep_cols]
-        mask[g * v : (g + 1) * v, kept] = True
-    return mask
+    group_scores = scores.reshape(m // v, v, k).sum(axis=1)
+    order = np.argsort(-group_scores, axis=1, kind="stable")
+    group_mask = np.zeros((m // v, k), dtype=bool)
+    np.put_along_axis(group_mask, order[:, :keep_cols], True, axis=1)
+    return np.repeat(group_mask, v, axis=0)
 
 
 def search_shflbw_pattern(

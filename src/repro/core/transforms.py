@@ -78,21 +78,62 @@ def group_rows_by_support(mask: np.ndarray, vector_size: int) -> list[np.ndarray
     v = vector_size
     if v <= 0 or m % v:
         raise ValueError(f"M={m} must be a positive multiple of V={v}")
+    if m == 0:
+        return []
 
-    by_support: dict[bytes, list[int]] = {}
-    for i in range(m):
-        by_support.setdefault(mask[i].tobytes(), []).append(i)
+    # Hash every row at once by packing its support bits into uint64 words
+    # and lexsorting those; identical supports get one id each.  Any total
+    # order works here (ids are remapped below to first-appearance order —
+    # the order the seed's insertion-ordered dict iterated supports in, see
+    # :func:`repro.core.reference.group_rows_by_support_loop`), and sorting
+    # fixed-width integer words is much cheaper than ``np.unique(axis=0)``'s
+    # generic row comparisons.
+    if mask.shape[1]:
+        packed = np.packbits(mask, axis=1)
+        pad = -packed.shape[1] % 8
+        if pad:
+            packed = np.concatenate(
+                [packed, np.zeros((m, pad), dtype=np.uint8)], axis=1
+            )
+        words = np.ascontiguousarray(packed).view(np.uint64)
+        word_order = np.lexsort(words.T[::-1])
+        sorted_words = words[word_order]
+        new_support = np.empty(m, dtype=bool)
+        new_support[0] = True
+        new_support[1:] = np.any(sorted_words[1:] != sorted_words[:-1], axis=1)
+        inverse = np.empty(m, dtype=np.int64)
+        inverse[word_order] = np.cumsum(new_support) - 1
+    else:
+        # Zero-width masks: every row shares the empty support.
+        inverse = np.zeros(m, dtype=np.int64)
+    order = np.argsort(inverse, kind="stable")  # by support id, rows ascending
+    counts = np.bincount(inverse)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    # The first (smallest) row index of each support identifies its
+    # first-appearance position.
+    id_order = np.argsort(order[starts], kind="stable")
 
-    groups: list[np.ndarray] = []
-    leftovers: list[int] = []
-    for rows in by_support.values():
-        full, rest = divmod(len(rows), v)
-        for g in range(full):
-            groups.append(np.asarray(rows[g * v : (g + 1) * v], dtype=np.int64))
-        leftovers.extend(rows[len(rows) - rest :])
-    leftovers.sort()
-    for g in range(len(leftovers) // v):
-        groups.append(np.asarray(leftovers[g * v : (g + 1) * v], dtype=np.int64))
+    # Each support contributes its first counts//v * v rows (ascending) as
+    # full groups; its trailing remainder rows are pooled as leftovers.
+    rank = np.arange(m, dtype=np.int64) - np.repeat(starts, counts)
+    full_rows = (counts // v) * v
+    kept = rank < np.repeat(full_rows, counts)
+
+    # Gather the full-group rows support by support, in first-appearance
+    # order (a strided segment gather: one global arange, no Python loop
+    # over rows).
+    sel_counts = full_rows[id_order]
+    total = int(sel_counts.sum())
+    if total:
+        sel_starts = np.concatenate(([0], np.cumsum(sel_counts)[:-1]))
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(sel_starts, sel_counts)
+        grouped = order[np.repeat(starts[id_order], sel_counts) + offsets]
+    else:
+        grouped = np.zeros(0, dtype=np.int64)
+    leftovers = np.sort(order[~kept])
+
+    groups = [g.astype(np.int64) for g in grouped.reshape(-1, v)]
+    groups.extend(g.astype(np.int64) for g in leftovers.reshape(-1, v))
     return groups
 
 
@@ -114,6 +155,10 @@ def stitch_activation_rows(activations: np.ndarray, columns: np.ndarray) -> np.n
         raise ValueError("activations must be a 2-D (K, N) matrix")
     if columns.size and columns.max() >= activations.shape[0]:
         raise ValueError("column index out of range")
+    # Only -1 is the documented padding lane; any other negative index is an
+    # upstream bug and must not silently read as a zero row.
+    if columns.size and columns.min() < -1:
+        raise ValueError("column indices must be >= -1 (-1 marks a padding lane)")
     out = np.zeros((len(columns), activations.shape[1]), dtype=np.float64)
     valid = columns >= 0
     out[valid, :] = activations[columns[valid], :]

@@ -37,6 +37,7 @@ from pathlib import Path
 
 from ..tune import Autotuner, MeasuredRefiner
 from .experiments import (
+    ACCURACY_EXPERIMENTS,
     RUNNER_EXPERIMENTS,
     TUNABLE_EXPERIMENTS,
     available_experiments,
@@ -57,10 +58,19 @@ def main(argv: list[str] | None = None) -> int:
         help=f"experiment id ({', '.join(available_experiments())})",
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
-    parser.add_argument(
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
         "--full",
         action="store_true",
         help="run accuracy experiments at full scale (slower, smoother numbers)",
+    )
+    scale.add_argument(
+        "--tiny",
+        action="store_true",
+        help=(
+            "run accuracy experiments at smoke scale (seconds per cell, noisy "
+            "metrics; for CI and cache demonstrations)"
+        ),
     )
     parser.add_argument(
         "--markdown", action="store_true", help="emit Markdown instead of plain text"
@@ -129,8 +139,25 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     kwargs = {}
-    if experiment in ("table1", "figure2"):
+    if experiment in ACCURACY_EXPERIMENTS:
         kwargs["quick"] = not args.full
+        kwargs["tiny"] = args.tiny
+    elif experiment == "pattern-search":
+        kwargs["quick"] = not args.full
+        if args.tiny:
+            print(
+                "note: pattern-search has no tiny scale (--full raises its "
+                "Lloyd iteration budget); --tiny ignored",
+                file=sys.stderr,
+            )
+    elif args.full or args.tiny:
+        print(
+            f"note: --full/--tiny only apply to the accuracy and "
+            f"pattern-search experiments "
+            f"({', '.join(sorted(ACCURACY_EXPERIMENTS | {'pattern-search'}))}); "
+            f"ignored for {experiment!r}",
+            file=sys.stderr,
+        )
     runner = None
     if experiment in RUNNER_EXPERIMENTS:
         runner = SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir)

@@ -17,12 +17,25 @@ What the experiment is expected to reproduce is the ordering — Shfl-BW >=
 vector-wise >= block-wise at equal sparsity, and Shfl-BW at the larger V
 competitive with vector-wise at the smaller V — not the absolute BLEU /
 accuracy values of the paper.
+
+Execution is structured like the timing sweeps: the grid expands into
+hashable :class:`AccuracyCell` configs, and :func:`execute_accuracy_cell` is
+a module-level pure function of its cell, so :class:`repro.eval.runner.
+SweepRunner` can fan the (model, pattern, sparsity) cells over a process
+pool and cache finished :class:`AccuracyRecord` results on disk (canonical-
+JSON config hashes, salted like every sweep cache).  Every cell deriving
+from the same (model, scale, seed) trains the identical dense proxy; the
+dense run is memoised per process so a serial sweep trains it once per
+model, exactly like the seed protocol did.
 """
 
 from __future__ import annotations
 
+import copy
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+import numpy as np
 
 from ..models.gnmt import GNMTConfig, GNMTProxy
 from ..models.resnet import ResNetConfig, ResNetProxy
@@ -30,15 +43,29 @@ from ..models.transformer import TransformerConfig, TransformerProxy
 from ..nn.data import SyntheticClassificationTask, SyntheticTranslationTask
 from ..nn.train import TrainConfig, build_masks, train_model
 from ..pruning.patterns import make_pruner
+from .runner import MODEL_VERSION, CellTask, SweepRunner, canonical_config_hash
 
 __all__ = [
     "AccuracyConfig",
     "PatternSpec",
     "AccuracyResult",
+    "AccuracyCell",
+    "AccuracyRecord",
+    "ACCURACY_CACHE_FILENAME",
+    "ACCURACY_TASK",
+    "accuracy_cells",
+    "collate_accuracy",
+    "execute_accuracy_cell",
+    "run_accuracy_cells",
     "table1_pattern_specs",
     "evaluate_model_accuracy",
+    "table1_records",
     "table1_sweep",
 ]
+
+#: File the accuracy sweep keeps inside a runner's cache directory (its own
+#: store: accuracy records and timing records have different schemas).
+ACCURACY_CACHE_FILENAME = "accuracy-cache.json"
 
 
 @dataclass(frozen=True)
@@ -111,6 +138,103 @@ class AccuracyResult:
         return self.results.get((label, sparsity))
 
 
+@dataclass(frozen=True)
+class AccuracyCell:
+    """One hashable (model, pattern, sparsity) cell of an accuracy sweep.
+
+    ``vector_size`` is the *proxy* (already scaled-down) vector size, so the
+    cache key reflects the computation actually performed.  ``quick`` /
+    ``tiny`` / ``seed`` pin the training scale; two cells that differ only
+    in those fields never share a cache entry.  ``label`` is the display
+    name (the Table 1 row label) and is cosmetic: excluded from equality
+    and from the hash, exactly like :class:`~repro.eval.runner.RunConfig`.
+    """
+
+    model: str
+    pattern: str
+    sparsity: float
+    vector_size: int | None = None
+    quick: bool = True
+    tiny: bool = False
+    seed: int = 0
+    label: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sparsity < 1.0:
+            raise ValueError("sparsity must be in [0, 1)")
+
+    @property
+    def display_label(self) -> str:
+        return self.label if self.label is not None else self.pattern
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-compatible form (used for hashing and export)."""
+        return {
+            "model": self.model,
+            "pattern": self.pattern,
+            "sparsity": self.sparsity,
+            "vector_size": self.vector_size,
+            "quick": self.quick,
+            "tiny": self.tiny,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AccuracyCell":
+        return cls(
+            model=data["model"],
+            pattern=data["pattern"],
+            sparsity=data["sparsity"],
+            vector_size=data.get("vector_size"),
+            quick=data.get("quick", True),
+            tiny=data.get("tiny", False),
+            seed=data.get("seed", 0),
+            label=data.get("label"),
+        )
+
+    def config_hash(self, *, salt: str = MODEL_VERSION) -> str:
+        """Stable hex digest (shared keying scheme of every cell family)."""
+        return canonical_config_hash(self.to_dict(), salt=salt)
+
+    def scale_config(self) -> AccuracyConfig:
+        """The training-scale knobs this cell pins."""
+        return AccuracyConfig(quick=self.quick, tiny=self.tiny, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class AccuracyRecord:
+    """Result of evaluating one :class:`AccuracyCell`.
+
+    ``status`` is ``"ok"`` (with ``metric`` set) or ``"not-applicable"``
+    (``detail`` names the reason — e.g. no prunable layer fits the pattern).
+    ``dense_metric`` and ``metric_name`` describe the shared dense proxy the
+    cell fine-tuned from, so collation needs no extra dense cells.
+    """
+
+    config: AccuracyCell
+    status: str
+    metric: float | None = None
+    metric_name: str | None = None
+    dense_metric: float | None = None
+    detail: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """Flat JSON/CSV-friendly form (one row per record)."""
+        return {
+            **self.config.to_dict(),
+            "label": self.config.display_label,
+            "status": self.status,
+            "metric": self.metric,
+            "metric_name": self.metric_name,
+            "dense_metric": self.dense_metric,
+            "detail": self.detail,
+        }
+
+
 def table1_pattern_specs() -> list[PatternSpec]:
     """The pattern configurations of Table 1 (plus the unstructured reference
     used by Figure 2)."""
@@ -144,17 +268,231 @@ def _build_model_and_task(model_name: str, config: AccuracyConfig):
     raise ValueError(f"unknown model {model_name!r}")
 
 
-def _make_pruner_for(spec: PatternSpec, config: AccuracyConfig, seed: int):
-    v = spec.proxy_vector_size(config.vector_scale)
-    if spec.pattern == "unstructured":
+def _make_cell_pruner(cell: AccuracyCell):
+    v = cell.vector_size
+    if cell.pattern == "unstructured":
         return make_pruner("unstructured")
-    if spec.pattern == "blockwise":
+    if cell.pattern == "blockwise":
         return make_pruner("blockwise", block_size=v)
-    if spec.pattern == "vectorwise":
+    if cell.pattern == "vectorwise":
         return make_pruner("vectorwise", vector_size=v)
-    if spec.pattern == "shflbw":
-        return make_pruner("shflbw", vector_size=v, seed=seed)
-    raise ValueError(f"unsupported pattern {spec.pattern!r}")
+    if cell.pattern == "shflbw":
+        return make_pruner("shflbw", vector_size=v, seed=cell.seed)
+    raise ValueError(f"unsupported pattern {cell.pattern!r}")
+
+
+def _buffer_state(model) -> list[tuple]:
+    """Snapshot of every non-parameter module state.
+
+    ``state_dict`` only covers parameters, but fine-tuning also mutates
+    batch-norm running mean/variance and (for modules with dropout) the
+    module-held random generator; without restoring those, each cell's
+    evaluation would depend on which cells ran before it in the same
+    process (and serial and parallel sweeps would disagree).
+    """
+    buffers: list[tuple] = []
+    for module in model.modules():
+        if hasattr(module, "running_mean") and hasattr(module, "running_var"):
+            buffers.append(
+                ("norm", module, module.running_mean.copy(), module.running_var.copy())
+            )
+        rng = getattr(module, "_rng", None)
+        if isinstance(rng, np.random.Generator):
+            buffers.append(("rng", module, copy.deepcopy(rng.bit_generator.state)))
+    return buffers
+
+
+def _restore_buffers(buffers) -> None:
+    for kind, module, *state in buffers:
+        if kind == "norm":
+            mean, var = state
+            module.running_mean = mean.copy()
+            module.running_var = var.copy()
+        else:
+            (rng_state,) = state
+            module._rng.bit_generator.state = copy.deepcopy(rng_state)
+
+
+#: Per-process memo of trained dense proxies, keyed by everything the dense
+#: run depends on.  Training is deterministic given the key, so workers that
+#: retrain it reach bit-identical states; within a process every cell of the
+#: same model reuses one dense run, like the seed protocol.
+_DENSE_PROXIES: dict[tuple, tuple] = {}
+
+
+def _dense_proxy(cell: AccuracyCell):
+    """The trained dense proxy shared by every cell of (model, scale, seed).
+
+    Returns ``(model, task, finetune_cfg, dense_state, buffers,
+    dense_metric)``; the caller must restore both ``dense_state`` and the
+    buffer snapshot before using the model, so every cell starts from the
+    identical post-dense-training state regardless of execution order.
+    """
+    key = (cell.model, cell.quick, cell.tiny, cell.seed)
+    entry = _DENSE_PROXIES.get(key)
+    if entry is None:
+        config = cell.scale_config()
+        model, task, train_cfg, finetune_cfg = _build_model_and_task(cell.model, config)
+        dense_result = train_model(model, task, train_cfg)
+        entry = _DENSE_PROXIES.setdefault(
+            key,
+            (
+                model,
+                task,
+                finetune_cfg,
+                model.state_dict(),
+                _buffer_state(model),
+                dense_result.final_metric,
+            ),
+        )
+    return entry
+
+
+def execute_accuracy_cell(cell: AccuracyCell) -> AccuracyRecord:
+    """Run the prune + fine-tune protocol for one cell.
+
+    Pure function of ``cell`` (module-level, so it pickles into process-pool
+    workers): the dense proxy is trained deterministically from the cell's
+    scale/seed fields, pruned with the cell's pattern and fine-tuned with
+    the masks held fixed.  A pattern no prunable layer can hold is data, not
+    an exception — it returns a ``"not-applicable"`` record.
+    """
+    model, task, finetune_cfg, dense_state, buffers, dense_metric = _dense_proxy(cell)
+    model.load_state_dict(dense_state)
+    _restore_buffers(buffers)
+    pruner = _make_cell_pruner(cell)
+    # Only mask construction may legitimately declare inapplicability; an
+    # error raised by the fine-tune itself is a real bug and must propagate
+    # (a swallowed one would be cached as a bogus "not-applicable" record).
+    try:
+        masks, _ = build_masks(model, pruner, cell.sparsity)
+        if not masks:
+            raise ValueError(
+                f"no prunable layer of {cell.model!r} fits pattern {cell.pattern!r}"
+            )
+    except ValueError as exc:
+        model.load_state_dict(dense_state)
+        _restore_buffers(buffers)
+        return AccuracyRecord(
+            cell,
+            status="not-applicable",
+            metric_name=model.metric_name,
+            dense_metric=dense_metric,
+            detail=str(exc),
+        )
+    finetuned = train_model(model, task, finetune_cfg, masks=masks)
+    # Restore the dense weights so the memoised proxy stays reusable.
+    model.load_state_dict(dense_state)
+    _restore_buffers(buffers)
+    return AccuracyRecord(
+        cell,
+        status="ok",
+        metric=finetuned.final_metric,
+        metric_name=model.metric_name,
+        dense_metric=dense_metric,
+    )
+
+
+def _execute_accuracy_cells(cells: list[AccuracyCell]) -> list[AccuracyRecord]:
+    """Serial batch executor (the :class:`CellTask` entry point)."""
+    return [execute_accuracy_cell(cell) for cell in cells]
+
+
+def _encode_accuracy_record(record: AccuracyRecord) -> dict:
+    return {
+        "config": record.config.to_dict(),
+        "status": record.status,
+        "metric": record.metric,
+        "metric_name": record.metric_name,
+        "dense_metric": record.dense_metric,
+        "detail": record.detail,
+    }
+
+
+def _decode_accuracy_record(cell: AccuracyCell, entry: Mapping) -> AccuracyRecord | None:
+    if "status" not in entry:
+        return None
+    return AccuracyRecord(
+        config=cell,
+        status=entry["status"],
+        metric=entry.get("metric"),
+        metric_name=entry.get("metric_name"),
+        dense_metric=entry.get("dense_metric"),
+        detail=entry.get("detail"),
+    )
+
+
+#: The accuracy protocol as a sweep-runner cell family.  Contiguous
+#: chunking keeps each worker's cells on as few models as possible, so the
+#: per-process dense-proxy memo retrains each model's (expensive) dense run
+#: once per boundary rather than once per worker per model.
+ACCURACY_TASK = CellTask(
+    name="accuracy",
+    execute=_execute_accuracy_cells,
+    cache_filename=ACCURACY_CACHE_FILENAME,
+    encode=_encode_accuracy_record,
+    decode=_decode_accuracy_record,
+    chunking="contiguous",
+)
+
+
+def accuracy_cells(
+    models: tuple[str, ...],
+    sparsities: tuple[float, ...],
+    specs: list[PatternSpec],
+    config: AccuracyConfig,
+) -> list[AccuracyCell]:
+    """Expand a Table 1 grid into cells, model-major, in deterministic order."""
+    return [
+        AccuracyCell(
+            model=model,
+            pattern=spec.pattern,
+            sparsity=sparsity,
+            vector_size=spec.proxy_vector_size(config.vector_scale),
+            quick=config.quick,
+            tiny=config.tiny,
+            seed=config.seed,
+            label=spec.label,
+        )
+        for model in models
+        for spec in specs
+        for sparsity in sparsities
+    ]
+
+
+def collate_accuracy(records: list[AccuracyRecord]) -> dict[str, AccuracyResult]:
+    """Fold records back into per-model :class:`AccuracyResult` tables.
+
+    Not-applicable cells are simply absent from the results dict (their
+    metric reads as ``None``), mirroring the bars missing from the paper's
+    tables.
+    """
+    out: dict[str, AccuracyResult] = {}
+    for record in records:
+        model = record.config.model
+        result = out.get(model)
+        if result is None:
+            result = out.setdefault(
+                model,
+                AccuracyResult(
+                    model=model,
+                    metric_name=record.metric_name or "",
+                    dense_metric=record.dense_metric or 0.0,
+                ),
+            )
+        if record.ok and record.metric is not None:
+            result.results[(record.config.display_label, record.config.sparsity)] = (
+                record.metric
+            )
+    return out
+
+
+def run_accuracy_cells(
+    cells: list[AccuracyCell], *, runner: SweepRunner | None = None
+) -> list[AccuracyRecord]:
+    """Evaluate cells through a sweep runner (parallelism + caching)."""
+    runner = runner if runner is not None else SweepRunner()
+    return runner.run_cells(cells, ACCURACY_TASK).records
 
 
 def evaluate_model_accuracy(
@@ -162,34 +500,42 @@ def evaluate_model_accuracy(
     sparsities: tuple[float, ...] = (0.80, 0.90),
     specs: list[PatternSpec] | None = None,
     config: AccuracyConfig | None = None,
+    *,
+    runner: SweepRunner | None = None,
 ) -> AccuracyResult:
     """Run the Table 1 protocol for one model.
 
-    Trains a dense proxy once, then prunes + fine-tunes a copy per
-    (pattern, sparsity) configuration.
+    The dense proxy is trained once (per process) and every (pattern,
+    sparsity) cell prunes + fine-tunes a copy of it; ``runner`` adds
+    process-pool parallelism and persistent caching across the cells.
     """
     config = config or AccuracyConfig()
     specs = specs if specs is not None else table1_pattern_specs()
+    cells = accuracy_cells((model_name,), sparsities, specs, config)
+    records = run_accuracy_cells(cells, runner=runner)
+    return collate_accuracy(records)[model_name]
 
-    model, task, train_cfg, finetune_cfg = _build_model_and_task(model_name, config)
-    dense_result = train_model(model, task, train_cfg)
-    dense_state = model.state_dict()
 
-    out = AccuracyResult(
-        model=model_name,
-        metric_name=model.metric_name,
-        dense_metric=dense_result.final_metric,
-    )
-    for spec in specs:
-        for sparsity in sparsities:
-            model.load_state_dict(dense_state)
-            pruner = _make_pruner_for(spec, config, seed=config.seed)
-            masks, _ = build_masks(model, pruner, sparsity)
-            finetuned = train_model(model, task, finetune_cfg, masks=masks)
-            out.results[(spec.label, sparsity)] = finetuned.final_metric
-    # Restore the dense weights so callers can keep using the model.
-    model.load_state_dict(dense_state)
-    return out
+def table1_records(
+    models: tuple[str, ...] = ("transformer", "gnmt", "resnet50"),
+    sparsities: tuple[float, ...] = (0.80, 0.90),
+    config: AccuracyConfig | None = None,
+    specs: list[PatternSpec] | None = None,
+    *,
+    runner: SweepRunner | None = None,
+) -> list[AccuracyRecord]:
+    """The Table 1 grid as raw records, in grid order.
+
+    The single place the Table 1 defaults live (the paper's three models,
+    80/90 % sparsity, the pattern line-up minus the unstructured reference
+    Figure 2 adds): both :func:`table1_sweep` and the ``table1`` experiment
+    expand and execute through here.
+    """
+    config = config or AccuracyConfig()
+    if specs is None:
+        specs = [s for s in table1_pattern_specs() if s.label != "Unstructured"]
+    cells = accuracy_cells(tuple(models), tuple(sparsities), specs, config)
+    return run_accuracy_cells(cells, runner=runner)
 
 
 def table1_sweep(
@@ -197,10 +543,17 @@ def table1_sweep(
     sparsities: tuple[float, ...] = (0.80, 0.90),
     config: AccuracyConfig | None = None,
     specs: list[PatternSpec] | None = None,
+    *,
+    runner: SweepRunner | None = None,
 ) -> dict[str, AccuracyResult]:
-    """Table 1: every model x pattern x sparsity configuration."""
-    config = config or AccuracyConfig()
-    specs = specs if specs is not None else [s for s in table1_pattern_specs() if s.label != "Unstructured"]
-    return {
-        model: evaluate_model_accuracy(model, sparsities, specs, config) for model in models
-    }
+    """Table 1: every model x pattern x sparsity configuration.
+
+    The grid expands into :class:`AccuracyCell` cells executed through the
+    sweep runner: ``SweepRunner(jobs=N)`` fans the cells over a process
+    pool, ``cache_dir`` persists finished records so a re-run only computes
+    the delta — exactly like the Figure 1/6 timing sweeps.
+    """
+    records = table1_records(models, sparsities, config, specs, runner=runner)
+    collated = collate_accuracy(records)
+    # Preserve the requested model order (collation is record-ordered).
+    return {model: collated[model] for model in models if model in collated}

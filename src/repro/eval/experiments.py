@@ -11,7 +11,12 @@ from collections.abc import Callable
 
 from ..core.analysis import compare_patterns, log_row_shuffle_multiplier
 from ..gpu.arch import get_gpu
-from .accuracy import AccuracyConfig, table1_sweep
+from .accuracy import AccuracyConfig, collate_accuracy, table1_records
+from .pattern_search import (
+    PAPER_VECTOR_SIZES,
+    collate_pattern_search,
+    pattern_search_sweep,
+)
 from .report import Report, Table
 from .runner import SweepRunner
 from .speedup import (
@@ -31,12 +36,27 @@ __all__ = [
     "resolve_experiment",
     "run_experiment",
     "RUNNER_EXPERIMENTS",
+    "ACCURACY_EXPERIMENTS",
     "TUNABLE_EXPERIMENTS",
 ]
 
 #: Experiments that run on the sweep runner and accept the ``runner``,
 #: ``--jobs`` and ``--cache-dir`` machinery.
-RUNNER_EXPERIMENTS = frozenset({"figure1", "figure6", "headline", "autotune"})
+RUNNER_EXPERIMENTS = frozenset(
+    {
+        "figure1",
+        "figure6",
+        "headline",
+        "autotune",
+        "table1",
+        "figure2",
+        "pattern-search",
+    }
+)
+
+#: Accuracy-protocol experiments that additionally understand ``--full`` /
+#: ``--tiny`` training scales.
+ACCURACY_EXPERIMENTS = frozenset({"table1", "figure2"})
 
 #: Experiments that understand the autotuner (``--tune`` / ``--plan-dir``).
 TUNABLE_EXPERIMENTS = frozenset({"figure6", "headline", "autotune"})
@@ -118,9 +138,21 @@ def run_figure1(
     return report
 
 
-def run_figure2(*, quick: bool = True, **kwargs) -> Report:
-    """Figure 2: accuracy-speedup trade-off for GNMT on V100."""
-    points = figure2_sweep(config=AccuracyConfig(quick=quick), **kwargs)
+def run_figure2(
+    *,
+    quick: bool = True,
+    tiny: bool = False,
+    runner: SweepRunner | None = None,
+    **kwargs,
+) -> Report:
+    """Figure 2: accuracy-speedup trade-off for GNMT on V100.
+
+    The accuracy cells run through ``runner`` (``--jobs`` parallelism and a
+    persistent ``--cache-dir`` record cache), like the timing sweeps.
+    """
+    points = figure2_sweep(
+        config=AccuracyConfig(quick=quick, tiny=tiny), runner=runner, **kwargs
+    )
     report = Report("Figure 2 - GNMT accuracy vs speedup trade-off (V100)")
     table = Table(
         "Accuracy (proxy BLEU) and kernel speedup over tensor-core dense",
@@ -327,24 +359,120 @@ def run_autotune(
     return report
 
 
-def run_table1(*, quick: bool = True, **kwargs) -> Report:
-    """Table 1: accuracy of pruned models per pattern and sparsity."""
-    results = table1_sweep(config=AccuracyConfig(quick=quick), **kwargs)
+def run_table1(
+    *,
+    quick: bool = True,
+    tiny: bool = False,
+    runner: SweepRunner | None = None,
+    models: tuple[str, ...] = ("transformer", "gnmt", "resnet50"),
+    sparsities: tuple[float, ...] = (0.80, 0.90),
+    specs=None,
+) -> Report:
+    """Table 1: accuracy of pruned models per pattern and sparsity.
+
+    The (model, pattern, sparsity) cells run through ``runner``: ``--jobs``
+    fans them over a process pool, ``--cache-dir`` persists finished
+    records so a re-run only computes the delta.
+    """
+    config = AccuracyConfig(quick=quick, tiny=tiny)
+    records = table1_records(
+        tuple(models), tuple(sparsities), config, specs, runner=runner
+    )
+    results = collate_accuracy(records)
+
     report = Report("Table 1 - Accuracy of pruned proxy models")
-    for model, result in results.items():
+    for model in models:
+        result = results.get(model)
+        if result is None:
+            continue
         labels = sorted({label for (label, _) in result.results})
-        sparsities = sorted({s for (_, s) in result.results})
+        table_sparsities = sorted({s for (_, s) in result.results})
         table = Table(
             f"{model} ({result.metric_name}), dense = {result.dense_metric:.2f}",
-            ["pattern"] + [f"{s:.0%}" for s in sparsities],
+            ["pattern"] + [f"{s:.0%}" for s in table_sparsities],
         )
         for label in labels:
-            table.add_row(label, *[result.metric(label, s) for s in sparsities])
+            table.add_row(label, *[result.metric(label, s) for s in table_sparsities])
         report.add_table(table)
     report.add_note(
         "Proxy models on synthetic tasks: compare the ordering between "
         "patterns at equal sparsity, not absolute values."
     )
+    report.add_records([record.to_dict() for record in records])
+    return report
+
+
+def run_pattern_search(
+    *,
+    runner: SweepRunner | None = None,
+    quick: bool = True,
+    models: tuple[str, ...] = ("transformer", "gnmt", "resnet50"),
+    vector_sizes: tuple[int, ...] = PAPER_VECTOR_SIZES,
+    sparsities: tuple[float, ...] = (0.80, 0.90),
+    kmeans_iters: int | None = None,
+    seed: int = 0,
+) -> Report:
+    """Shfl-BW pattern search on the real model layer shapes.
+
+    Reports, per model and vector size, the fraction of total weight
+    importance the searched pattern retains at each sparsity — the accuracy
+    side of the pattern's V/speedup trade-off, evaluated at the paper's
+    actual layer scale (only feasible on the vectorized search engine).
+    ``quick`` caps the Lloyd iterations at 2 (the retained fraction
+    converges within a few); ``--full`` runs 8.
+    """
+    if kmeans_iters is None:
+        kmeans_iters = 2 if quick else 8
+    records = pattern_search_sweep(
+        tuple(models),
+        tuple(vector_sizes),
+        tuple(sparsities),
+        kmeans_iters=kmeans_iters,
+        seed=seed,
+        runner=runner,
+    )
+    curves = collate_pattern_search(records)
+
+    report = Report(
+        "Pattern search - retained importance on real layer shapes (Section 5)"
+    )
+    sparsity_grid = sorted(set(tuple(sparsities)))
+    for model in models:
+        table = Table(
+            f"{model}: fraction of importance retained by Shfl-BW",
+            ["V"] + [f"{s:.0%} sparsity" for s in sparsity_grid],
+        )
+        for vector_size in vector_sizes:
+            by_sparsity = curves.get((model, vector_size), {})
+            table.add_row(vector_size, *[by_sparsity.get(s) for s in sparsity_grid])
+        report.add_table(table)
+    report.add_note(
+        "Scores are deterministic synthetic magnitudes on the real GEMM "
+        "shapes; smaller V retains more importance, trading away kernel "
+        "speedup (Figure 2). Missing entries (-) are layers V cannot divide."
+    )
+    skipped = sorted(
+        {
+            f"{r.config.model}/{r.config.layer} @ V={r.config.vector_size}"
+            for r in records
+            if not r.ok
+        }
+    )
+    if skipped:
+        report.add_note(
+            "Layers left dense (row count not divisible by V): "
+            + ", ".join(skipped)
+        )
+    report.add_metadata(
+        "grid",
+        {
+            "models": list(models),
+            "vector_sizes": list(vector_sizes),
+            "sparsities": list(sparsity_grid),
+            "kmeans_iters": kmeans_iters,
+        },
+    )
+    report.add_records([record.to_dict() for record in records])
     return report
 
 
@@ -378,6 +506,7 @@ _EXPERIMENTS: dict[str, Callable[..., Report]] = {
     "headline": run_headline,
     "analysis": run_analysis,
     "autotune": run_autotune,
+    "pattern-search": run_pattern_search,
 }
 
 

@@ -40,11 +40,14 @@ from pathlib import Path
 __all__ = [
     "MODEL_VERSION",
     "CACHE_FILENAME",
+    "canonical_config_hash",
     "RunConfig",
     "RunRecord",
     "KernelSpec",
     "SweepSpec",
     "SweepResult",
+    "CellTask",
+    "CellSweepResult",
     "CacheStats",
     "JsonFileStore",
     "ResultCache",
@@ -53,6 +56,8 @@ __all__ = [
     "serial_executor",
     "batched_executor",
     "process_executor",
+    "strided_process_map",
+    "contiguous_process_map",
 ]
 
 #: Version salt of the analytical timing model.  It participates in every
@@ -63,6 +68,22 @@ MODEL_VERSION = "timing-v2"
 
 #: File the :class:`ResultCache` keeps inside its cache directory.
 CACHE_FILENAME = "sweep-cache.json"
+
+
+def canonical_config_hash(payload: Mapping, *, salt: str = MODEL_VERSION) -> str:
+    """Stable hex digest of a config's canonical dict form.
+
+    The one keying scheme every sweep-cell family shares (timing
+    :class:`RunConfig`, accuracy and pattern-search cells): canonical JSON
+    (sorted keys, exact float ``repr``) with the salt folded into the
+    payload, digested with blake2b — never Python's per-process ``hash()``,
+    so the same config hashes identically across interpreter restarts,
+    ``PYTHONHASHSEED`` values and kwargs insertion orders.
+    """
+    data = json.dumps(
+        {"salt": salt, **payload}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.blake2b(data.encode("utf-8"), digest_size=16).hexdigest()
 
 
 def _freeze_kwargs(kwargs) -> tuple[tuple[str, object], ...]:
@@ -139,17 +160,9 @@ class RunConfig:
         )
 
     def config_hash(self, *, salt: str = MODEL_VERSION) -> str:
-        """Stable hex digest of this config.
-
-        Built from the canonical JSON serialisation (sorted keys, exact float
-        ``repr``), not Python's per-process ``hash()``, so the same config
-        hashes identically across interpreter restarts, ``PYTHONHASHSEED``
-        values and kwargs insertion orders.
-        """
-        payload = json.dumps(
-            {"salt": salt, **self.to_dict()}, sort_keys=True, separators=(",", ":")
-        )
-        return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+        """Stable hex digest of this config (see
+        :func:`canonical_config_hash`)."""
+        return canonical_config_hash(self.to_dict(), salt=salt)
 
 
 @dataclass(frozen=True)
@@ -605,31 +618,72 @@ def _execute_chunk(configs: list[RunConfig]) -> list[RunRecord]:
     return batched_executor(configs)
 
 
+def strided_process_map(
+    execute: Callable[[list], list], configs: list, jobs: int | None = None
+) -> list:
+    """Map an executor over configs across a process pool, deterministically.
+
+    Configs are strided round-robin over ``jobs`` contiguous worker chunks
+    (``configs[i::jobs]``), which both balances heavyweight workloads and is
+    a pure function of the input order, so the reassembled record list is
+    identical to running ``execute`` over the whole list serially.
+    ``execute`` must be a module-level function (it pickles into the worker
+    processes by reference) mapping a config list to a record list in order.
+    """
+    jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+    jobs = min(jobs, len(configs))
+    if jobs <= 1:
+        return execute(configs)
+    chunks = [configs[i::jobs] for i in range(jobs)]
+    records: list = [None] * len(configs)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for offset, chunk_records in zip(range(jobs), pool.map(execute, chunks)):
+            for index, record in zip(range(offset, len(configs), jobs), chunk_records):
+                records[index] = record
+    assert all(record is not None for record in records)
+    return records
+
+
+def contiguous_process_map(
+    execute: Callable[[list], list], configs: list, jobs: int | None = None
+) -> list:
+    """Map an executor over configs across a process pool in contiguous runs.
+
+    The deterministic counterpart of :func:`strided_process_map` for cell
+    families whose executor memoises expensive shared state per *adjacent*
+    group — e.g. the accuracy cells, laid out model-major, whose executor
+    trains one dense proxy per model and process.  Contiguous chunks mean
+    each worker crosses at most one group boundary per neighbour instead of
+    re-deriving every group's state, while reassembly (plain concatenation)
+    stays a pure function of the input order.
+    """
+    jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
+    jobs = min(jobs, len(configs))
+    if jobs <= 1:
+        return execute(configs)
+    bounds = [round(i * len(configs) / jobs) for i in range(jobs + 1)]
+    chunks = [configs[bounds[i] : bounds[i + 1]] for i in range(jobs)]
+    records: list = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for chunk_records in pool.map(execute, chunks):
+            records.extend(chunk_records)
+    assert len(records) == len(configs)
+    return records
+
+
 def process_executor(
     configs: list[RunConfig], *, jobs: int | None = None
 ) -> list[RunRecord]:
     """Evaluate configs across a process pool with deterministic chunking.
 
-    Configs are strided round-robin over ``jobs`` contiguous worker chunks
-    (``configs[i::jobs]``), which both balances heavyweight workloads (the
-    convolution-heavy ResNet cells interleave with the cheap GEMM cells) and
-    is a pure function of the input order, so the reassembled record list is
-    identical to the serial one.
+    The strided chunking interleaves the convolution-heavy ResNet cells with
+    the cheap GEMM cells; each worker batches its chunk through
+    :func:`batched_executor`, so the records are identical to the serial
+    path.
     """
-    jobs = jobs if jobs and jobs > 0 else (os.cpu_count() or 1)
-    jobs = min(jobs, len(configs))
-    if jobs <= 1:
+    if len(configs) <= 1:
         return serial_executor(configs)
-    chunks = [configs[i::jobs] for i in range(jobs)]
-    records: list[RunRecord | None] = [None] * len(configs)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for offset, chunk_records in zip(
-            range(jobs), pool.map(_execute_chunk, chunks)
-        ):
-            for index, record in zip(range(offset, len(configs), jobs), chunk_records):
-                records[index] = record
-    assert all(record is not None for record in records)
-    return records  # type: ignore[return-value]
+    return strided_process_map(_execute_chunk, configs, jobs)
 
 
 class JsonFileStore:
@@ -679,56 +733,79 @@ class JsonFileStore:
         self._dirty = False
 
 
-class ResultCache:
-    """Persistent on-disk JSON cache of :class:`RunRecord` results.
+def _encode_run_record(record: RunRecord) -> dict:
+    """Default cache codec: a :class:`RunRecord` as a debuggable JSON entry."""
+    return {
+        "config": record.config.to_dict(),
+        "status": record.status,
+        "time_s": record.time_s,
+        "bound": record.bound,
+        "detail": record.detail,
+    }
 
-    Keys are :meth:`RunConfig.config_hash` digests salted with the timing
+
+def _decode_run_record(config: RunConfig, entry: Mapping) -> RunRecord | None:
+    """Default cache codec: rebuild a :class:`RunRecord` from a JSON entry
+    (a structurally malformed entry reads as a miss, not a crash)."""
+    if "status" not in entry:
+        return None
+    return RunRecord(
+        config=config,
+        status=entry["status"],
+        time_s=entry.get("time_s"),
+        bound=entry.get("bound"),
+        detail=entry.get("detail"),
+    )
+
+
+class ResultCache:
+    """Persistent on-disk JSON cache of sweep-cell results.
+
+    Keys are ``config.config_hash(salt=...)`` digests salted with the timing
     :data:`MODEL_VERSION`, so a model bump reads as a cold cache rather than
-    as stale hits.  The store is one JSON file (:data:`CACHE_FILENAME`)
-    inside ``cache_dir`` (a :class:`JsonFileStore`); each entry keeps the
-    canonical config dict next to the result payload so the file is
-    debuggable by eye.
+    as stale hits.  The store is one JSON file (``filename``, by default
+    :data:`CACHE_FILENAME`) inside ``cache_dir`` (a :class:`JsonFileStore`);
+    each entry keeps the canonical config dict next to the result payload so
+    the file is debuggable by eye.
+
+    By default the cache speaks :class:`RunRecord`; other cell families (the
+    accuracy and pattern-search sweeps) plug in their own ``encode`` /
+    ``decode`` codec and filename through :class:`CellTask`, sharing the
+    keying, atomic-write and tolerant-load machinery.
     """
 
-    def __init__(self, cache_dir: str | Path, *, salt: str = MODEL_VERSION) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        *,
+        salt: str = MODEL_VERSION,
+        filename: str = CACHE_FILENAME,
+        encode: Callable[[object], dict] | None = None,
+        decode: Callable[[object, Mapping], object | None] | None = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir)
         self.salt = salt
-        self._store = JsonFileStore(self.cache_dir / CACHE_FILENAME)
+        self._encode = encode if encode is not None else _encode_run_record
+        self._decode = decode if decode is not None else _decode_run_record
+        self._store = JsonFileStore(self.cache_dir / filename)
         self.path = self._store.path
 
     def __len__(self) -> int:
         return len(self._store)
 
-    def key(self, config: RunConfig) -> str:
+    def key(self, config) -> str:
         return config.config_hash(salt=self.salt)
 
-    def get(self, config: RunConfig) -> RunRecord | None:
+    def get(self, config):
         """Cached record for ``config``, re-bound to the caller's config
         instance (which may carry a different cosmetic label)."""
         entry = self._store.get(self.key(config))
-        # The file is hand-debuggable JSON: a structurally malformed entry
-        # (wrong type, missing status) reads as a miss, not a crash.
-        if entry is None or "status" not in entry:
+        if entry is None:
             return None
-        return RunRecord(
-            config=config,
-            status=entry["status"],
-            time_s=entry.get("time_s"),
-            bound=entry.get("bound"),
-            detail=entry.get("detail"),
-        )
+        return self._decode(config, entry)
 
-    def put(self, config: RunConfig, record: RunRecord) -> None:
-        self._store.put(
-            self.key(config),
-            {
-                "config": config.to_dict(),
-                "status": record.status,
-                "time_s": record.time_s,
-                "bound": record.bound,
-                "detail": record.detail,
-            },
-        )
+    def put(self, config, record) -> None:
+        self._store.put(self.key(config), self._encode(record))
 
     def flush(self) -> None:
         """Write the store atomically (write-temp + rename)."""
@@ -775,6 +852,62 @@ class SweepResult:
         return [record.to_dict() for record in self.records]
 
 
+@dataclass(frozen=True)
+class CellTask:
+    """Execution and persistence recipe for one family of sweep cells.
+
+    The timing grids speak :class:`RunConfig`/:class:`RunRecord` natively;
+    other workloads (the Table 1 / Figure 2 accuracy protocol, the Shfl-BW
+    pattern search) define their own hashable config dataclasses and route
+    through :meth:`SweepRunner.run_cells` by describing themselves here:
+
+    * ``execute`` maps a config list to a record list *in order*.  It must
+      be a module-level function so it pickles by reference into
+      ``ProcessPoolExecutor`` workers, and every record must be a frozen
+      dataclass with a ``config`` field (records are re-bound to the
+      requesting config after deduplication and cache round-trips).
+    * ``cache_filename`` names the task's own JSON file inside the runner's
+      cache directory, so different record schemas never share a store.
+    * ``encode`` / ``decode`` are the cache codec (record -> JSON entry and
+      back; ``decode`` returns ``None`` for malformed entries).
+    * ``chunking`` picks how a parallel run splits cells over workers:
+      ``"strided"`` (round-robin, balances heterogeneous cell costs) or
+      ``"contiguous"`` (runs of adjacent cells, preserves per-worker memo
+      locality when the executor caches expensive state per adjacent group
+      — the accuracy cells' per-model dense proxies).
+
+    Configs must expose ``config_hash(salt=...)`` built on canonical JSON,
+    like :class:`RunConfig`.
+    """
+
+    name: str
+    execute: Callable[[list], list]
+    cache_filename: str
+    encode: Callable[[object], dict]
+    decode: Callable[[object, Mapping], object | None]
+    chunking: str = "strided"
+
+    def __post_init__(self) -> None:
+        if self.chunking not in ("strided", "contiguous"):
+            raise ValueError("chunking must be 'strided' or 'contiguous'")
+
+
+@dataclass
+class CellSweepResult:
+    """Outcome of one :meth:`SweepRunner.run_cells` call: records in request
+    order plus cache accounting."""
+
+    records: list
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
 class SweepRunner:
     """Executes :class:`SweepSpec` grids with caching and parallelism.
 
@@ -800,27 +933,39 @@ class SweepRunner:
         salt: str = MODEL_VERSION,
     ) -> None:
         self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.salt = salt
         self.cache = (
             ResultCache(cache_dir, salt=salt) if cache_dir is not None else None
         )
         if executor is None:
             executor = process_executor if (jobs or 0) > 1 else batched_executor
         self._executor = executor
+        self._cell_caches: dict[str, ResultCache] = {}
         self.stats = CacheStats()
 
-    def run(self, spec: SweepSpec) -> SweepResult:
-        start = time.monotonic()
-        configs = spec.expand()
-        digests = [config.config_hash() for config in configs]
-        unique: dict[str, RunConfig] = {}
+    def _resolve(
+        self,
+        configs: list,
+        cache: ResultCache | None,
+        execute: Callable[[list], list],
+    ) -> tuple[list, int, int]:
+        """Shared dedup -> cache lookup -> execute -> cache write core.
+
+        Returns the records in request order (each re-bound to the
+        requesting config so cosmetic labels survive deduplication and cache
+        round-trips) plus the hit/miss counts.
+        """
+        digests = [config.config_hash(salt=self.salt) for config in configs]
+        unique: dict[str, object] = {}
         for digest, config in zip(digests, configs):
             unique.setdefault(digest, config)
 
         hits = 0
-        resolved: dict[str, RunRecord] = {}
-        pending: list[tuple[str, RunConfig]] = []
+        resolved: dict[str, object] = {}
+        pending: list[tuple[str, object]] = []
         for digest, config in unique.items():
-            cached = self.cache.get(config) if self.cache is not None else None
+            cached = cache.get(config) if cache is not None else None
             if cached is not None:
                 resolved[digest] = cached
                 hits += 1
@@ -828,25 +973,84 @@ class SweepRunner:
                 pending.append((digest, config))
 
         if pending:
-            computed = self._executor([c for _, c in pending], jobs=self.jobs)
+            computed = execute([c for _, c in pending])
             for (digest, config), record in zip(pending, computed, strict=True):
                 resolved[digest] = record
-                if self.cache is not None:
-                    self.cache.put(config, record)
-            if self.cache is not None:
-                self.cache.flush()
+                if cache is not None:
+                    cache.put(config, record)
+            if cache is not None:
+                cache.flush()
 
         misses = len(pending)
         self.stats.hits += hits
         self.stats.misses += misses
-        # Re-bind each record to the requesting config so cosmetic labels
-        # survive both deduplication and cache round-trips.
         records = [
             replace(resolved[digest], config=config)
             for digest, config in zip(digests, configs)
         ]
+        return records, hits, misses
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        start = time.monotonic()
+        configs = spec.expand()
+        records, hits, misses = self._resolve(
+            configs, self.cache, lambda pending: self._executor(pending, jobs=self.jobs)
+        )
         return SweepResult(
             spec=spec,
+            records=records,
+            cache_hits=hits,
+            cache_misses=misses,
+            elapsed_s=time.monotonic() - start,
+        )
+
+    def cell_cache(self, task: CellTask) -> ResultCache | None:
+        """The per-task :class:`ResultCache` (``None`` without a cache dir).
+
+        Each cell family keeps its own JSON file inside the runner's cache
+        directory, with the task's codec and the runner's salt.
+        """
+        if self.cache_dir is None:
+            return None
+        cache = self._cell_caches.get(task.name)
+        if cache is None:
+            cache = self._cell_caches.setdefault(
+                task.name,
+                ResultCache(
+                    self.cache_dir,
+                    salt=self.salt,
+                    filename=task.cache_filename,
+                    encode=task.encode,
+                    decode=task.decode,
+                ),
+            )
+        return cache
+
+    def run_cells(self, configs: Iterable, task: CellTask) -> CellSweepResult:
+        """Evaluate one family of sweep cells with caching and parallelism.
+
+        The generic counterpart of :meth:`run` for non-timing workloads: the
+        same deduplication, persistent caching (in the task's own cache
+        file) and hit/miss accounting, with execution delegated to the
+        task's ``execute`` — serially in-process, or strided across a
+        process pool when the runner was built with ``jobs`` > 1.
+        """
+        start = time.monotonic()
+        configs = list(configs)
+        cache = self.cell_cache(task)
+        if (self.jobs or 0) > 1:
+            process_map = (
+                contiguous_process_map
+                if task.chunking == "contiguous"
+                else strided_process_map
+            )
+
+            def execute(pending: list) -> list:
+                return process_map(task.execute, pending, self.jobs)
+        else:
+            execute = task.execute
+        records, hits, misses = self._resolve(configs, cache, execute)
+        return CellSweepResult(
             records=records,
             cache_hits=hits,
             cache_misses=misses,

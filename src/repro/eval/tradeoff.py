@@ -23,6 +23,7 @@ from ..gpu.arch import get_gpu
 from ..kernels.registry import make_kernel
 from ..models.shapes import gnmt_layers
 from .accuracy import AccuracyConfig, PatternSpec, evaluate_model_accuracy
+from .runner import SweepRunner
 from .speedup import model_speedup, model_time
 
 __all__ = ["TradeoffPoint", "figure2_pattern_specs", "figure2_sweep"]
@@ -66,11 +67,15 @@ def figure2_sweep(
     sparsities: tuple[float, ...] = (0.80, 0.90),
     config: AccuracyConfig | None = None,
     specs: list[PatternSpec] | None = None,
+    *,
+    runner: SweepRunner | None = None,
 ) -> list[TradeoffPoint]:
     """Compute the accuracy-speedup points of Figure 2.
 
     Speedups use the real GNMT layer shapes on the requested GPU; accuracies
-    come from the proxy-GNMT pruning protocol.
+    come from the proxy-GNMT pruning protocol, whose (pattern, sparsity)
+    cells run through ``runner`` (process-pool parallelism + persistent
+    caching) exactly like the timing sweeps.
     """
     config = config or AccuracyConfig()
     specs = specs if specs is not None else figure2_pattern_specs()
@@ -78,7 +83,7 @@ def figure2_sweep(
     layers = gnmt_layers()
     dense_kernel = make_kernel("dense")
 
-    accuracy = evaluate_model_accuracy("gnmt", sparsities, specs, config)
+    accuracy = evaluate_model_accuracy("gnmt", sparsities, specs, config, runner=runner)
     # One dense baseline per sweep; every point reuses it.
     dense_time = model_time(dense_kernel, arch, layers, 1.0)
 

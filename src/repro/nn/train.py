@@ -101,6 +101,14 @@ def build_masks(
             continue
         if vector_size is not None and rows % vector_size:
             continue
+        # Non-finite weights are corruption (diverged training), not a
+        # pattern-infeasibility: raise before the tolerant prune below can
+        # read the pruner's finite-score rejection as "leave the layer
+        # dense" and hide the problem.
+        if not np.all(np.isfinite(param.data)):
+            raise ValueError(
+                f"weights of prunable layer {name!r} contain non-finite values"
+            )
         try:
             result = pruner.prune(param.data, sparsity)
         except ValueError:

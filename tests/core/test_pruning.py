@@ -32,6 +32,19 @@ class TestUnstructuredMask:
         with pytest.raises(ValueError):
             unstructured_mask(np.array([[-1.0, 2.0]]), 0.5)
 
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_scores_rejected(self, bad):
+        # NaN compares False against 0, so it used to slip past the
+        # negativity check and silently corrupt the argsort-based masks.
+        scores = np.ones((4, 4))
+        scores[1, 2] = bad
+        with pytest.raises(ValueError, match="finite"):
+            unstructured_mask(scores, 0.5)
+        with pytest.raises(ValueError, match="finite"):
+            vector_wise_mask(scores, 0.5, 2)
+        with pytest.raises(ValueError, match="finite"):
+            search_shflbw_pattern(scores, 0.5, 2)
+
     def test_invalid_density(self, rng):
         with pytest.raises(ValueError):
             unstructured_mask(rng.random((4, 4)), 0.0)

@@ -78,3 +78,13 @@ class TestStitching:
     def test_out_of_range_rejected(self, rng):
         with pytest.raises(ValueError):
             stitch_activation_rows(rng.normal(size=(4, 2)), np.array([5]))
+
+    def test_negative_indices_other_than_padding_rejected(self, rng):
+        # Only -1 is the documented padding lane; -2 is an upstream bug and
+        # used to silently produce a zero row.
+        activations = rng.normal(size=(4, 2))
+        with pytest.raises(ValueError, match=">= -1"):
+            stitch_activation_rows(activations, np.array([0, -2]))
+        # -1 itself stays valid.
+        stitched = stitch_activation_rows(activations, np.array([0, -1]))
+        assert np.all(stitched[1] == 0.0)

@@ -92,6 +92,43 @@ class TestSweepFlags:
         captured = capsys.readouterr()
         assert "--jobs/--cache-dir only apply" in captured.err
 
+    def test_scale_flags_warn_for_non_accuracy_experiments(self, capsys):
+        assert main(["analysis", "--tiny"]) == 0
+        captured = capsys.readouterr()
+        assert "--full/--tiny only apply" in captured.err
+        assert "table1" in captured.err
+
+    def test_full_and_tiny_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--full", "--tiny"])
+        assert excinfo.value.code == 2
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_pattern_search_warns_on_tiny(self, capsys):
+        # pattern-search accepts --full but has no tiny scale; the flag must
+        # warn rather than be silently dropped.  A bogus extra kwarg-free
+        # run would take minutes, so only the argument handling is checked
+        # by pointing the grid at nothing via a monkeypatched experiment.
+        import repro.eval.__main__ as cli
+
+        seen = {}
+
+        def fake_run(name, **kwargs):
+            seen.update(kwargs, experiment=name)
+            from repro.eval.report import Report
+
+            return Report("stub")
+
+        original = cli.run_experiment
+        cli.run_experiment = fake_run
+        try:
+            assert main(["pattern-search", "--tiny"]) == 0
+        finally:
+            cli.run_experiment = original
+        assert seen["experiment"] == "pattern-search"
+        assert seen["quick"] is True and "tiny" not in seen
+        assert "--tiny ignored" in capsys.readouterr().err
+
 
 class TestTuneFlags:
     def test_autotune_experiment_smoke(self, capsys):

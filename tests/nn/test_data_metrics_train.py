@@ -121,6 +121,15 @@ class TestMaskedTraining:
             assert mask.dtype == bool
             assert name in infos
 
+    def test_build_masks_rejects_non_finite_weights(self):
+        # Corrupted (diverged) weights must raise loudly instead of reading
+        # as "pattern does not fit, leave the layer dense".
+        model, _ = self._tiny_model_and_task()
+        name, param = next(iter(model.prunable_parameters()))
+        param.data[0, 0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            build_masks(model, UnstructuredPruner(), 0.5)
+
     def test_apply_masks_zeroes_weights(self):
         model, _ = self._tiny_model_and_task()
         masks = prune_model(model, UnstructuredPruner(), 0.9)
