@@ -62,11 +62,11 @@ class Table:
             for i in range(len(self.columns))
         ]
         lines = [self.title, ""]
-        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths, strict=True))
         lines.append(header)
         lines.append("  ".join("-" * w for w in widths))
         for row in cells:
-            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
     def to_markdown(self) -> str:

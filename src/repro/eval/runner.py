@@ -36,6 +36,15 @@ from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import TYPE_CHECKING, TypeVar, cast
+
+if TYPE_CHECKING:
+    from ..gpu.simulator import LaunchBatch
+    from ..kernels.base import SpMMKernel
+
+#: Config / record element types of the generic process-pool maps.
+C = TypeVar("C")
+R = TypeVar("R")
 
 __all__ = [
     "MODEL_VERSION",
@@ -86,7 +95,9 @@ def canonical_config_hash(payload: Mapping, *, salt: str = MODEL_VERSION) -> str
     return hashlib.blake2b(data.encode("utf-8"), digest_size=16).hexdigest()
 
 
-def _freeze_kwargs(kwargs) -> tuple[tuple[str, object], ...]:
+def _freeze_kwargs(
+    kwargs: Mapping[str, object] | Iterable[tuple[str, object]],
+) -> tuple[tuple[str, object], ...]:
     """Normalise kernel kwargs (mapping or pair-iterable) to a sorted tuple."""
     if isinstance(kwargs, Mapping):
         items = kwargs.items()
@@ -407,14 +418,14 @@ def batched_executor(
             (config.kernel, config.kernel_kwargs, config.gpu), []
         ).append(index)
 
-    kernels: dict[tuple, object] = {}
+    kernels: dict[tuple[str, tuple[tuple[str, object], ...]], SpMMKernel] = {}
     model_cache: dict[str, list] = {}
     # Per-model cell templates: the layer shapes, conv unfold factors and
     # occurrence counts every model cell of a group expands to.
     template_cache: dict[str, tuple[list, list[float], list[int], frozenset]] = {}
     per_gpu_batches: dict[str, list] = {}
     per_gpu_groups: dict[str, list] = {}
-    batch_cache: dict[tuple, object] = {}
+    batch_cache: dict[tuple, LaunchBatch] = {}
     for (kernel_name, kernel_kwargs, gpu), indices in groups.items():
         # Grid-setup errors (unknown GPU / kernel / model, malformed GEMM
         # shape) must raise exactly as in execute_config.
@@ -583,7 +594,7 @@ def batched_executor(
         timing = simulate_batch(arch, LaunchBatch.concat(batches))
         offset = 0
         for (spans, unfold_factors, counts, unfold_overhead), batch in zip(
-            per_gpu_groups[gpu], batches
+            per_gpu_groups[gpu], batches, strict=True
         ):
             totals = timing.total_time_s[offset : offset + len(batch)]
             # Convolution unfolding overhead, exactly the estimate_conv
@@ -611,7 +622,7 @@ def batched_executor(
             offset += len(batch)
 
     assert all(record is not None for record in records)
-    return records  # type: ignore[return-value]
+    return cast("list[RunRecord]", records)
 
 
 def _execute_chunk(configs: list[RunConfig]) -> list[RunRecord]:
@@ -619,8 +630,8 @@ def _execute_chunk(configs: list[RunConfig]) -> list[RunRecord]:
 
 
 def strided_process_map(
-    execute: Callable[[list], list], configs: list, jobs: int | None = None
-) -> list:
+    execute: Callable[[list[C]], list[R]], configs: list[C], jobs: int | None = None
+) -> list[R]:
     """Map an executor over configs across a process pool, deterministically.
 
     Configs are strided round-robin over ``jobs`` contiguous worker chunks
@@ -635,18 +646,18 @@ def strided_process_map(
     if jobs <= 1:
         return execute(configs)
     chunks = [configs[i::jobs] for i in range(jobs)]
-    records: list = [None] * len(configs)
+    records: list[R | None] = [None] * len(configs)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        for offset, chunk_records in zip(range(jobs), pool.map(execute, chunks)):
-            for index, record in zip(range(offset, len(configs), jobs), chunk_records):
+        for offset, chunk_records in zip(range(jobs), pool.map(execute, chunks), strict=True):
+            for index, record in zip(range(offset, len(configs), jobs), chunk_records, strict=True):
                 records[index] = record
     assert all(record is not None for record in records)
-    return records
+    return cast("list[R]", records)
 
 
 def contiguous_process_map(
-    execute: Callable[[list], list], configs: list, jobs: int | None = None
-) -> list:
+    execute: Callable[[list[C]], list[R]], configs: list[C], jobs: int | None = None
+) -> list[R]:
     """Map an executor over configs across a process pool in contiguous runs.
 
     The deterministic counterpart of :func:`strided_process_map` for cell
@@ -663,7 +674,7 @@ def contiguous_process_map(
         return execute(configs)
     bounds = [round(i * len(configs) / jobs) for i in range(jobs + 1)]
     chunks = [configs[bounds[i] : bounds[i + 1]] for i in range(jobs)]
-    records: list = []
+    records: list[R] = []
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         for chunk_records in pool.map(execute, chunks):
             records.extend(chunk_records)
@@ -958,7 +969,7 @@ class SweepRunner:
         """
         digests = [config.config_hash(salt=self.salt) for config in configs]
         unique: dict[str, object] = {}
-        for digest, config in zip(digests, configs):
+        for digest, config in zip(digests, configs, strict=True):
             unique.setdefault(digest, config)
 
         hits = 0
@@ -986,7 +997,7 @@ class SweepRunner:
         self.stats.misses += misses
         records = [
             replace(resolved[digest], config=config)
-            for digest, config in zip(digests, configs)
+            for digest, config in zip(digests, configs, strict=True)
         ]
         return records, hits, misses
 

@@ -58,6 +58,6 @@ def stack_parts(values: list, sizes, fill=None, *, dtype=np.float64) -> np.ndarr
             np.full(n, fill if arr is None else arr, dtype=dtype)
             if arr is None or arr.ndim == 0
             else arr
-            for arr, n in zip(arrays, sizes)
+            for arr, n in zip(arrays, sizes, strict=True)
         ]
     )

@@ -12,6 +12,8 @@ kernels for.
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 
 from ..core.pattern import PatternKind
@@ -53,7 +55,7 @@ class CusparseBSRKernel(SpMMKernel):
     #: vendor kernels are well tuned for small blocks on Volta but degrade on
     #: larger blocks and on Turing/Ampere, which is the "unstable performance"
     #: the paper reports.  Unlisted combinations fall back to ``0.35``.
-    efficiency_table: dict[tuple[str, int], float] = {
+    efficiency_table: ClassVar[dict[tuple[str, int], float]] = {
         ("V100", 16): 0.70,
         ("V100", 32): 0.80,
         ("V100", 64): 0.45,

@@ -54,7 +54,7 @@ def bleu_score(
     for order in range(1, max_order + 1):
         matched = 0
         total = 0
-        for ref, hyp in zip(refs, hyps):
+        for ref, hyp in zip(refs, hyps, strict=True):
             ref_counts = _ngram_counts(ref, order)
             hyp_counts = _ngram_counts(hyp, order)
             overlap = sum((ref_counts & hyp_counts).values())

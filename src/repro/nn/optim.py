@@ -65,7 +65,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
+        for param, velocity in zip(self.parameters, self._velocity, strict=True):
             if param.grad is None:
                 continue
             grad = param.grad
@@ -103,7 +103,7 @@ class Adam(Optimizer):
     def step(self) -> None:
         self._step += 1
         beta1, beta2 = self.betas
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v in zip(self.parameters, self._m, self._v, strict=True):
             if param.grad is None:
                 continue
             grad = param.grad

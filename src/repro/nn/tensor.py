@@ -177,7 +177,7 @@ class Tensor:
             parent_grads = node._backward(node_grad)
             if not isinstance(parent_grads, tuple):
                 parent_grads = (parent_grads,)
-            for parent, pgrad in zip(node._parents, parent_grads):
+            for parent, pgrad in zip(node._parents, parent_grads, strict=True):
                 if pgrad is None or not parent.requires_grad:
                     continue
                 if id(parent) in grads:

@@ -281,7 +281,7 @@ class VectorSparseMatrix:
             raise ValueError("one column array and value panel required per group")
         self.group_columns = [np.asarray(c, dtype=np.int64) for c in self.group_columns]
         self.group_values = [np.asarray(x, dtype=np.float64) for x in self.group_values]
-        for cols, vals in zip(self.group_columns, self.group_values):
+        for cols, vals in zip(self.group_columns, self.group_values, strict=True):
             if vals.shape != (v, len(cols)):
                 raise ValueError("value panel shape must be (V, n_cols)")
             if len(cols) and (cols.min() < 0 or cols.max() >= k):

@@ -1,0 +1,31 @@
+"""repro.staticcheck — AST contract linter for the repro codebase.
+
+The sweep cache, the bit-identity oracle nets and the batched timing engine
+all rest on conventions the type system cannot see: cells must be pure,
+oracles must mirror engine signatures, ``config_hash`` must cover every
+result-affecting field, and kernels must keep their scalar and batched
+launch paths in lock-step.  This package checks those conventions
+statically — pure ``ast`` analysis, nothing imported or executed — and is
+wired into CI next to the style lint.
+
+Run it with ``python -m repro.staticcheck [paths] [--format text|json]``;
+suppress a finding inline with ``# staticcheck: ignore[SC001]``.
+"""
+
+from __future__ import annotations
+
+from .cli import main
+from .findings import Finding
+from .project import ProjectIndex
+from .registry import Rule, UnknownRuleError, all_rules, get_rules, rule
+
+__all__ = [
+    "Finding",
+    "ProjectIndex",
+    "Rule",
+    "UnknownRuleError",
+    "all_rules",
+    "get_rules",
+    "main",
+    "rule",
+]

@@ -1,0 +1,47 @@
+"""Structured findings emitted by the static contract rules.
+
+A :class:`Finding` pins one rule violation to a ``file:line:col`` location
+plus the symbol (function, class or field) it concerns.  Findings are frozen,
+totally ordered (path, line, column, rule) and JSON-serialisable, so the CLI
+can render them as stable text lines or as a machine-readable findings file
+for the CI artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Path of the offending file (as given to the checker).
+    path: str
+    #: 1-indexed source line of the violation.
+    line: int
+    #: 0-indexed column offset (the ``ast`` convention).
+    col: int
+    #: Rule identifier, e.g. ``"SC001"``.
+    rule: str
+    #: Qualified name of the symbol the finding concerns.
+    symbol: str
+    #: Human-readable description of the violation.
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible form (one row of the findings file)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def format_text(self) -> str:
+        """The one-line text rendering: ``path:line:col: RULE symbol: message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.symbol}: {self.message}"

@@ -1,0 +1,338 @@
+"""AST project index: the shared substrate every contract rule queries.
+
+One :class:`ProjectIndex` parses a set of Python files once and exposes the
+structural views the rules need:
+
+* modules by dotted name (derived from the ``__init__.py`` package chain, so
+  ``src/repro/eval/runner.py`` indexes as ``repro.eval.runner`` regardless of
+  the path the CLI was invoked with),
+* top-level functions, classes and methods by qualified name,
+* per-module import tables that resolve local aliases to canonical dotted
+  targets (``np.random.rand`` -> ``numpy.random.rand``; ``from os import
+  environ`` makes a bare ``environ`` resolve to ``os.environ``),
+* class ancestry restricted to the analyzed tree (enough to walk kernel
+  hierarchies and resolve inherited methods/attributes),
+* per-file suppression indexes for ``# staticcheck: ignore[...]`` comments.
+
+The index is purely syntactic — nothing is imported or executed — so the
+checker can run on broken working trees and on test fixtures alike.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .suppressions import Suppressions
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "dotted_chain",
+    "module_name_for",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``, derived from its package chain.
+
+    Walks parent directories upward while they contain an ``__init__.py``;
+    the dotted name starts at the topmost package.  A free-standing file
+    (no package parent) is just its stem.
+    """
+    path = path.resolve()
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if path.name == "__init__.py":
+        # The package itself: drop the ``__init__`` stem.
+        parts = parts[1:]
+    return ".".join(reversed(parts))
+
+
+def dotted_chain(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, ``None`` otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    name: str
+    module: ModuleInfo
+    node: FunctionNode
+    cls: ClassInfo | None = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+    def decorator_names(self) -> set[str]:
+        """Trailing names of the decorators (``staticmethod``, ``classmethod``...)."""
+        names: set[str] = set()
+        for deco in self.node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            chain = dotted_chain(target)
+            if chain is not None:
+                names.add(chain.rsplit(".", 1)[-1])
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its directly declared methods and bases."""
+
+    qualname: str
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Base expressions resolved to dotted names where possible (module-local
+    #: resolution happens lazily in :meth:`ProjectIndex.ancestors`).
+    base_chains: list[str] = field(default_factory=list)
+
+    def decorator_names(self) -> set[str]:
+        names: set[str] = set()
+        for deco in self.node.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            chain = dotted_chain(target)
+            if chain is not None:
+                names.add(chain.rsplit(".", 1)[-1])
+        return names
+
+    def class_attr(self, name: str) -> ast.expr | None:
+        """The value expression of a class-level ``name = ...`` assignment."""
+        for stmt in self.node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == name
+                    and stmt.value is not None
+                ):
+                    return stmt.value
+        return None
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str
+    path: Path
+    display_path: str
+    tree: ast.Module
+    source: str
+    suppressions: Suppressions
+    #: Local alias -> canonical dotted target (``np`` -> ``numpy``,
+    #: ``CellTask`` -> ``repro.eval.runner.CellTask``).
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The package this module lives in (itself, for ``__init__`` modules)."""
+        if self.path.name == "__init__.py":
+            return self.name
+        return self.name.rsplit(".", 1)[0] if "." in self.name else ""
+
+    def resolve(self, chain: str) -> str:
+        """Canonicalise a dotted chain through this module's import table.
+
+        The leading component is replaced by its import target when aliased;
+        a chain naming a module-level definition resolves to its qualified
+        name.  Unresolvable chains are returned unchanged (callers match on
+        canonical prefixes like ``numpy.random.`` either way).
+        """
+        head, _, rest = chain.partition(".")
+        if head in self.functions or head in self.classes:
+            qual = f"{self.name}.{head}"
+            return f"{qual}.{rest}" if rest else qual
+        target = self.imports.get(head)
+        if target is None:
+            return chain
+        return f"{target}.{rest}" if rest else target
+
+
+class ProjectIndex:
+    """Parsed view of a whole source tree, queried by the rules."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        #: Every function and method, by qualified name.
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: Methods grouped by bare name (for attribute-call fan-out).
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self.parse_errors: list[tuple[str, str]] = []
+
+    # ------------------------------ loading ------------------------------ #
+    @classmethod
+    def from_files(cls, paths: Iterable[Path]) -> ProjectIndex:
+        index = cls()
+        for path in paths:
+            index.add_file(path)
+        return index
+
+    def add_file(self, path: Path) -> None:
+        display = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=display)
+        except (OSError, SyntaxError, ValueError) as exc:
+            self.parse_errors.append((display, str(exc)))
+            return
+        module = ModuleInfo(
+            name=module_name_for(path),
+            path=path,
+            display_path=display,
+            tree=tree,
+            source=source,
+            suppressions=Suppressions(source),
+        )
+        self._index_imports(module)
+        self._index_definitions(module)
+        self.modules[module.name] = module
+
+    def _index_imports(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.partition(".")[0]
+                    target = alias.name if alias.asname else alias.name.partition(".")[0]
+                    module.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+    @staticmethod
+    def _import_base(module: ModuleInfo, node: ast.ImportFrom) -> str | None:
+        """The absolute dotted prefix of one ``from ... import`` statement."""
+        if node.level == 0:
+            return node.module or ""
+        package_parts = module.package.split(".") if module.package else []
+        drop = node.level - 1
+        if drop > len(package_parts):
+            return None
+        base_parts = package_parts[: len(package_parts) - drop]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+    def _index_definitions(self, module: ModuleInfo) -> None:
+        for stmt in module.tree.body:
+            if isinstance(stmt, FunctionNode):
+                info = FunctionInfo(
+                    qualname=f"{module.name}.{stmt.name}",
+                    name=stmt.name,
+                    module=module,
+                    node=stmt,
+                )
+                module.functions[stmt.name] = info
+                self.functions[info.qualname] = info
+            elif isinstance(stmt, ast.ClassDef):
+                cls_info = ClassInfo(
+                    qualname=f"{module.name}.{stmt.name}",
+                    name=stmt.name,
+                    module=module,
+                    node=stmt,
+                )
+                for base in stmt.bases:
+                    chain = dotted_chain(base)
+                    if chain is not None:
+                        cls_info.base_chains.append(chain)
+                for sub in stmt.body:
+                    if isinstance(sub, FunctionNode):
+                        method = FunctionInfo(
+                            qualname=f"{cls_info.qualname}.{sub.name}",
+                            name=sub.name,
+                            module=module,
+                            node=sub,
+                            cls=cls_info,
+                        )
+                        cls_info.methods[sub.name] = method
+                        self.functions[method.qualname] = method
+                        self.methods_by_name.setdefault(sub.name, []).append(method)
+                module.classes[stmt.name] = cls_info
+                self.classes[cls_info.qualname] = cls_info
+
+    # ----------------------------- resolution ----------------------------- #
+    def resolve_class(self, module: ModuleInfo, chain: str) -> ClassInfo | None:
+        """The analyzed class a dotted chain refers to, if any."""
+        resolved = module.resolve(chain)
+        found = self.classes.get(resolved)
+        if found is not None:
+            return found
+        # ``module.Class`` chains where the trailing component is the class.
+        if "." in resolved:
+            prefix, _, last = resolved.rpartition(".")
+            owner = self.modules.get(prefix)
+            if owner is not None:
+                return owner.classes.get(last)
+        return None
+
+    def ancestors(self, cls: ClassInfo) -> list[ClassInfo]:
+        """MRO-ish ancestor walk restricted to analyzed classes (self first)."""
+        seen: dict[str, ClassInfo] = {}
+        stack = [cls]
+        order: list[ClassInfo] = []
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen[current.qualname] = current
+            order.append(current)
+            for chain in current.base_chains:
+                base = self.resolve_class(current.module, chain)
+                if base is not None:
+                    stack.append(base)
+        return order
+
+    def resolve_method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """The definition of ``name`` found first along the ancestor walk."""
+        for ancestor in self.ancestors(cls):
+            method = ancestor.methods.get(name)
+            if method is not None:
+                return method
+        return None
+
+    def subclasses_of(self, base_name: str) -> list[ClassInfo]:
+        """All analyzed classes transitively inheriting a class named
+        ``base_name`` (the base itself excluded), in deterministic order."""
+        result = [
+            cls
+            for cls in self.classes.values()
+            if cls.name != base_name
+            and any(a.name == base_name for a in self.ancestors(cls)[1:])
+        ]
+        return sorted(result, key=lambda c: c.qualname)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()

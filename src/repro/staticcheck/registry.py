@@ -1,0 +1,83 @@
+"""Rule registry: the catalogue of contract checks the CLI can run.
+
+Rules register themselves with the :func:`rule` decorator at import time
+(importing :mod:`repro.staticcheck.rules` loads every built-in rule); the
+CLI selects them by id.  A rule is a pure function from a parsed
+:class:`~repro.staticcheck.project.ProjectIndex` to a list of
+:class:`~repro.staticcheck.findings.Finding` records — registration carries
+the id, a short name and the one-line description shown by ``--list-rules``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from .findings import Finding
+from .project import ProjectIndex
+
+__all__ = ["Rule", "UnknownRuleError", "all_rules", "get_rules", "rule"]
+
+RuleCheck = Callable[[ProjectIndex], list[Finding]]
+
+
+class UnknownRuleError(KeyError):
+    """Raised when a rule id is selected that no rule registered."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered contract check."""
+
+    rule_id: str
+    name: str
+    description: str
+    check: RuleCheck
+
+    def run(self, index: ProjectIndex) -> list[Finding]:
+        return sorted(self.check(index))
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, name: str, description: str) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a check function under ``rule_id`` (decorator)."""
+
+    def register(check: RuleCheck) -> RuleCheck:
+        if rule_id in _RULES:
+            raise ValueError(f"rule {rule_id!r} is already registered")
+        _RULES[rule_id] = Rule(
+            rule_id=rule_id, name=name, description=description, check=check
+        )
+        return check
+
+    return register
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    _load_builtin_rules()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rules(rule_ids: Iterable[str] | None) -> list[Rule]:
+    """The selected rules (all of them for ``None``), ordered by id.
+
+    Raises :class:`UnknownRuleError` naming the first unknown id.
+    """
+    rules = all_rules()
+    if rule_ids is None:
+        return rules
+    wanted = list(rule_ids)
+    known = {r.rule_id: r for r in rules}
+    for rule_id in wanted:
+        if rule_id not in known:
+            raise UnknownRuleError(rule_id)
+    return [known[rule_id] for rule_id in sorted(set(wanted))]
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily so the registry module itself stays import-cycle free
+    # (rule modules import the registry to self-register).
+    from . import rules  # noqa: F401

@@ -1,0 +1,11 @@
+"""Built-in contract rules.
+
+Importing this package registers every rule with the registry; the modules
+self-register via the :func:`repro.staticcheck.registry.rule` decorator.
+"""
+
+from __future__ import annotations
+
+from . import cachekey, kernels, parity, purity
+
+__all__ = ["cachekey", "kernels", "parity", "purity"]

@@ -1,0 +1,164 @@
+"""SC003 — cache-key coverage: hashable cells must hash every field that
+affects their result.
+
+Every sweep-cell family keys its persistent cache with
+``canonical_config_hash(self.to_dict(), salt=...)``.  The cache can only be
+trusted if ``to_dict()`` routes *every* result-affecting field into the
+digest: a field that changes the computation without changing the hash makes
+the cache serve stale cells — the exact failure mode the Table 1 / Figure 6
+reproductions cannot detect after the fact.
+
+For every dataclass that exposes a ``config_hash`` method the rule checks:
+
+* every declared field flows through ``to_dict()`` (a ``self.<field>``
+  reference inside the method body), **except** fields declared with
+  ``field(..., compare=False)`` — the repo's documented convention for
+  cosmetic display-only fields (labels), which are excluded from equality
+  and must stay excluded from the hash;
+* conversely, a ``compare=False`` field that *is* referenced in
+  ``to_dict()`` is flagged — a cosmetic field flowing into the digest forks
+  the cache on display strings;
+* ``config_hash`` itself routes through ``to_dict`` (hand-rolled payload
+  dicts bypass the coverage the first check just established).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..project import ClassInfo, ProjectIndex, dotted_chain
+from ..registry import rule
+
+__all__ = ["check_cache_key_coverage"]
+
+RULE_ID = "SC003"
+
+
+def _is_dataclass(cls: ClassInfo) -> bool:
+    return "dataclass" in cls.decorator_names()
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    rendered = ast.unparse(annotation)
+    return "ClassVar" in rendered
+
+
+def _field_compare_flag(value: ast.expr | None) -> bool:
+    """The effective ``compare=`` flag of a field declaration (default True)."""
+    if not isinstance(value, ast.Call):
+        return True
+    chain = dotted_chain(value.func)
+    if chain is None or chain.rsplit(".", 1)[-1] != "field":
+        return True
+    for keyword in value.keywords:
+        if keyword.arg == "compare" and isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return True
+
+
+def _declared_fields(cls: ClassInfo) -> list[tuple[str, int, bool]]:
+    """``(name, lineno, compare)`` for every dataclass field declaration."""
+    fields: list[tuple[str, int, bool]] = []
+    for stmt in cls.node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        target = stmt.target
+        if not isinstance(target, ast.Name) or target.id.startswith("_"):
+            continue
+        if _is_classvar(stmt.annotation):
+            continue
+        fields.append((target.id, stmt.lineno, _field_compare_flag(stmt.value)))
+    return fields
+
+
+def _self_attributes(node: ast.AST) -> set[str]:
+    """Every ``self.<attr>`` read inside a method body."""
+    attrs: set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            attrs.add(sub.attr)
+    return attrs
+
+
+@rule(
+    RULE_ID,
+    "cache-key-coverage",
+    "dataclasses exposing config_hash() must route every non-cosmetic field "
+    "through to_dict(), and cosmetic (compare=False) fields must stay out",
+)
+def check_cache_key_coverage(index: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    for cls in sorted(index.classes.values(), key=lambda c: c.qualname):
+        if "config_hash" not in cls.methods or not _is_dataclass(cls):
+            continue
+        config_hash = cls.methods["config_hash"]
+        to_dict = cls.methods.get("to_dict")
+        if to_dict is None:
+            findings.append(
+                Finding(
+                    path=cls.module.display_path,
+                    line=cls.node.lineno,
+                    col=cls.node.col_offset,
+                    rule=RULE_ID,
+                    symbol=cls.qualname,
+                    message=(
+                        "exposes config_hash() without a to_dict() canonical "
+                        "form; the cache key has no auditable field coverage"
+                    ),
+                )
+            )
+            continue
+        if "to_dict" not in _self_attributes(config_hash.node):
+            findings.append(
+                Finding(
+                    path=cls.module.display_path,
+                    line=config_hash.node.lineno,
+                    col=config_hash.node.col_offset,
+                    rule=RULE_ID,
+                    symbol=config_hash.qualname,
+                    message=(
+                        "config_hash() does not route through self.to_dict(); "
+                        "hand-rolled payloads bypass the canonical field "
+                        "coverage"
+                    ),
+                )
+            )
+        hashed = _self_attributes(to_dict.node)
+        for name, lineno, compare in _declared_fields(cls):
+            if compare and name not in hashed:
+                findings.append(
+                    Finding(
+                        path=cls.module.display_path,
+                        line=lineno,
+                        col=cls.node.col_offset,
+                        rule=RULE_ID,
+                        symbol=f"{cls.qualname}.{name}",
+                        message=(
+                            f"field {name!r} does not flow through to_dict(): "
+                            "it can change results without changing the cache "
+                            "key (mark it field(compare=False) if it is "
+                            "purely cosmetic)"
+                        ),
+                    )
+                )
+            elif not compare and name in hashed:
+                findings.append(
+                    Finding(
+                        path=cls.module.display_path,
+                        line=lineno,
+                        col=cls.node.col_offset,
+                        rule=RULE_ID,
+                        symbol=f"{cls.qualname}.{name}",
+                        message=(
+                            f"cosmetic field {name!r} (compare=False) flows "
+                            "through to_dict(): display strings fork the "
+                            "cache key"
+                        ),
+                    )
+                )
+    return findings

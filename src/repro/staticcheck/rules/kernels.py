@@ -1,0 +1,250 @@
+"""SC004 — kernel conformance: the scalar and batched timing paths of every
+kernel must be declared as one unit.
+
+The batched estimation engine only reproduces the scalar timing model
+bit-for-bit because every kernel that customises its scalar launch
+construction also ships the matching vectorized builder, and because the
+sweep executor's cross-GPU batch reuse trusts the ``launch_arch_agnostic``
+declaration.  Three statically checkable contracts follow:
+
+* **pair rule** — a ``SpMMKernel`` subclass that defines ``build_launch``
+  (or a custom scalar ``estimate``) must define ``build_launch_batch`` in
+  the same class, and vice versa.  Overriding one half leaves the other
+  half inherited from a parent whose launch semantics the override just
+  changed — the batched sweep then silently diverges from the scalar
+  oracle.
+* **arch-agnosticism** — a kernel whose effective ``launch_arch_agnostic``
+  is ``True`` must not consult the ``arch`` parameter inside
+  ``build_launch`` / ``build_launch_batch`` (forwarding it to
+  ``super().build_launch*`` is fine).  A violation means the executor
+  reuses one GPU's launch batch for a different GPU.
+* **registry completeness** — every kernel named in the registry's
+  ``_FACTORIES`` table must resolve, via its analyzed ancestry, to concrete
+  ``prepare`` / ``run`` / ``build_launch`` implementations below the
+  abstract base.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..project import ClassInfo, ModuleInfo, ProjectIndex, dotted_chain
+from ..registry import rule
+
+__all__ = ["check_kernel_conformance"]
+
+RULE_ID = "SC004"
+
+_BASE_CLASS = "SpMMKernel"
+_SCALAR_METHODS = ("build_launch", "estimate")
+_BATCH_METHOD = "build_launch_batch"
+_REQUIRED_CONCRETE = ("prepare", "run", "build_launch")
+_AGNOSTIC_ATTR = "launch_arch_agnostic"
+
+
+def _finding(cls: ClassInfo, node: ast.AST, symbol: str, message: str) -> Finding:
+    return Finding(
+        path=cls.module.display_path,
+        line=getattr(node, "lineno", cls.node.lineno),
+        col=getattr(node, "col_offset", cls.node.col_offset),
+        rule=RULE_ID,
+        symbol=symbol,
+        message=message,
+    )
+
+
+def _effective_arch_agnostic(index: ProjectIndex, cls: ClassInfo) -> bool:
+    """The most-derived ``launch_arch_agnostic`` literal along the ancestry."""
+    for ancestor in index.ancestors(cls):
+        value = ancestor.class_attr(_AGNOSTIC_ATTR)
+        if isinstance(value, ast.Constant) and isinstance(value.value, bool):
+            return value.value
+    return False
+
+
+class _ArchUseScanner(ast.NodeVisitor):
+    """Finds reads of the ``arch`` parameter outside super() forwarding."""
+
+    def __init__(self) -> None:
+        self.offending: list[ast.Name] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr.startswith("build_launch")
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"
+        ):
+            # ``super().build_launch*(arch, ...)``: forwarding is sanctioned —
+            # skip the argument expressions, but still scan nested calls that
+            # are not plain names.
+            for arg in node.args:
+                if not isinstance(arg, ast.Name):
+                    self.visit(arg)
+            for keyword in node.keywords:
+                if not isinstance(keyword.value, ast.Name):
+                    self.visit(keyword.value)
+            return
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if node.id == "arch" and isinstance(node.ctx, ast.Load):
+            self.offending.append(node)
+
+
+def _check_arch_agnosticism(
+    index: ProjectIndex, cls: ClassInfo, findings: list[Finding]
+) -> None:
+    if not _effective_arch_agnostic(index, cls):
+        return
+    for method_name in ("build_launch", _BATCH_METHOD):
+        method = cls.methods.get(method_name)
+        if method is None:
+            continue
+        scanner = _ArchUseScanner()
+        for stmt in method.node.body:
+            scanner.visit(stmt)
+        for name in scanner.offending:
+            findings.append(
+                _finding(
+                    cls,
+                    name,
+                    method.qualname,
+                    f"declares {_AGNOSTIC_ATTR}=True but {method_name} reads "
+                    "the arch parameter; cross-GPU batch reuse would apply "
+                    "one GPU's launch description to another",
+                )
+            )
+
+
+def _check_pairing(cls: ClassInfo, findings: list[Finding]) -> None:
+    scalar = [name for name in _SCALAR_METHODS if name in cls.methods]
+    has_batch = _BATCH_METHOD in cls.methods
+    if scalar and not has_batch:
+        findings.append(
+            _finding(
+                cls,
+                cls.methods[scalar[0]].node,
+                cls.qualname,
+                f"overrides {'/'.join(scalar)} without {_BATCH_METHOD}: the "
+                "inherited batched builder no longer matches the scalar "
+                "timing path",
+            )
+        )
+    elif has_batch and not scalar:
+        findings.append(
+            _finding(
+                cls,
+                cls.methods[_BATCH_METHOD].node,
+                cls.qualname,
+                f"overrides {_BATCH_METHOD} without build_launch: the batched "
+                "builder has no scalar twin to stay bit-identical with",
+            )
+        )
+
+
+def _registered_classes(
+    index: ProjectIndex,
+) -> list[tuple[str, ClassInfo | None, ModuleInfo, ast.AST]]:
+    """``(name, class-or-None, registry-module, node)`` per registration.
+
+    One entry per value of a module-level ``_FACTORIES`` dict literal (the
+    kernel registry's factory table).
+    """
+    entries: list[tuple[str, ClassInfo | None, ModuleInfo, ast.AST]] = []
+    for module in index.modules.values():
+        for stmt in module.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            named_factories = any(
+                isinstance(t, ast.Name) and t.id == "_FACTORIES" for t in targets
+            )
+            if not named_factories or not isinstance(value, ast.Dict):
+                continue
+            for key, factory in zip(value.keys, value.values, strict=True):
+                label = (
+                    str(key.value)
+                    if isinstance(key, ast.Constant)
+                    else ast.unparse(key)
+                    if key is not None
+                    else "**"
+                )
+                chain = dotted_chain(factory)
+                resolved = (
+                    index.resolve_class(module, chain) if chain is not None else None
+                )
+                entries.append((label, resolved, module, factory))
+    return entries
+
+
+def _is_kernel_class(index: ProjectIndex, cls: ClassInfo) -> bool:
+    return any(a.name == _BASE_CLASS for a in index.ancestors(cls)[1:])
+
+
+@rule(
+    RULE_ID,
+    "kernel-conformance",
+    "SpMMKernel subclasses must override build_launch/build_launch_batch as "
+    "a pair, honour launch_arch_agnostic, and registered kernels must be "
+    "concrete",
+)
+def check_kernel_conformance(index: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    for cls in index.subclasses_of(_BASE_CLASS):
+        _check_pairing(cls, findings)
+        _check_arch_agnosticism(index, cls, findings)
+
+    for label, resolved, context, node in _registered_classes(index):
+        if resolved is None:
+            # Factories that are not plain class names (lambdas, partials)
+            # cannot be checked statically; only flag resolvable ones.
+            continue
+        if not _is_kernel_class(index, resolved):
+            findings.append(
+                Finding(
+                    path=context.display_path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    rule=RULE_ID,
+                    symbol=resolved.qualname,
+                    message=(
+                        f"registered under {label!r} but does not inherit "
+                        f"from {_BASE_CLASS}"
+                    ),
+                )
+            )
+            continue
+        missing = [
+            name
+            for name in _REQUIRED_CONCRETE
+            if (
+                (found := index.resolve_method(resolved, name)) is None
+                or (found.cls is not None and found.cls.name == _BASE_CLASS)
+            )
+        ]
+        if missing:
+            findings.append(
+                Finding(
+                    path=context.display_path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    rule=RULE_ID,
+                    symbol=resolved.qualname,
+                    message=(
+                        f"registered under {label!r} without concrete "
+                        f"{'/'.join(missing)} implementation(s) below the "
+                        "abstract base"
+                    ),
+                )
+            )
+    return findings

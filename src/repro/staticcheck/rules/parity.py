@@ -1,0 +1,242 @@
+"""SC002 — oracle parity: seed oracles and vectorized engines must agree on
+their call surface.
+
+Every vectorized subsystem in this repo keeps its original scalar loops
+alive as *oracles* (``repro.core.reference``, ``repro.sparse.spmm_reference``)
+and property-tests the fast path bit-for-bit against them.  That net only
+means something while the two sides expose the same surface: if a parameter
+is added to the engine but not the oracle (or a default drifts), the
+hypothesis nets keep passing while silently testing a stale contract.
+
+The rule pairs functions by the repo's naming convention — a public
+``<name>_loop`` function in a module named ``reference`` / ``*_reference``
+pairs with ``<name>`` (or ``_<name>``) in a sibling module of the same
+package, or with a ``<prefix>_<method>`` -> ``Class.<method>`` counterpart
+for format conversions (``csr_from_dense_loop`` -> ``CSRMatrix.from_dense``)
+— and then compares the two AST signatures: parameter names, order and
+kinds, default values, annotations, and ``*args`` / ``**kwargs`` presence.
+A missing counterpart is itself a finding (an oracle testing nothing).
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+
+from ..findings import Finding
+from ..project import FunctionInfo, ModuleInfo, ProjectIndex
+from ..registry import rule
+
+__all__ = ["check_oracle_parity"]
+
+RULE_ID = "SC002"
+
+_ORACLE_SUFFIX = "_loop"
+
+
+def _is_reference_module(module: ModuleInfo) -> bool:
+    last = module.name.rsplit(".", 1)[-1]
+    return last == "reference" or last.endswith("_reference")
+
+
+def _sibling_modules(index: ProjectIndex, oracle: ModuleInfo) -> list[ModuleInfo]:
+    """Same-package modules the counterpart may live in (references excluded)."""
+    return [
+        module
+        for module in index.modules.values()
+        if module.package == oracle.package
+        and module.name != oracle.name
+        and not _is_reference_module(module)
+    ]
+
+
+def _find_counterpart(
+    index: ProjectIndex, oracle: ModuleInfo, base: str
+) -> FunctionInfo | None:
+    siblings = _sibling_modules(index, oracle)
+    for module in siblings:
+        for name in (base, f"_{base}"):
+            info = module.functions.get(name)
+            if info is not None:
+                return info
+    # ``<prefix>_<method>`` -> method ``<method>`` on a class whose name
+    # starts with ``<prefix>`` (e.g. ``csr_from_dense`` -> CSRMatrix.from_dense).
+    for module in siblings:
+        for cls in module.classes.values():
+            for method_name, method in cls.methods.items():
+                if not base.endswith(f"_{method_name}"):
+                    continue
+                prefix = base[: -(len(method_name) + 1)].replace("_", "")
+                if prefix and cls.name.lower().startswith(prefix):
+                    return method
+    return None
+
+
+def _receiver_free_params(info: FunctionInfo, *, drop_first: bool) -> ast.arguments:
+    """The signature with the receiver parameter stripped.
+
+    For methods the implicit ``self``/``cls`` is dropped (not for
+    staticmethods); for oracle functions pairing with *instance* methods the
+    explicit receiver argument (the matrix being converted) is dropped when
+    ``drop_first`` is set.
+    """
+    args = info.node.args
+    posonly = list(args.posonlyargs)
+    normal = list(args.args)
+    if drop_first:
+        if posonly:
+            posonly = posonly[1:]
+        elif normal:
+            normal = normal[1:]
+    return ast.arguments(
+        posonlyargs=posonly,
+        args=normal,
+        vararg=args.vararg,
+        kwonlyargs=list(args.kwonlyargs),
+        kw_defaults=list(args.kw_defaults),
+        kwarg=args.kwarg,
+        defaults=list(args.defaults),
+    )
+
+
+def _annotation_repr(node: ast.expr | None) -> str | None:
+    return None if node is None else ast.unparse(node)
+
+
+def _default_repr(node: ast.expr | None) -> str | None:
+    return None if node is None else ast.unparse(node)
+
+
+def _signature_summary(args: ast.arguments) -> list[tuple[str, ...]]:
+    """Flat, comparable rendering of one signature."""
+    summary: list[tuple[str, ...]] = []
+    positional = args.posonlyargs + args.args
+    defaults: list[ast.expr | None] = [None] * (
+        len(positional) - len(args.defaults)
+    ) + list(args.defaults)
+    for arg, default in zip(positional, defaults, strict=True):
+        summary.append(
+            (
+                "positional",
+                arg.arg,
+                str(_annotation_repr(arg.annotation)),
+                str(_default_repr(default)),
+            )
+        )
+    if args.vararg is not None:
+        summary.append(("vararg", args.vararg.arg, "", ""))
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults, strict=True):
+        summary.append(
+            (
+                "keyword",
+                arg.arg,
+                str(_annotation_repr(arg.annotation)),
+                str(_default_repr(kw_default)),
+            )
+        )
+    if args.kwarg is not None:
+        summary.append(("kwarg", args.kwarg.arg, "", ""))
+    return summary
+
+
+def _describe(summary: list[tuple[str, ...]]) -> str:
+    parts: list[str] = []
+    for kind, name, _, default in summary:
+        rendered = name
+        if kind == "vararg":
+            rendered = f"*{name}"
+        elif kind == "kwarg":
+            rendered = f"**{name}"
+        elif default != "None" and default != "":
+            rendered = f"{name}={default}"
+        parts.append(rendered)
+    return f"({', '.join(parts)})"
+
+
+def _compare_pair(
+    oracle: FunctionInfo, counterpart: FunctionInfo
+) -> list[str]:
+    """Human-readable mismatch descriptions between the two signatures."""
+    is_instance_method = (
+        counterpart.is_method
+        and "staticmethod" not in counterpart.decorator_names()
+        and "classmethod" not in counterpart.decorator_names()
+    )
+    is_classmethod = (
+        counterpart.is_method and "classmethod" in counterpart.decorator_names()
+    )
+    oracle_args = _receiver_free_params(oracle, drop_first=is_instance_method)
+    counter_args = _receiver_free_params(
+        counterpart, drop_first=is_instance_method or is_classmethod
+    )
+    left = _signature_summary(oracle_args)
+    right = _signature_summary(counter_args)
+    if left == right:
+        return []
+    mismatches: list[str] = []
+    for ours, theirs in itertools.zip_longest(left, right):
+        if ours == theirs:
+            continue
+        if ours is None:
+            mismatches.append(f"counterpart adds {theirs[0]} parameter {theirs[1]!r}")
+        elif theirs is None:
+            mismatches.append(f"counterpart drops {ours[0]} parameter {ours[1]!r}")
+        else:
+            mismatches.append(
+                f"parameter {ours[1]!r} differs "
+                f"(oracle {ours[0]} ann={ours[2]} default={ours[3]}; "
+                f"counterpart {theirs[1]!r} {theirs[0]} ann={theirs[2]} "
+                f"default={theirs[3]})"
+            )
+    summary = (
+        f"signature drift vs {counterpart.qualname}: oracle {_describe(left)} != "
+        f"counterpart {_describe(right)}"
+    )
+    return [summary + " — " + "; ".join(mismatches)]
+
+
+@rule(
+    RULE_ID,
+    "oracle-parity",
+    "every public *_loop oracle in a reference module must have a "
+    "signature-compatible counterpart in its sibling engine modules",
+)
+def check_oracle_parity(index: ProjectIndex) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in index.modules.values():
+        if not _is_reference_module(module):
+            continue
+        for name, info in module.functions.items():
+            if name.startswith("_") or not name.endswith(_ORACLE_SUFFIX):
+                continue
+            base = name[: -len(_ORACLE_SUFFIX)]
+            counterpart = _find_counterpart(index, module, base)
+            if counterpart is None:
+                findings.append(
+                    Finding(
+                        path=module.display_path,
+                        line=info.node.lineno,
+                        col=info.node.col_offset,
+                        rule=RULE_ID,
+                        symbol=info.qualname,
+                        message=(
+                            f"oracle has no engine counterpart named {base!r} "
+                            f"(or _{base} / a matching class method) in package "
+                            f"{module.package!r}; the bit-identity net is "
+                            "testing nothing"
+                        ),
+                    )
+                )
+                continue
+            for mismatch in _compare_pair(info, counterpart):
+                findings.append(
+                    Finding(
+                        path=module.display_path,
+                        line=info.node.lineno,
+                        col=info.node.col_offset,
+                        rule=RULE_ID,
+                        symbol=info.qualname,
+                        message=mismatch,
+                    )
+                )
+    return findings

@@ -1,0 +1,50 @@
+"""Inline suppression comments: ``# staticcheck: ignore[RULE, ...]``.
+
+A finding is suppressed when the physical line it points at carries an
+ignore comment naming its rule (``# staticcheck: ignore[SC001]``, with a
+comma-separated list for several rules) or a blanket ignore with no rule
+list (``# staticcheck: ignore``).  Suppressions are per-line — there is no
+file- or block-level form — so every silenced violation stays visible next
+to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["Suppressions"]
+
+_IGNORE_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+class Suppressions:
+    """Per-line suppression index of one source file."""
+
+    def __init__(self, source: str) -> None:
+        # line number (1-indexed) -> frozenset of rule ids, or None for a
+        # blanket ignore that silences every rule on that line.
+        self._by_line: dict[int, frozenset[str] | None] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _IGNORE_RE.search(text)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                self._by_line[lineno] = None
+                continue
+            ids = frozenset(part.strip() for part in rules.split(",") if part.strip())
+            # ``ignore[]`` with an empty list suppresses nothing (it is a
+            # malformed comment, not a blanket ignore).
+            self._by_line[lineno] = ids if ids else frozenset()
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is silenced on the given 1-indexed line."""
+        entry = self._by_line.get(line, frozenset())
+        if entry is None:
+            return True
+        return rule in entry

@@ -45,7 +45,7 @@ class TestBalancedKMeans:
         points = rng.random((16, 6))
         a = balanced_kmeans(points, 4, seed=3)
         b = balanced_kmeans(points, 4, seed=3)
-        for ga, gb in zip(a, b):
+        for ga, gb in zip(a, b, strict=True):
             np.testing.assert_array_equal(ga, gb)
 
     def test_single_group_shortcut(self, rng):

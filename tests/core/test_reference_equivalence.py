@@ -107,7 +107,7 @@ class TestBalancedKMeans:
         expected = balanced_kmeans_loop(points, v, num_iters=iters, seed=seed)
         actual = balanced_kmeans(points, v, num_iters=iters, seed=seed)
         assert len(actual) == len(expected)
-        for got, want in zip(actual, expected):
+        for got, want in zip(actual, expected, strict=True):
             np.testing.assert_array_equal(got, want)
 
 
@@ -136,7 +136,7 @@ class TestGroupRowsBySupport:
         expected = group_rows_by_support_loop(mask, v)
         actual = group_rows_by_support(mask, v)
         assert len(actual) == len(expected)
-        for got, want in zip(actual, expected):
+        for got, want in zip(actual, expected, strict=True):
             np.testing.assert_array_equal(got, want)
 
     def test_repeated_supports_with_remainders(self):
@@ -150,7 +150,7 @@ class TestGroupRowsBySupport:
         expected = group_rows_by_support_loop(mask, 4)
         actual = group_rows_by_support(mask, 4)
         assert len(actual) == len(expected) == 3
-        for got, want in zip(actual, expected):
+        for got, want in zip(actual, expected, strict=True):
             np.testing.assert_array_equal(got, want)
 
 

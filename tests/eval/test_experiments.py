@@ -82,7 +82,7 @@ class TestAutotuneExperiment:
         rows = {row[0]: row[1:] for row in table.rows}
         planned = rows.pop("Autotuned plan")
         for label, speedups in rows.items():
-            for planned_cell, single_cell in zip(planned, speedups):
+            for planned_cell, single_cell in zip(planned, speedups, strict=True):
                 if single_cell is not None:
                     assert planned_cell >= single_cell * (1 - 1e-12), label
 

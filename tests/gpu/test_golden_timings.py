@@ -120,7 +120,7 @@ def _tree_diff(path: str, golden, current, diffs: list[dict]) -> None:
         if not isinstance(current, list) or len(current) != len(golden):
             diffs.append({"path": path, "kind": "length-changed"})
             return
-        for i, (g, c) in enumerate(zip(golden, current)):
+        for i, (g, c) in enumerate(zip(golden, current, strict=True)):
             _tree_diff(f"{path}[{i}]", g, c, diffs)
     elif not _leaf_matches(golden, current):
         diffs.append(

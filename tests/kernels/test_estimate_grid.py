@@ -69,7 +69,7 @@ class TestEstimateGridMatchesScalar:
             return
         shapes, cell_densities = grid
         scalars = []
-        for shape, density in zip(shapes, cell_densities):
+        for shape, density in zip(shapes, cell_densities, strict=True):
             try:
                 scalars.append(kernel.estimate(arch, shape, density))
             except (KernelNotApplicableError, ValueError):
@@ -94,7 +94,7 @@ class TestEstimateGridMatchesScalar:
         timing = kernel.estimate_grid(
             arch, shapes, cell_densities, vector_size=vector_size
         )
-        for index, (shape, density) in enumerate(zip(shapes, cell_densities)):
+        for index, (shape, density) in enumerate(zip(shapes, cell_densities, strict=True)):
             assert timing.timing(index) == kernel.estimate(
                 arch, shape, density, vector_size=vector_size
             )

@@ -54,7 +54,7 @@ class TestSchedules:
         targets = schedule.targets(11)
         assert targets[0] == pytest.approx(0.0)
         assert targets[-1] == pytest.approx(0.9)
-        assert all(b >= a for a, b in zip(targets, targets[1:]))
+        assert all(b >= a for a, b in zip(targets, targets[1:], strict=False))
 
     def test_cubic_ramps_faster_early(self):
         linear = linear_schedule(0.9, num_steps=11)

@@ -1,0 +1,156 @@
+"""CLI contract tests: exit codes, JSON report schema, suppressions."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import main
+from repro.staticcheck.cli import REPORT_VERSION
+
+CLEAN_MODULE = """
+def add(a, b):
+    return a + b
+"""
+
+DIRTY_MODULE = """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    m: int
+    n: int
+
+    def to_dict(self):
+        return {"m": self.m}
+
+    def config_hash(self):
+        return str(self.to_dict())
+"""
+
+
+def write_tree(tmp_path: Path, source: str) -> Path:
+    root = tmp_path / "proj"
+    root.mkdir()
+    (root / "__init__.py").write_text("", encoding="utf-8")
+    (root / "mod.py").write_text(source, encoding="utf-8")
+    return root
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, CLEAN_MODULE)
+        assert main([str(root)]) == 0
+        assert "clean: 0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, DIRTY_MODULE)
+        assert main([str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "SC003" in out
+        assert "1 finding(s)" in out
+
+    def test_unknown_rule_exits_two(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, CLEAN_MODULE)
+        assert main([str(root), "--rules", "SC999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path: Path, capsys) -> None:
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such file or directory" in capsys.readouterr().err
+
+    def test_bad_flag_exits_two(self, tmp_path: Path) -> None:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--format", "yaml"])
+        assert excinfo.value.code == 2
+
+    def test_parse_error_exits_one(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, "def broken(:\n")
+        assert main([str(root)]) == 1
+        assert "parse error" in capsys.readouterr().out
+
+
+class TestJsonReport:
+    def test_schema_and_counts(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, DIRTY_MODULE)
+        assert main([str(root), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["version"] == REPORT_VERSION
+        assert report["tool"] == "repro.staticcheck"
+        assert {r["id"] for r in report["rules"]} == {
+            "SC001",
+            "SC002",
+            "SC003",
+            "SC004",
+        }
+        assert report["files_scanned"] == 2
+        assert report["parse_errors"] == []
+        assert report["suppressed"] == 0
+        assert report["counts"]["SC003"] == 1
+        (finding,) = report["findings"]
+        assert finding["rule"] == "SC003"
+        assert finding["path"].endswith("mod.py")
+        assert {"path", "line", "col", "rule", "symbol", "message"} <= set(finding)
+
+    def test_output_file_written_alongside_text(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        root = write_tree(tmp_path, DIRTY_MODULE)
+        out_file = tmp_path / "report.json"
+        assert main([str(root), "--output", str(out_file)]) == 1
+        assert "SC003" in capsys.readouterr().out  # text still on stdout
+        report = json.loads(out_file.read_text(encoding="utf-8"))
+        assert report["counts"]["SC003"] == 1
+
+    def test_list_rules(self, capsys) -> None:
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SC001", "SC002", "SC003", "SC004"):
+            assert rule_id in out
+
+
+class TestSuppressions:
+    def test_inline_ignore_suppresses_matching_rule(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        source = DIRTY_MODULE.replace(
+            "    n: int", "    n: int  # staticcheck: ignore[SC003]"
+        )
+        root = write_tree(tmp_path, source)
+        assert main([str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "(1 suppressed)" in out
+
+    def test_ignore_of_other_rule_does_not_suppress(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        source = DIRTY_MODULE.replace(
+            "    n: int", "    n: int  # staticcheck: ignore[SC001]"
+        )
+        root = write_tree(tmp_path, source)
+        assert main([str(root)]) == 1
+        assert "SC003" in capsys.readouterr().out
+
+    def test_blanket_ignore_suppresses_everything(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        source = DIRTY_MODULE.replace(
+            "    n: int", "    n: int  # staticcheck: ignore"
+        )
+        root = write_tree(tmp_path, source)
+        assert main([str(root)]) == 0
+        assert "(1 suppressed)" in capsys.readouterr().out
+
+    def test_suppressed_count_lands_in_json(self, tmp_path: Path, capsys) -> None:
+        source = DIRTY_MODULE.replace(
+            "    n: int", "    n: int  # staticcheck: ignore[SC003]"
+        )
+        root = write_tree(tmp_path, source)
+        assert main([str(root), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["suppressed"] == 1
+        assert report["findings"] == []

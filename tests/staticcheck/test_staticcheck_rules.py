@@ -1,0 +1,582 @@
+"""Per-rule fixture tests: each contract rule catches its violation and
+stays quiet on the compliant twin."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import Finding, ProjectIndex, get_rules
+
+
+def build_index(tmp_path: Path, files: dict[str, str]) -> ProjectIndex:
+    """Write a mini package tree and parse it into a ProjectIndex."""
+    root = tmp_path / "pkg"
+    root.mkdir(exist_ok=True)
+    (root / "__init__.py").write_text("", encoding="utf-8")
+    paths = [root / "__init__.py"]
+    for name, source in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        paths.append(path)
+    return ProjectIndex.from_files(paths)
+
+
+def run_rule(rule_id: str, index: ProjectIndex) -> list[Finding]:
+    (rule,) = get_rules([rule_id])
+    return rule.run(index)
+
+
+# --------------------------------------------------------------------------- #
+# SC001 — cell purity
+# --------------------------------------------------------------------------- #
+
+RUNNER_SCAFFOLD = """
+class CellTask:
+    def __init__(self, execute=None):
+        self.execute = execute
+
+
+class SweepRunner:
+    pass
+"""
+
+
+class TestCellPurity:
+    def test_flags_wall_clock_reachable_from_celltask(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "runner.py": RUNNER_SCAFFOLD,
+                "cells.py": """
+from .runner import CellTask
+
+
+def _helper():
+    import time
+
+    return time.monotonic()
+
+
+def execute_cells(cells):
+    return [_helper() for _ in cells]
+
+
+TASK = CellTask(execute=execute_cells)
+""",
+            },
+        )
+        findings = run_rule("SC001", index)
+        assert any(
+            "time.monotonic" in f.message and f.symbol.endswith("_helper")
+            for f in findings
+        )
+
+    def test_flags_legacy_rng_and_environ_in_executor(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "runner.py": RUNNER_SCAFFOLD
+                + """
+
+def custom_executor(cells):
+    import os
+
+    import numpy as np
+
+    seed = os.environ["SEED"]
+    return np.random.rand(len(cells)), seed
+""",
+            },
+        )
+        findings = run_rule("SC001", index)
+        messages = " | ".join(f.message for f in findings)
+        assert "numpy.random.rand" in messages
+        assert "os.environ" in messages
+
+    def test_flags_set_iteration_into_ordered_output(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "runner.py": RUNNER_SCAFFOLD,
+                "cells.py": """
+from .runner import CellTask
+
+
+def execute_cells(cells):
+    names = list({c for c in cells})
+    for item in {1, 2, 3}:
+        names.append(item)
+    return names
+
+
+TASK = CellTask(execute=execute_cells)
+""",
+            },
+        )
+        findings = run_rule("SC001", index)
+        assert len([f for f in findings if "set" in f.message]) == 2
+
+    def test_clean_seeded_rng_and_sorted_sets_pass(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "runner.py": RUNNER_SCAFFOLD,
+                "cells.py": """
+from .runner import CellTask
+
+
+def execute_cells(cells):
+    import numpy as np
+
+    rng = np.random.default_rng(1234)
+    names = sorted({c for c in cells})
+    return rng.random(len(names)), names
+
+
+TASK = CellTask(execute=execute_cells)
+""",
+            },
+        )
+        assert run_rule("SC001", index) == []
+
+    def test_unreachable_impurity_is_not_flagged(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "runner.py": RUNNER_SCAFFOLD,
+                "cells.py": """
+from .runner import CellTask
+
+
+def execute_cells(cells):
+    return list(cells)
+
+
+def benchmark_wrapper():
+    import time
+
+    return time.perf_counter()
+
+
+TASK = CellTask(execute=execute_cells)
+""",
+            },
+        )
+        assert run_rule("SC001", index) == []
+
+
+# --------------------------------------------------------------------------- #
+# SC002 — oracle parity
+# --------------------------------------------------------------------------- #
+
+
+class TestOracleParity:
+    def test_flags_signature_drift(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "reference.py": """
+def spmm_loop(values, dense, out=None):
+    return out
+""",
+                "engine.py": """
+def spmm(values, dense, *, out=None, alpha=1.0):
+    return out
+""",
+            },
+        )
+        findings = run_rule("SC002", index)
+        assert len(findings) == 1
+        assert "signature drift" in findings[0].message
+        assert "alpha" in findings[0].message
+
+    def test_flags_missing_counterpart(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "reference.py": """
+def orphan_loop(values):
+    return values
+""",
+                "engine.py": """
+def something_else(values):
+    return values
+""",
+            },
+        )
+        findings = run_rule("SC002", index)
+        assert len(findings) == 1
+        assert "no engine counterpart" in findings[0].message
+
+    def test_matching_pair_is_clean(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "reference.py": """
+def spmm_loop(values, dense, out=None):
+    return out
+""",
+                "engine.py": """
+def spmm(values, dense, out=None):
+    return out
+""",
+            },
+        )
+        assert run_rule("SC002", index) == []
+
+    def test_pairs_with_class_method_stripping_receivers(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "reference.py": """
+def csr_from_dense_loop(dense, tol=0.0):
+    return dense
+
+
+def csr_to_dense_loop(matrix, order="C"):
+    return matrix
+""",
+                "formats.py": """
+class CSRMatrix:
+    @classmethod
+    def from_dense(cls, dense, tol=0.0):
+        return cls()
+
+    def to_dense(self, order="C"):
+        return None
+""",
+            },
+        )
+        assert run_rule("SC002", index) == []
+
+    def test_method_counterpart_drift_is_flagged(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "reference.py": """
+def csr_to_dense_loop(matrix, order="C"):
+    return matrix
+""",
+                "formats.py": """
+class CSRMatrix:
+    def to_dense(self, order="F"):
+        return None
+""",
+            },
+        )
+        findings = run_rule("SC002", index)
+        assert len(findings) == 1
+        assert "signature drift" in findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# SC003 — cache-key coverage
+# --------------------------------------------------------------------------- #
+
+
+class TestCacheKeyCoverage:
+    def test_flags_field_missing_from_to_dict(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "cells.py": """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    m: int
+    n: int
+
+    def to_dict(self):
+        return {"m": self.m}
+
+    def config_hash(self):
+        return str(self.to_dict())
+""",
+            },
+        )
+        findings = run_rule("SC003", index)
+        assert len(findings) == 1
+        assert findings[0].symbol.endswith("Cell.n")
+
+    def test_flags_cosmetic_field_in_to_dict(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "cells.py": """
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Cell:
+    m: int
+    label: str = field(default="", compare=False)
+
+    def to_dict(self):
+        return {"m": self.m, "label": self.label}
+
+    def config_hash(self):
+        return str(self.to_dict())
+""",
+            },
+        )
+        findings = run_rule("SC003", index)
+        assert len(findings) == 1
+        assert "cosmetic" in findings[0].message
+
+    def test_flags_hand_rolled_config_hash(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "cells.py": """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    m: int
+
+    def to_dict(self):
+        return {"m": self.m}
+
+    def config_hash(self):
+        return str(hash((self.m,)))
+""",
+            },
+        )
+        findings = run_rule("SC003", index)
+        assert len(findings) == 1
+        assert "to_dict" in findings[0].message
+
+    def test_flags_missing_to_dict_entirely(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "cells.py": """
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    m: int
+
+    def config_hash(self):
+        return str(hash((self.m,)))
+""",
+            },
+        )
+        findings = run_rule("SC003", index)
+        assert len(findings) == 1
+        assert "without a to_dict" in findings[0].message
+
+    def test_covered_cell_is_clean(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "cells.py": """
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class Cell:
+    m: int
+    n: int
+    label: str = field(default="", compare=False)
+    _cache: ClassVar[dict] = {}
+
+    def to_dict(self):
+        return {"m": self.m, "n": self.n}
+
+    def config_hash(self):
+        return str(self.to_dict())
+""",
+            },
+        )
+        assert run_rule("SC003", index) == []
+
+
+# --------------------------------------------------------------------------- #
+# SC004 — kernel conformance
+# --------------------------------------------------------------------------- #
+
+KERNEL_BASE = """
+class SpMMKernel:
+    launch_arch_agnostic = False
+
+    def prepare(self, problem):
+        raise NotImplementedError
+
+    def run(self, problem):
+        raise NotImplementedError
+
+    def build_launch(self, problem, arch):
+        raise NotImplementedError
+
+    def build_launch_batch(self, shapes, arch):
+        return [self.build_launch(s, arch) for s in shapes]
+"""
+
+
+class TestKernelConformance:
+    def test_flags_unpaired_build_launch(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "base.py": KERNEL_BASE,
+                "kern.py": """
+from .base import SpMMKernel
+
+
+class HalfKernel(SpMMKernel):
+    def prepare(self, problem):
+        return problem
+
+    def run(self, problem):
+        return problem
+
+    def build_launch(self, problem, arch):
+        return problem
+""",
+            },
+        )
+        findings = run_rule("SC004", index)
+        assert len(findings) == 1
+        assert "without build_launch_batch" in findings[0].message
+
+    def test_flags_arch_use_in_declared_agnostic_kernel(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "base.py": KERNEL_BASE,
+                "kern.py": """
+from .base import SpMMKernel
+
+
+class LyingKernel(SpMMKernel):
+    launch_arch_agnostic = True
+
+    def prepare(self, problem):
+        return problem
+
+    def run(self, problem):
+        return problem
+
+    def build_launch(self, problem, arch):
+        return problem.size * arch.sm_count
+
+    def build_launch_batch(self, shapes, arch):
+        return super().build_launch_batch(shapes, arch)
+""",
+            },
+        )
+        findings = run_rule("SC004", index)
+        assert len(findings) == 1
+        assert "launch_arch_agnostic=True" in findings[0].message
+        assert findings[0].symbol.endswith("build_launch")
+
+    def test_super_forwarding_is_sanctioned(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "base.py": KERNEL_BASE,
+                "kern.py": """
+from .base import SpMMKernel
+
+
+class ForwardingKernel(SpMMKernel):
+    launch_arch_agnostic = True
+
+    def prepare(self, problem):
+        return problem
+
+    def run(self, problem):
+        return problem
+
+    def build_launch(self, problem, arch):
+        return super().build_launch(problem, arch)
+
+    def build_launch_batch(self, shapes, arch):
+        return super().build_launch_batch(shapes, arch)
+""",
+            },
+        )
+        assert run_rule("SC004", index) == []
+
+    def test_flags_abstract_kernel_in_registry(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "base.py": KERNEL_BASE,
+                "registry.py": """
+from .base import SpMMKernel
+
+
+class GhostKernel(SpMMKernel):
+    pass
+
+
+class NotAKernel:
+    pass
+
+
+_FACTORIES = {
+    "ghost": GhostKernel,
+    "impostor": NotAKernel,
+}
+""",
+            },
+        )
+        findings = run_rule("SC004", index)
+        messages = " | ".join(f.message for f in findings)
+        assert "without concrete" in messages
+        assert "does not inherit" in messages
+
+    def test_concrete_registered_kernel_is_clean(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "base.py": KERNEL_BASE,
+                "kern.py": """
+from .base import SpMMKernel
+
+
+class GoodKernel(SpMMKernel):
+    def prepare(self, problem):
+        return problem
+
+    def run(self, problem):
+        return problem
+
+    def build_launch(self, problem, arch):
+        return problem
+
+    def build_launch_batch(self, shapes, arch):
+        return shapes
+
+
+_FACTORIES = {"good": GoodKernel}
+""",
+            },
+        )
+        assert run_rule("SC004", index) == []
+
+
+# --------------------------------------------------------------------------- #
+# The real tree
+# --------------------------------------------------------------------------- #
+
+
+def test_repo_source_tree_is_clean() -> None:
+    """The shipped src/ tree satisfies every contract rule."""
+    src = Path(__file__).resolve().parents[2] / "src"
+    if not src.is_dir():
+        pytest.skip("src/ layout not available (installed package)")
+    index = ProjectIndex.from_files(sorted(src.rglob("*.py")))
+    assert index.parse_errors == []
+    for rule in get_rules(None):
+        assert rule.run(index) == [], f"{rule.rule_id} regressed on src/"

@@ -75,7 +75,7 @@ class TestModelPlanArgmin:
 
     def test_assignment_counts_match_layers(self):
         plan = Autotuner().plan("transformer", "T4", 0.85)
-        for layer, assignment in zip(model_layers("transformer"), plan.assignments):
+        for layer, assignment in zip(model_layers("transformer"), plan.assignments, strict=True):
             assert assignment.layer == layer.name
             assert assignment.count == layer.count
             assert assignment.considered > 0
