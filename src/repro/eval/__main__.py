@@ -24,6 +24,13 @@ Run the Table 1 accuracy protocol at full scale (slower)::
 
     python -m repro.eval table1 --full
 
+Inspect and maintain a cache directory (the content-addressed blob stores
+and their legacy single-file ancestors)::
+
+    python -m repro.eval cache stats --cache-dir .sweep-cache
+    python -m repro.eval cache migrate --cache-dir .sweep-cache
+    python -m repro.eval cache gc --cache-dir .sweep-cache --keep-salt timing-v2
+
 List the available experiments::
 
     python -m repro.eval --list
@@ -48,9 +55,23 @@ from .runner import SweepRunner
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        # Cache maintenance is its own CLI surface (stats / gc / migrate),
+        # routed before the experiment parser so its subcommand flags never
+        # collide with experiment options.
+        from .runner import MODEL_VERSION
+        from .store import cache_main
+
+        return cache_main(argv[1:], default_salt=MODEL_VERSION)
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the paper's tables and figures on the simulated substrate.",
+        epilog=(
+            "Cache maintenance: python -m repro.eval cache {stats,gc,migrate} "
+            "--cache-dir PATH"
+        ),
     )
     parser.add_argument(
         "experiment",

@@ -38,6 +38,14 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, TypeVar, cast
 
+from .store import (
+    BlobStore,
+    CacheStore,
+    CorruptCacheWarning,
+    JsonFileStore,
+    make_store,
+)
+
 if TYPE_CHECKING:
     from ..gpu.simulator import LaunchBatch
     from ..kernels.base import SpMMKernel
@@ -58,6 +66,9 @@ __all__ = [
     "CellTask",
     "CellSweepResult",
     "CacheStats",
+    "BlobStore",
+    "CacheStore",
+    "CorruptCacheWarning",
     "JsonFileStore",
     "ResultCache",
     "SweepRunner",
@@ -75,7 +86,9 @@ __all__ = [
 #: serving stale numbers.
 MODEL_VERSION = "timing-v2"
 
-#: File the :class:`ResultCache` keeps inside its cache directory.
+#: Legacy single-file store of the :class:`ResultCache` inside its cache
+#: directory; the default blob backend derives its root from this name
+#: (``sweep-cache.blobs/``) and reads through to the file while migrating.
 CACHE_FILENAME = "sweep-cache.json"
 
 
@@ -88,7 +101,19 @@ def canonical_config_hash(payload: Mapping, *, salt: str = MODEL_VERSION) -> str
     payload, digested with blake2b — never Python's per-process ``hash()``,
     so the same config hashes identically across interpreter restarts,
     ``PYTHONHASHSEED`` values and kwargs insertion orders.
+
+    A payload carrying its own top-level ``"salt"`` key is rejected: it
+    would silently *replace* the :data:`MODEL_VERSION` salt in the hashed
+    dict (``{"salt": salt, **payload}`` lets the payload win), so such a
+    config would never invalidate on a model-version bump.  Nested dicts
+    (e.g. ``kernel_kwargs``) may use the name freely.
     """
+    if "salt" in payload:
+        raise ValueError(
+            "config payloads must not define a top-level 'salt' key: it "
+            "would override the cache's MODEL_VERSION salt and survive "
+            "version bumps"
+        )
     data = json.dumps(
         {"salt": salt, **payload}, sort_keys=True, separators=(",", ":")
     )
@@ -697,53 +722,6 @@ def process_executor(
     return strided_process_map(_execute_chunk, configs, jobs)
 
 
-class JsonFileStore:
-    """Single-file JSON store with tolerant loads and atomic writes.
-
-    The persistence substrate shared by :class:`ResultCache` and the tuning
-    plan cache (:class:`repro.tune.planner.PlanCache`): one debuggable JSON
-    file mapping string keys to dict entries, loaded eagerly (malformed
-    content reads as empty, not as a crash), written atomically (write-temp
-    + rename) and only when dirty.
-    """
-
-    def __init__(self, path: str | Path) -> None:
-        self.path = Path(path)
-        self._dirty = False
-        self._entries: dict[str, dict] = {}
-        if self.path.exists():
-            try:
-                loaded = json.loads(self.path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
-                loaded = {}
-            if isinstance(loaded, dict):
-                self._entries = loaded
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get(self, key: str) -> dict | None:
-        """The entry under ``key``, or ``None`` for missing/malformed ones."""
-        entry = self._entries.get(key)
-        return entry if isinstance(entry, dict) else None
-
-    def put(self, key: str, entry: dict) -> None:
-        self._entries[key] = entry
-        self._dirty = True
-
-    def flush(self) -> None:
-        """Write the store atomically (write-temp + rename)."""
-        if not self._dirty:
-            return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(
-            json.dumps(self._entries, sort_keys=True, indent=1), encoding="utf-8"
-        )
-        tmp.replace(self.path)
-        self._dirty = False
-
-
 def _encode_run_record(record: RunRecord) -> dict:
     """Default cache codec: a :class:`RunRecord` as a debuggable JSON entry."""
     return {
@@ -770,14 +748,20 @@ def _decode_run_record(config: RunConfig, entry: Mapping) -> RunRecord | None:
 
 
 class ResultCache:
-    """Persistent on-disk JSON cache of sweep-cell results.
+    """Persistent on-disk cache of sweep-cell results.
 
     Keys are ``config.config_hash(salt=...)`` digests salted with the timing
     :data:`MODEL_VERSION`, so a model bump reads as a cold cache rather than
-    as stale hits.  The store is one JSON file (``filename``, by default
-    :data:`CACHE_FILENAME`) inside ``cache_dir`` (a :class:`JsonFileStore`);
-    each entry keeps the canonical config dict next to the result payload so
-    the file is debuggable by eye.
+    as stale hits.  The default substrate (``backend="blob"``) is the
+    content-addressed :class:`~repro.eval.store.BlobStore`: one atomic
+    canonical-JSON blob per key under ``<filename stem>.blobs/`` inside
+    ``cache_dir``, safe for concurrent writers, reading through to (and
+    migrating from) the legacy single file named by ``filename`` (by default
+    :data:`CACHE_FILENAME`).  ``backend="json"`` keeps everything in that
+    single legacy :class:`~repro.eval.store.JsonFileStore` file —
+    last-writer-wins across processes, so only for single-writer uses.  In
+    both layouts each entry keeps the canonical config dict next to the
+    result payload so the store is debuggable by eye.
 
     By default the cache speaks :class:`RunRecord`; other cell families (the
     accuracy and pattern-search sweeps) plug in their own ``encode`` /
@@ -793,12 +777,16 @@ class ResultCache:
         filename: str = CACHE_FILENAME,
         encode: Callable[[object], dict] | None = None,
         decode: Callable[[object, Mapping], object | None] | None = None,
+        backend: str = "blob",
     ) -> None:
         self.cache_dir = Path(cache_dir)
         self.salt = salt
+        self.backend = backend
         self._encode = encode if encode is not None else _encode_run_record
         self._decode = decode if decode is not None else _decode_run_record
-        self._store = JsonFileStore(self.cache_dir / filename)
+        self._store: CacheStore = make_store(
+            self.cache_dir / filename, backend=backend, salt=salt
+        )
         self.path = self._store.path
 
     def __len__(self) -> int:
@@ -819,7 +807,8 @@ class ResultCache:
         self._store.put(self.key(config), self._encode(record))
 
     def flush(self) -> None:
-        """Write the store atomically (write-temp + rename)."""
+        """Persist staged entries atomically (unique temp + fsync + rename;
+        one file per entry on the blob backend)."""
         self._store.flush()
 
 
@@ -929,10 +918,13 @@ class SweepRunner:
     selects the process-pool executor (whose workers batch their chunks the
     same way); ``executor`` injects a custom one (tests pass
     :func:`serial_executor` as the oracle).  ``cache_dir`` enables the
-    persistent :class:`ResultCache`.  The runner deduplicates identical
-    cells within a grid, so a config appearing twice is computed once.
-    ``stats`` accumulates hit/miss counts across every ``run`` call on this
-    runner.
+    persistent :class:`ResultCache`; ``store`` picks its substrate —
+    ``"blob"`` (default: the content-addressed multi-writer-safe
+    :class:`~repro.eval.store.BlobStore`, migrating any legacy single-file
+    cache it finds) or ``"json"`` (the legacy single-file store).  The
+    runner deduplicates identical cells within a grid, so a config appearing
+    twice is computed once.  ``stats`` accumulates hit/miss counts across
+    every ``run`` call on this runner.
     """
 
     def __init__(
@@ -942,12 +934,16 @@ class SweepRunner:
         cache_dir: str | Path | None = None,
         executor: Callable[..., list[RunRecord]] | None = None,
         salt: str = MODEL_VERSION,
+        store: str = "blob",
     ) -> None:
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.salt = salt
+        self.store = store
         self.cache = (
-            ResultCache(cache_dir, salt=salt) if cache_dir is not None else None
+            ResultCache(cache_dir, salt=salt, backend=store)
+            if cache_dir is not None
+            else None
         )
         if executor is None:
             executor = process_executor if (jobs or 0) > 1 else batched_executor
@@ -1033,6 +1029,7 @@ class SweepRunner:
                     filename=task.cache_filename,
                     encode=task.encode,
                     decode=task.decode,
+                    backend=self.store,
                 ),
             )
         return cache

@@ -1,0 +1,805 @@
+"""Content-addressed cache stores: the multi-writer-safe persistence substrate.
+
+The sweep caches began life as one JSON file per cell family
+(:class:`JsonFileStore`): a single mutable blob, loaded wholesale at
+construction and rewritten wholesale on flush.  That shape is last-writer-wins
+by construction — two concurrent sweeps against one ``--cache-dir`` each load
+the file once, compute their deltas, and the second flush silently discards
+the first writer's entries.  This module replaces it with a store that is
+safe for concurrent writers *by construction*:
+
+* :class:`BlobStore` is a **content-addressed dir-of-blobs**: one
+  canonical-JSON file per ``canonical_config_hash`` key, fanned out under
+  two-hex-char shard directories (``<root>/ab/abcdef....json``).  Every write
+  goes through a unique temp file (:func:`tempfile.mkstemp` in the target
+  directory) + ``fsync`` + ``os.replace``, so a reader never observes a
+  partial entry, a crashed writer never corrupts the store, and concurrent
+  writers of *different* keys touch different files.  Concurrent writers of
+  the *same* key write byte-identical content (cells are pure functions of
+  their hashed config — the SC001 contract), so per-entry last-write-wins is
+  harmless.
+* :class:`JsonFileStore` survives as the legacy single-file substrate with
+  the same :class:`CacheStore` surface (and the temp-file collision and
+  corrupt-file-clobbering bugs fixed); :class:`BlobStore` reads *through* to
+  a legacy file and migrates entries into blobs on first touch, so existing
+  cache directories stay warm across the switch.
+* Corrupt cache files are never silently destroyed: the raw bytes are
+  preserved as a ``.corrupt-<digest>`` sidecar (:func:`preserve_corrupt_file`)
+  with a once-per-file :class:`CorruptCacheWarning` before the store treats
+  them as empty.
+* :func:`cache_main` is the fleet-hygiene CLI behind ``python -m repro.eval
+  cache``: ``stats`` (per-family entry/byte/salt accounting), ``gc``
+  (``--keep-salt`` retires entries of orphaned ``MODEL_VERSION`` salts and
+  stray temp files) and ``migrate`` (bulk legacy-file -> blob conversion).
+
+The module is deliberately stdlib-only (no numpy, no repro imports), so the
+higher layers — :class:`repro.eval.runner.ResultCache`,
+:class:`repro.tune.planner.PlanCache` — can plug either backend in through
+:func:`make_store` without import cycles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import re
+import sys
+import tempfile
+import warnings
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Protocol
+
+__all__ = [
+    "BLOB_SUFFIX",
+    "BlobStore",
+    "CacheStore",
+    "CorruptCacheWarning",
+    "FamilyStats",
+    "GcResult",
+    "JsonFileStore",
+    "MigrateResult",
+    "atomic_write_bytes",
+    "blob_root_for",
+    "cache_main",
+    "collect_stats",
+    "discover_families",
+    "gc_blobs",
+    "load_json_entries",
+    "make_store",
+    "migrate_legacy_file",
+    "preserve_corrupt_file",
+]
+
+#: A JSON object as Python data — the entry currency of every cache store.
+JsonDict = dict[str, Any]
+
+#: Directory suffix pairing a blob root with its legacy file:
+#: ``sweep-cache.json`` migrates into ``sweep-cache.blobs/``.
+BLOB_SUFFIX = ".blobs"
+
+#: Valid store keys: lowercase hex digests (``canonical_config_hash`` /
+#: ``plan_request_hash`` outputs).  The two leading characters name the shard
+#: directory, so anything outside this alphabet never becomes a path.
+_KEY_PATTERN = re.compile(r"[0-9a-f]{3,128}")
+
+#: ``(path, digest)`` pairs already warned about, so a corrupt file produces
+#: exactly one :class:`CorruptCacheWarning` per process.
+_WARNED_CORRUPT: set[tuple[str, str]] = set()
+
+
+class CorruptCacheWarning(UserWarning):
+    """A cache file failed to parse; its bytes were preserved as a
+    ``.corrupt-<digest>`` sidecar before the store read it as empty."""
+
+
+class CacheStore(Protocol):
+    """The persistence surface :class:`~repro.eval.runner.ResultCache` and
+    :class:`~repro.tune.planner.PlanCache` program against.
+
+    ``get`` returns the entry under a key or ``None`` (missing and malformed
+    are both misses); ``put`` stages an entry; ``flush`` persists staged
+    entries atomically; ``keys`` lists every visible key (persisted, staged
+    and — for migrating stores — legacy).
+    """
+
+    @property
+    def path(self) -> Path: ...
+
+    def __len__(self) -> int: ...
+
+    def get(self, key: str) -> JsonDict | None: ...
+
+    def put(self, key: str, entry: JsonDict) -> None: ...
+
+    def flush(self) -> None: ...
+
+    def keys(self) -> list[str]: ...
+
+
+# --------------------------------------------------------------------------- #
+# Atomic-write and corrupt-file primitives
+# --------------------------------------------------------------------------- #
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` crash- and multi-writer-safely.
+
+    A unique temp file (:func:`tempfile.mkstemp`, so concurrent writers never
+    collide on a shared ``.tmp`` name) in the target directory is written,
+    ``fsync``-ed and renamed over ``path`` with :func:`os.replace`.  Readers
+    observe either the old bytes or the new bytes, never a prefix; a writer
+    that dies mid-write leaves only a stray ``*.tmp`` for ``cache gc``.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def preserve_corrupt_file(path: Path, raw: bytes, *, reason: str) -> Path:
+    """Quarantine a corrupt cache file's bytes next to it.
+
+    The evidence lands in ``<name>.corrupt-<digest>`` (content-addressed, so
+    repeated loads of the same corruption are idempotent) and a
+    :class:`CorruptCacheWarning` fires once per ``(path, digest)`` per
+    process.  The original file is left for the caller to overwrite or
+    remove — the point is that the next flush no longer destroys the only
+    copy of whatever went wrong.
+    """
+    digest = hashlib.blake2b(raw, digest_size=8).hexdigest()
+    sidecar = path.with_name(f"{path.name}.corrupt-{digest}")
+    if not sidecar.exists():
+        atomic_write_bytes(sidecar, raw)
+    token = (str(path), digest)
+    if token not in _WARNED_CORRUPT:
+        _WARNED_CORRUPT.add(token)
+        warnings.warn(
+            f"cache file {path} is corrupt ({reason}); its bytes were "
+            f"preserved as {sidecar.name} and the store reads as empty",
+            CorruptCacheWarning,
+            stacklevel=2,
+        )
+    return sidecar
+
+
+def load_json_entries(path: Path, *, quarantine: bool = True) -> dict[str, Any]:
+    """Tolerantly load a legacy single-file store's key -> entry mapping.
+
+    A missing file reads as empty.  A file that is not a JSON object is
+    *corrupt*: its bytes are preserved via :func:`preserve_corrupt_file`
+    (unless ``quarantine`` is false) and it reads as empty.  Values are
+    returned untyped — entry-level malformation is the caller's per-key
+    miss, not a file-level failure.
+    """
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return {}
+    loaded: object = None
+    try:
+        loaded = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        loaded = None
+    if not isinstance(loaded, dict):
+        if quarantine and raw.strip():
+            preserve_corrupt_file(path, raw, reason="not a JSON object")
+        return {}
+    return {str(key): value for key, value in loaded.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Stores
+# --------------------------------------------------------------------------- #
+
+
+class JsonFileStore:
+    """Single-file JSON store with tolerant loads and atomic writes.
+
+    The **legacy** persistence substrate: one debuggable JSON file mapping
+    string keys to dict entries, loaded eagerly and rewritten wholesale on
+    ``flush``.  It is inherently last-writer-wins across processes — two
+    concurrent writers each load the file once and the second flush drops the
+    first writer's entries — which is why :class:`BlobStore` replaced it as
+    the default; it remains for single-writer uses and as the read-through
+    migration source.
+
+    The flush path uses :func:`atomic_write_bytes` (unique temp file +
+    ``fsync`` + ``os.replace``), so two processes flushing the same path can
+    race on *which* snapshot wins but can never interleave bytes; a corrupt
+    file on load is preserved as a ``.corrupt-<digest>`` sidecar instead of
+    being clobbered by the next flush.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._dirty = False
+        self._entries: dict[str, Any] = load_json_entries(self.path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> JsonDict | None:
+        """The entry under ``key``, or ``None`` for missing/malformed ones."""
+        entry = self._entries.get(key)
+        return entry if isinstance(entry, dict) else None
+
+    def put(self, key: str, entry: JsonDict) -> None:
+        self._entries[key] = entry
+        self._dirty = True
+
+    def keys(self) -> list[str]:
+        return sorted(
+            key for key, entry in self._entries.items() if isinstance(entry, dict)
+        )
+
+    def flush(self) -> None:
+        """Write the store atomically (unique temp + fsync + rename)."""
+        if not self._dirty:
+            return
+        data = json.dumps(self._entries, sort_keys=True, indent=1)
+        atomic_write_bytes(self.path, data.encode("utf-8"))
+        self._dirty = False
+
+
+class BlobStore:
+    """Content-addressed, sharded dir-of-blobs cache store.
+
+    One canonical-JSON envelope per key under ``<root>/<key[:2]>/<key>.json``;
+    every write is atomic per entry (:func:`atomic_write_bytes`), so N
+    processes hammering one store lose nothing — each key is its own file,
+    and writers of the same key write byte-identical content by the purity
+    contract.  ``salt`` stamps each envelope with the cache generation that
+    produced it (``cache gc --keep-salt`` retires orphaned generations);
+    ``legacy_path`` names the single-file store this root migrates from —
+    keys missing from the blob tree are served from it and written back as
+    blobs on first touch, so a warm legacy cache stays warm with zero
+    recomputation.
+
+    ``put`` stages entries in memory; ``flush`` persists them one atomic
+    file per key.  ``get`` always consults the staged set, then the blob
+    tree, then the legacy file — so entries written by *other* processes
+    after construction are visible, unlike the eagerly-loaded legacy store.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        salt: str | None = None,
+        legacy_path: str | Path | None = None,
+    ) -> None:
+        self.root = Path(root)
+        self.salt = salt
+        self.legacy_path = Path(legacy_path) if legacy_path is not None else None
+        self._pending: dict[str, JsonDict] = {}
+        self._legacy: dict[str, Any] | None = None
+
+    @property
+    def path(self) -> Path:
+        """The store's on-disk location (the shard-tree root)."""
+        return self.root
+
+    # ------------------------------ reading ------------------------------ #
+    def _legacy_entries(self) -> dict[str, Any]:
+        if self._legacy is None:
+            if self.legacy_path is not None:
+                self._legacy = load_json_entries(self.legacy_path)
+            else:
+                self._legacy = {}
+        return self._legacy
+
+    def _blob_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _read_blob(self, key: str) -> JsonDict | None:
+        if _KEY_PATTERN.fullmatch(key) is None:
+            return None
+        path = self._blob_path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        envelope: object = None
+        try:
+            envelope = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            # A blob only ever appears via os.replace, so a parse failure
+            # means outside interference, not a crashed writer: preserve the
+            # evidence and clear the slot so the cell can be recomputed.
+            preserve_corrupt_file(path, raw, reason="unparseable blob")
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        entry = envelope.get("entry")
+        return entry if isinstance(entry, dict) else None
+
+    def get(self, key: str) -> JsonDict | None:
+        """The entry under ``key`` from the staged set, the blob tree or the
+        legacy file — or ``None``.  A legacy hit is written back as a blob
+        (read-through migration), so even an all-hits warm run migrates."""
+        staged = self._pending.get(key)
+        if staged is not None:
+            return staged
+        entry = self._read_blob(key)
+        if entry is not None:
+            return entry
+        legacy = self._legacy_entries().get(key)
+        if isinstance(legacy, dict):
+            if _KEY_PATTERN.fullmatch(key) is not None:
+                self._write_blob(key, legacy)
+            return legacy
+        return None
+
+    def keys(self) -> list[str]:
+        """Every visible key: persisted blobs, staged entries and
+        (well-formed) legacy entries."""
+        found = set(self._pending)
+        for blob in _iter_blob_files(self.root):
+            found.add(blob.name[: -len(".json")])
+        for key, entry in self._legacy_entries().items():
+            if isinstance(entry, dict):
+                found.add(key)
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # ------------------------------ writing ------------------------------ #
+    def put(self, key: str, entry: JsonDict) -> None:
+        if _KEY_PATTERN.fullmatch(key) is None:
+            raise ValueError(
+                f"invalid cache key {key!r}: blob keys are lowercase hex "
+                "digests (canonical_config_hash output)"
+            )
+        self._pending[key] = entry
+
+    def _write_blob(self, key: str, entry: JsonDict) -> None:
+        envelope = {"key": key, "salt": self.salt, "entry": entry}
+        data = json.dumps(envelope, sort_keys=True, indent=1)
+        atomic_write_bytes(self._blob_path(key), data.encode("utf-8"))
+
+    def flush(self) -> None:
+        """Persist every staged entry, one atomic file per key."""
+        for key in sorted(self._pending):
+            self._write_blob(key, self._pending[key])
+        self._pending.clear()
+
+
+def blob_root_for(path: str | Path) -> Path:
+    """The blob root paired with a legacy single-file store path
+    (``sweep-cache.json`` -> ``sweep-cache.blobs``)."""
+    resolved = Path(path)
+    return resolved.with_name(resolved.stem + BLOB_SUFFIX)
+
+
+def make_store(
+    path: str | Path, *, backend: str = "blob", salt: str | None = None
+) -> CacheStore:
+    """Build the cache store behind a legacy-store path.
+
+    ``backend="blob"`` (the default) returns a :class:`BlobStore` rooted at
+    :func:`blob_root_for` the path, reading through to the legacy file;
+    ``backend="json"`` returns the legacy :class:`JsonFileStore` itself.
+    """
+    resolved = Path(path)
+    if backend == "json":
+        return JsonFileStore(resolved)
+    if backend == "blob":
+        return BlobStore(blob_root_for(resolved), salt=salt, legacy_path=resolved)
+    raise ValueError(f"unknown cache store backend {backend!r}: use 'blob' or 'json'")
+
+
+# --------------------------------------------------------------------------- #
+# Fleet hygiene: stats / gc / migrate
+# --------------------------------------------------------------------------- #
+
+
+def _iter_blob_files(root: Path) -> Iterator[Path]:
+    """Every committed blob file under a shard-tree root, in sorted order
+    (corrupt sidecars and stray temp files excluded)."""
+    if not root.is_dir():
+        return
+    for shard in sorted(root.iterdir()):
+        if not shard.is_dir():
+            continue
+        for blob in sorted(shard.iterdir()):
+            if (
+                blob.is_file()
+                and blob.suffix == ".json"
+                and ".corrupt-" not in blob.name
+            ):
+                yield blob
+
+
+def _iter_stray_tmp_files(root: Path) -> Iterator[Path]:
+    """Temp files a crashed writer left behind under a shard-tree root."""
+    if not root.is_dir():
+        return
+    for shard in sorted(root.iterdir()):
+        if not shard.is_dir():
+            continue
+        for child in sorted(shard.iterdir()):
+            if child.is_file() and child.suffix == ".tmp":
+                yield child
+
+
+@dataclass
+class FamilyStats:
+    """Accounting for one cell family inside a cache directory."""
+
+    name: str
+    blobs: int = 0
+    blob_bytes: int = 0
+    shards: int = 0
+    salts: dict[str, int] = field(default_factory=dict)
+    legacy_entries: int = 0
+    corrupt_sidecars: int = 0
+    stray_tmp: int = 0
+
+    def to_dict(self) -> JsonDict:
+        return {
+            "name": self.name,
+            "blobs": self.blobs,
+            "blob_bytes": self.blob_bytes,
+            "shards": self.shards,
+            "salts": dict(sorted(self.salts.items())),
+            "legacy_entries": self.legacy_entries,
+            "corrupt_sidecars": self.corrupt_sidecars,
+            "stray_tmp": self.stray_tmp,
+        }
+
+    def describe(self) -> str:
+        salts = (
+            ", ".join(f"{salt}={n}" for salt, n in sorted(self.salts.items()))
+            or "none"
+        )
+        return (
+            f"{self.name}: {self.blobs} blobs ({self.blob_bytes} bytes, "
+            f"{self.shards} shards; salts: {salts}), legacy entries: "
+            f"{self.legacy_entries}, corrupt sidecars: {self.corrupt_sidecars}, "
+            f"stray tmp: {self.stray_tmp}"
+        )
+
+
+def discover_families(cache_dir: Path) -> list[str]:
+    """The cell-family names present in a cache directory — one per blob
+    root (``<name>.blobs/``) or legacy file (``<name>.json``)."""
+    names: set[str] = set()
+    if not cache_dir.is_dir():
+        return []
+    for child in sorted(cache_dir.iterdir()):
+        if child.is_dir() and child.name.endswith(BLOB_SUFFIX):
+            names.add(child.name[: -len(BLOB_SUFFIX)])
+        elif (
+            child.is_file()
+            and child.suffix == ".json"
+            and ".corrupt-" not in child.name
+        ):
+            names.add(child.stem)
+    return sorted(names)
+
+
+def _count_corrupt_sidecars(cache_dir: Path, name: str) -> int:
+    count = 0
+    legacy_prefix = f"{name}.json.corrupt-"
+    if cache_dir.is_dir():
+        count += sum(
+            1
+            for child in cache_dir.iterdir()
+            if child.is_file() and child.name.startswith(legacy_prefix)
+        )
+    root = cache_dir / (name + BLOB_SUFFIX)
+    if root.is_dir():
+        for shard in root.iterdir():
+            if shard.is_dir():
+                count += sum(
+                    1
+                    for child in shard.iterdir()
+                    if child.is_file() and ".corrupt-" in child.name
+                )
+    return count
+
+
+def collect_stats(cache_dir: Path) -> list[FamilyStats]:
+    """Per-family accounting over every store in a cache directory."""
+    stats: list[FamilyStats] = []
+    for name in discover_families(cache_dir):
+        family = FamilyStats(name=name)
+        root = cache_dir / (name + BLOB_SUFFIX)
+        shards: set[str] = set()
+        for blob in _iter_blob_files(root):
+            family.blobs += 1
+            family.blob_bytes += blob.stat().st_size
+            shards.add(blob.parent.name)
+            envelope: object = None
+            try:
+                envelope = json.loads(blob.read_bytes().decode("utf-8"))
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                envelope = None
+            salt = envelope.get("salt") if isinstance(envelope, dict) else None
+            label = salt if isinstance(salt, str) else "<unsalted>"
+            family.salts[label] = family.salts.get(label, 0) + 1
+        family.shards = len(shards)
+        family.stray_tmp = sum(1 for _ in _iter_stray_tmp_files(root))
+        legacy = cache_dir / (name + ".json")
+        if legacy.is_file():
+            family.legacy_entries = sum(
+                1
+                for entry in load_json_entries(legacy, quarantine=False).values()
+                if isinstance(entry, dict)
+            )
+        family.corrupt_sidecars = _count_corrupt_sidecars(cache_dir, name)
+        stats.append(family)
+    return stats
+
+
+@dataclass
+class GcResult:
+    """Outcome of one :func:`gc_blobs` pass over a blob root."""
+
+    examined: int = 0
+    kept: int = 0
+    removed: int = 0
+    removed_bytes: int = 0
+    quarantined: int = 0
+    tmp_removed: int = 0
+
+    def to_dict(self) -> JsonDict:
+        return {
+            "examined": self.examined,
+            "kept": self.kept,
+            "removed": self.removed,
+            "removed_bytes": self.removed_bytes,
+            "quarantined": self.quarantined,
+            "tmp_removed": self.tmp_removed,
+        }
+
+
+def gc_blobs(
+    root: Path,
+    keep_salts: frozenset[str],
+    *,
+    drop_unsalted: bool = False,
+    dry_run: bool = False,
+) -> GcResult:
+    """Retire blobs whose envelope salt is not in ``keep_salts``.
+
+    Unsalted envelopes (read-through-migrated legacy entries carry
+    ``salt: null``) are kept unless ``drop_unsalted``; unparseable blobs are
+    quarantined as ``.corrupt-`` sidecars and removed; stray ``*.tmp`` files
+    from crashed writers are deleted.  ``dry_run`` counts without deleting.
+    Run gc only while no sweep is writing to the directory — it may remove a
+    live writer's in-flight temp file.
+    """
+    result = GcResult()
+    for blob in _iter_blob_files(root):
+        result.examined += 1
+        size = blob.stat().st_size
+        envelope: object = None
+        raw = b""
+        try:
+            raw = blob.read_bytes()
+            envelope = json.loads(raw.decode("utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+            envelope = None
+        if not isinstance(envelope, dict):
+            result.quarantined += 1
+            if not dry_run:
+                preserve_corrupt_file(blob, raw, reason="unparseable blob")
+                blob.unlink(missing_ok=True)
+            continue
+        salt = envelope.get("salt")
+        keep = (isinstance(salt, str) and salt in keep_salts) or (
+            salt is None and not drop_unsalted
+        )
+        if keep:
+            result.kept += 1
+            continue
+        result.removed += 1
+        result.removed_bytes += size
+        if not dry_run:
+            blob.unlink(missing_ok=True)
+    for tmp in _iter_stray_tmp_files(root):
+        result.tmp_removed += 1
+        if not dry_run:
+            tmp.unlink(missing_ok=True)
+    return result
+
+
+@dataclass
+class MigrateResult:
+    """Outcome of one :func:`migrate_legacy_file` pass."""
+
+    migrated: int = 0
+    skipped_existing: int = 0
+    skipped_invalid: int = 0
+    removed_legacy: bool = False
+
+    def to_dict(self) -> JsonDict:
+        return {
+            "migrated": self.migrated,
+            "skipped_existing": self.skipped_existing,
+            "skipped_invalid": self.skipped_invalid,
+            "removed_legacy": self.removed_legacy,
+        }
+
+
+def migrate_legacy_file(
+    legacy_path: Path, *, remove_legacy: bool = False
+) -> MigrateResult:
+    """Bulk-migrate a legacy single-file store into its paired blob root.
+
+    Entries already present as blobs are skipped (blobs win: they may be
+    fresher than the legacy snapshot); non-dict entries and non-hex keys are
+    counted as invalid and left behind.  Migrated envelopes carry
+    ``salt: null`` — the legacy format never recorded which generation wrote
+    an entry (the salt only participated in the key), so gc keeps them until
+    ``--drop-unsalted``.  With ``remove_legacy`` the file is deleted once
+    every valid entry is safely a blob.
+    """
+    result = MigrateResult()
+    entries = load_json_entries(legacy_path)
+    store = BlobStore(blob_root_for(legacy_path))
+    for key in sorted(entries):
+        entry = entries[key]
+        if not isinstance(entry, dict) or _KEY_PATTERN.fullmatch(key) is None:
+            result.skipped_invalid += 1
+            continue
+        if store._read_blob(key) is not None:
+            result.skipped_existing += 1
+            continue
+        store.put(key, entry)
+        result.migrated += 1
+    store.flush()
+    if remove_legacy and result.skipped_invalid == 0 and legacy_path.is_file():
+        legacy_path.unlink()
+        result.removed_legacy = True
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# CLI: python -m repro.eval cache {stats,gc,migrate}
+# --------------------------------------------------------------------------- #
+
+
+def _build_parser(default_salt: str | None) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval cache",
+        description=(
+            "Inspect and maintain a sweep-cache directory (content-addressed "
+            "blob stores plus their legacy single-file ancestors)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser(
+        "stats", help="per-family entry / byte / salt accounting"
+    )
+    stats.add_argument("--cache-dir", required=True, metavar="PATH")
+    stats.add_argument(
+        "--json", dest="as_json", action="store_true", help="emit JSON instead of text"
+    )
+
+    gc = commands.add_parser(
+        "gc", help="retire blobs of orphaned cache salts and stray temp files"
+    )
+    gc.add_argument("--cache-dir", required=True, metavar="PATH")
+    gc.add_argument(
+        "--keep-salt",
+        action="append",
+        default=None,
+        metavar="SALT",
+        help=(
+            "cache generation to keep (repeatable; defaults to the current "
+            "MODEL_VERSION)"
+        ),
+    )
+    gc.add_argument(
+        "--drop-unsalted",
+        action="store_true",
+        help="also remove migrated legacy entries (their envelopes carry salt: null)",
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true", help="report what would be removed"
+    )
+
+    migrate = commands.add_parser(
+        "migrate", help="bulk-convert legacy single-file stores into blob roots"
+    )
+    migrate.add_argument("--cache-dir", required=True, metavar="PATH")
+    migrate.add_argument(
+        "--remove-legacy",
+        action="store_true",
+        help="delete each legacy file after its entries are safely blobs",
+    )
+    return parser
+
+
+def cache_main(
+    argv: list[str] | None = None, *, default_salt: str | None = None
+) -> int:
+    """Entry point of ``python -m repro.eval cache`` (see module docstring)."""
+    parser = _build_parser(default_salt)
+    args = parser.parse_args(argv)
+    cache_dir = Path(args.cache_dir)
+    if not cache_dir.is_dir():
+        print(f"error: cache directory {cache_dir} does not exist", file=sys.stderr)
+        return 2
+
+    if args.command == "stats":
+        stats = collect_stats(cache_dir)
+        if args.as_json:
+            print(json.dumps([family.to_dict() for family in stats], indent=1))
+        elif not stats:
+            print(f"no cache stores in {cache_dir}")
+        else:
+            for family in stats:
+                print(family.describe())
+            print(
+                f"total: {sum(f.blobs for f in stats)} blobs, "
+                f"{sum(f.blob_bytes for f in stats)} bytes, "
+                f"{sum(f.legacy_entries for f in stats)} legacy entries"
+            )
+        return 0
+
+    if args.command == "gc":
+        salts = args.keep_salt if args.keep_salt else None
+        if salts is None:
+            if default_salt is None:
+                print("error: gc needs at least one --keep-salt", file=sys.stderr)
+                return 2
+            salts = [default_salt]
+        keep = frozenset(salts)
+        for name in discover_families(cache_dir):
+            root = cache_dir / (name + BLOB_SUFFIX)
+            result = gc_blobs(
+                root, keep, drop_unsalted=args.drop_unsalted, dry_run=args.dry_run
+            )
+            verb = "would remove" if args.dry_run else "removed"
+            print(
+                f"{name}: {verb} {result.removed} of {result.examined} blobs "
+                f"({result.removed_bytes} bytes), kept {result.kept}, "
+                f"quarantined {result.quarantined}, stray tmp: {result.tmp_removed}"
+            )
+        print(f"keep salts: {', '.join(sorted(keep))}")
+        return 0
+
+    if args.command == "migrate":
+        migrated_any = False
+        for name in discover_families(cache_dir):
+            legacy = cache_dir / (name + ".json")
+            if not legacy.is_file():
+                continue
+            migrated_any = True
+            result = migrate_legacy_file(legacy, remove_legacy=args.remove_legacy)
+            removed = ", legacy file removed" if result.removed_legacy else ""
+            print(
+                f"{name}: migrated {result.migrated} entries "
+                f"(already blobs: {result.skipped_existing}, invalid: "
+                f"{result.skipped_invalid}){removed}"
+            )
+        if not migrated_any:
+            print(f"no legacy stores to migrate in {cache_dir}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")

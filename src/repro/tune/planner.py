@@ -30,10 +30,10 @@ from pathlib import Path
 from ..eval.runner import (
     MODEL_VERSION,
     CacheStats,
-    JsonFileStore,
     KernelSpec,
     _freeze_kwargs,
 )
+from ..eval.store import CacheStore, make_store
 from ..gpu.arch import get_gpu
 from ..kernels.base import GEMMShape, KernelNotApplicableError
 from ..models.shapes import LayerShape, model_layers
@@ -280,20 +280,34 @@ def plan_request_hash(
 
 
 class PlanCache:
-    """Persistent on-disk JSON cache of :class:`TuningPlan` results.
+    """Persistent on-disk cache of :class:`TuningPlan` results.
 
-    One JSON file (:data:`PLAN_FILENAME`) inside ``cache_dir``, on the same
-    atomic :class:`repro.eval.runner.JsonFileStore` substrate as the sweep
-    result cache; each entry keeps the plan dict next to the request digest
-    so the file is debuggable by eye.  Entries whose ``salt`` disagrees with
-    the cache's read as misses (the hash already guarantees this for new
-    keys; the explicit check also invalidates hand-edited files).
+    The same store substrate as the sweep result cache
+    (:func:`repro.eval.store.make_store`): by default (``backend="blob"``) a
+    content-addressed, multi-writer-safe blob root (``tuning-plans.blobs/``
+    inside ``cache_dir``, one atomic canonical-JSON file per request digest)
+    that reads through to — and migrates — the legacy single
+    :data:`PLAN_FILENAME` file; ``backend="json"`` keeps the legacy
+    single-file layout.  Each entry keeps the plan dict next to the request
+    digest so the store is debuggable by eye.  Entries whose ``salt``
+    disagrees with the cache's read as misses (the hash already guarantees
+    this for new keys; the explicit check also invalidates hand-edited
+    files).
     """
 
-    def __init__(self, cache_dir: str | Path, *, salt: str = MODEL_VERSION) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        *,
+        salt: str = MODEL_VERSION,
+        backend: str = "blob",
+    ) -> None:
         self.cache_dir = Path(cache_dir)
         self.salt = salt
-        self._store = JsonFileStore(self.cache_dir / PLAN_FILENAME)
+        self.backend = backend
+        self._store: CacheStore = make_store(
+            self.cache_dir / PLAN_FILENAME, backend=backend, salt=salt
+        )
         self.path = self._store.path
 
     def __len__(self) -> int:
@@ -315,7 +329,8 @@ class PlanCache:
         self._store.put(key, {"plan": plan.to_dict()})
 
     def flush(self) -> None:
-        """Write the store atomically (write-temp + rename)."""
+        """Persist staged plans atomically (unique temp + fsync + rename;
+        one file per plan on the blob backend)."""
         self._store.flush()
 
 
@@ -324,9 +339,10 @@ class Autotuner:
     """Plans per-layer kernel assignments for whole workloads.
 
     ``candidates`` defaults to the full paper line-up; ``cache_dir`` enables
-    the persistent :class:`PlanCache`; ``refiner`` switches planning to the
-    measured-refinement mode.  ``batched`` (the default) scores each
-    candidate over every feasible layer in one batched timing-model call
+    the persistent :class:`PlanCache` (``store`` picks its substrate, blob
+    by default); ``refiner`` switches planning to the measured-refinement
+    mode.  ``batched`` (the default) scores each candidate over every
+    feasible layer in one batched timing-model call
     (:func:`repro.eval.speedup.layer_times_grid`); the scalar path remains
     as the bit-identical oracle.  ``stats`` accumulates plan-cache
     hits/misses across the tuner's lifetime (same accounting class as the
@@ -338,6 +354,7 @@ class Autotuner:
     salt: str = MODEL_VERSION
     refiner: MeasuredRefiner | None = None
     batched: bool = True
+    store: str = "blob"
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -345,7 +362,7 @@ class Autotuner:
         if not self.candidates:
             raise ValueError("the autotuner needs at least one candidate kernel")
         self.cache = (
-            PlanCache(self.cache_dir, salt=self.salt)
+            PlanCache(self.cache_dir, salt=self.salt, backend=self.store)
             if self.cache_dir is not None
             else None
         )

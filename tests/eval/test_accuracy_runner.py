@@ -21,6 +21,7 @@ from repro.eval.accuracy import (
     table1_sweep,
 )
 from repro.eval.runner import CACHE_FILENAME, SweepRunner
+from repro.eval.store import blob_root_for
 
 TINY = AccuracyConfig(quick=True, tiny=True)
 SPECS = [
@@ -126,14 +127,15 @@ class TestExecution:
         assert (warm.cache_hits, warm.cache_misses) == (2, 0)
         assert warm.records == serial_records
 
-    def test_accuracy_cache_file_is_separate(self, tmp_path):
+    def test_accuracy_cache_store_is_separate(self, tmp_path):
         cells = accuracy_cells(("transformer",), (0.8,), SPECS[:1], TINY)
         runner = SweepRunner(cache_dir=tmp_path)
         runner.run_cells(cells, ACCURACY_TASK)
-        assert (tmp_path / ACCURACY_CACHE_FILENAME).exists()
-        assert not (tmp_path / CACHE_FILENAME).exists()
-        payload = json.loads((tmp_path / ACCURACY_CACHE_FILENAME).read_text())
-        (entry,) = payload.values()
+        root = blob_root_for(tmp_path / ACCURACY_CACHE_FILENAME)
+        assert root.is_dir()
+        assert not blob_root_for(tmp_path / CACHE_FILENAME).exists()
+        (blob,) = root.glob("*/*.json")
+        entry = json.loads(blob.read_text())["entry"]
         assert entry["status"] == "ok"
         assert entry["config"]["model"] == "transformer"
 

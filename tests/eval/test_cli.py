@@ -130,6 +130,86 @@ class TestSweepFlags:
         assert "--tiny ignored" in capsys.readouterr().err
 
 
+class TestCacheCli:
+    """The maintenance surface: python -m repro.eval cache {stats,gc,migrate}."""
+
+    @staticmethod
+    def seed(cache_dir):
+        from repro.eval.runner import MODEL_VERSION
+        from repro.eval.store import BlobStore
+
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        current = BlobStore(cache_dir / "sweep-cache.blobs", salt=MODEL_VERSION)
+        current.put("ab" + "0" * 14, {"value": 1})
+        current.flush()
+        stale = BlobStore(cache_dir / "sweep-cache.blobs", salt="timing-v0")
+        stale.put("cd" + "1" * 14, {"value": 2})
+        stale.flush()
+        (cache_dir / "accuracy-cache.json").write_text(
+            json.dumps({"ef" + "2" * 14: {"value": 3}})
+        )
+
+    def test_missing_cache_dir_is_an_error(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_stats_reports_every_family(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-cache: 2 blobs" in out
+        assert "accuracy-cache: 0 blobs" in out
+        assert "legacy entries: 1" in out
+        assert out.strip().endswith("1 legacy entries")
+
+    def test_stats_json_is_structured(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+        families = {f["name"]: f for f in json.loads(capsys.readouterr().out)}
+        assert families["sweep-cache"]["blobs"] == 2
+        assert set(families["sweep-cache"]["salts"]) == {"timing-v0", "timing-v2"}
+        assert families["accuracy-cache"]["legacy_entries"] == 1
+
+    def test_migrate_then_stats_shows_no_legacy_left(self, tmp_path, capsys):
+        self.seed(tmp_path)
+        args = ["cache", "migrate", "--cache-dir", str(tmp_path), "--remove-legacy"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "accuracy-cache: migrated 1 entries" in out
+        assert "legacy file removed" in out
+        assert not (tmp_path / "accuracy-cache.json").exists()
+        assert main(args) == 0
+        assert "no legacy stores to migrate" in capsys.readouterr().out
+
+    def test_gc_defaults_to_current_model_version(self, tmp_path, capsys):
+        from repro.eval.runner import MODEL_VERSION
+        from repro.eval.store import BlobStore
+
+        self.seed(tmp_path)
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-cache: would remove 1 of 2 blobs" in out
+        assert f"keep salts: {MODEL_VERSION}" in out
+        store = BlobStore(tmp_path / "sweep-cache.blobs")
+        assert len(store) == 2  # dry run removed nothing
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        assert "sweep-cache: removed 1 of 2 blobs" in capsys.readouterr().out
+        assert store.keys() == ["ab" + "0" * 14]
+
+    def test_gc_keep_salt_is_repeatable(self, tmp_path, capsys):
+        from repro.eval.runner import MODEL_VERSION
+        from repro.eval.store import BlobStore
+
+        self.seed(tmp_path)
+        args = [
+            "cache", "gc", "--cache-dir", str(tmp_path),
+            "--keep-salt", MODEL_VERSION, "--keep-salt", "timing-v0",
+        ]
+        assert main(args) == 0
+        assert "removed 0 of 2" in capsys.readouterr().out
+        assert len(BlobStore(tmp_path / "sweep-cache.blobs")) == 2
+
+
 class TestTuneFlags:
     def test_autotune_experiment_smoke(self, capsys):
         assert main(["autotune"]) == 0
@@ -146,7 +226,7 @@ class TestTuneFlags:
         assert main(args) == 0
         second = capsys.readouterr().out
         assert "0 misses" in second
-        assert (plan_dir / "tuning-plans.json").exists()
+        assert (plan_dir / "tuning-plans.blobs").is_dir()
 
     def test_tune_flag_augments_headline(self, capsys):
         assert main(["headline", "--tune"]) == 0

@@ -21,6 +21,7 @@ from repro.eval.pattern_search import (
     pattern_search_sweep,
 )
 from repro.eval.runner import SweepRunner
+from repro.eval.store import blob_root_for
 
 # The smallest real layer: transformer attn_out is 1024 x 1024, which at
 # V=256 clusters into just 4 groups — fast enough for unit tests.
@@ -100,12 +101,14 @@ class TestSweepAndCache:
         runner = SweepRunner(cache_dir=tmp_path)
         cold = runner.run_cells(cells, PATTERN_SEARCH_TASK)
         assert (cold.cache_hits, cold.cache_misses) == (0, 2)
-        assert (tmp_path / PATTERN_SEARCH_CACHE_FILENAME).exists()
+        root = blob_root_for(tmp_path / PATTERN_SEARCH_CACHE_FILENAME)
+        assert root.is_dir()
         warm = SweepRunner(cache_dir=tmp_path).run_cells(cells, PATTERN_SEARCH_TASK)
         assert (warm.cache_hits, warm.cache_misses) == (2, 0)
         assert warm.records == cold.records
-        payload = json.loads((tmp_path / PATTERN_SEARCH_CACHE_FILENAME).read_text())
-        assert all(entry["status"] == "ok" for entry in payload.values())
+        entries = [json.loads(b.read_text())["entry"] for b in root.glob("*/*.json")]
+        assert len(entries) == 2
+        assert all(entry["status"] == "ok" for entry in entries)
 
     def test_sweep_returns_records_in_grid_order(self, cells):
         records = pattern_search_sweep(

@@ -21,11 +21,13 @@ from repro.eval.runner import (
     SweepRunner,
     SweepSpec,
     batched_executor,
+    canonical_config_hash,
     execute_config,
     process_executor,
     serial_executor,
 )
 from repro.eval.speedup import figure1_spec, figure6_spec, headline_spec
+from repro.eval.store import CorruptCacheWarning, blob_root_for
 
 SRC_DIR = Path(__file__).resolve().parents[2] / "src"
 
@@ -116,6 +118,16 @@ class TestConfigHash:
         assert config.config_hash(salt="timing-v1") != config.config_hash(
             salt="timing-v2"
         )
+
+    def test_payload_salt_key_is_rejected(self):
+        """A payload carrying its own top-level 'salt' key would silently
+        override the MODEL_VERSION salt and survive version bumps."""
+        with pytest.raises(ValueError, match="salt"):
+            canonical_config_hash({"salt": "sneaky", "kernel": "dense"})
+        # Nested dicts are free to use the name; only the top level collides
+        # with the versioning salt.
+        nested = canonical_config_hash({"params": {"salt": "fine"}})
+        assert nested == canonical_config_hash({"params": {"salt": "fine"}})
 
     def test_label_is_cosmetic(self):
         a = RunConfig("dense", "V100", 0.0, model="transformer", label="x")
@@ -320,8 +332,14 @@ class TestResultCache:
     def test_cache_survives_restart(self, tmp_path):
         spec = small_spec()
         cold = SweepRunner(cache_dir=tmp_path).run(spec)
-        assert (tmp_path / CACHE_FILENAME).exists()
-        # A brand-new runner (fresh process in real life) reads the same file.
+        # The default substrate is the sharded blob store: one atomic
+        # canonical-JSON file per cell under two-hex-char fan-out dirs.
+        root = blob_root_for(tmp_path / CACHE_FILENAME)
+        assert root.is_dir()
+        blobs = sorted(root.glob("*/*.json"))
+        assert len(blobs) == len({c.config_hash() for c in spec.expand()})
+        assert all(b.parent.name == b.name[:2] for b in blobs)
+        # A brand-new runner (fresh process in real life) reads the same store.
         warm = SweepRunner(cache_dir=tmp_path).run(spec)
         assert warm.hit_rate == 1.0
         assert warm.records == cold.records
@@ -332,27 +350,58 @@ class TestResultCache:
         bumped = SweepRunner(cache_dir=tmp_path, salt="timing-v2").run(spec)
         assert bumped.cache_hits == 0
 
-    def test_corrupt_cache_file_reads_as_cold(self, tmp_path):
-        (tmp_path / CACHE_FILENAME).write_text("{not json")
+    def test_corrupt_legacy_file_reads_as_cold_and_is_preserved(self, tmp_path):
+        """A malformed legacy cache file must read as cold — and its bytes
+        must survive as a .corrupt-<digest> sidecar instead of being
+        clobbered by the next flush."""
+        legacy = tmp_path / CACHE_FILENAME
+        legacy.write_text("{not json")
         spec = small_spec()
-        result = SweepRunner(cache_dir=tmp_path).run(spec)
+        with pytest.warns(CorruptCacheWarning, match="preserved"):
+            result = SweepRunner(cache_dir=tmp_path).run(spec)
         assert result.cache_hits == 0
         assert all(r.ok or r.detail for r in result.records)
+        (sidecar,) = tmp_path.glob(CACHE_FILENAME + ".corrupt-*")
+        assert sidecar.read_text() == "{not json"
 
     def test_malformed_cache_entry_reads_as_miss(self, tmp_path):
-        """A hand-edited entry (valid JSON file, broken value) must not
-        crash the sweep — it recomputes that cell."""
+        """A hand-edited blob (unparseable file or broken entry payload)
+        must not crash the sweep — it recomputes that cell."""
         spec = small_spec()
         cold = SweepRunner(cache_dir=tmp_path).run(spec)
-        path = tmp_path / CACHE_FILENAME
-        entries = json.loads(path.read_text())
-        victim = next(iter(entries))
-        entries[victim] = "oops"
-        entries[next(k for k in entries if k != victim)] = {"config": {}}
-        path.write_text(json.dumps(entries))
-        warm = SweepRunner(cache_dir=tmp_path).run(spec)
+        root = blob_root_for(tmp_path / CACHE_FILENAME)
+        blobs = sorted(root.glob("*/*.json"))
+        blobs[0].write_text("oops not json")
+        envelope = json.loads(blobs[1].read_text())
+        envelope["entry"] = {"config": {}}
+        blobs[1].write_text(json.dumps(envelope))
+        with pytest.warns(CorruptCacheWarning):
+            warm = SweepRunner(cache_dir=tmp_path).run(spec)
         assert warm.cache_misses == 2
         assert warm.records == cold.records
+        # The unparseable blob was quarantined next to its shard.
+        assert list(root.glob("*/*.corrupt-*"))
+
+    def test_json_backend_keeps_the_legacy_single_file_layout(self, tmp_path):
+        spec = small_spec()
+        cold = SweepRunner(cache_dir=tmp_path, store="json").run(spec)
+        assert (tmp_path / CACHE_FILENAME).exists()
+        assert not blob_root_for(tmp_path / CACHE_FILENAME).exists()
+        warm = SweepRunner(cache_dir=tmp_path, store="json").run(spec)
+        assert warm.hit_rate == 1.0
+        assert warm.records == cold.records
+
+    def test_blob_store_reads_through_and_migrates_a_legacy_cache(self, tmp_path):
+        """A cache dir written by the legacy single-file store stays warm
+        under the blob store — hits are served from the legacy file and
+        written back as blobs, so even an all-hits run migrates."""
+        spec = small_spec()
+        cold = SweepRunner(cache_dir=tmp_path, store="json").run(spec)
+        warm = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert warm.hit_rate == 1.0
+        assert warm.records == cold.records
+        root = blob_root_for(tmp_path / CACHE_FILENAME)
+        assert len(list(root.glob("*/*.json"))) == warm.cache_hits
 
     def test_cached_record_rebinds_requesting_label(self, tmp_path):
         config = RunConfig("dense", "V100", 0.0, model="transformer", label="first")

@@ -1,0 +1,337 @@
+"""Unit tests for the cache persistence substrate (``repro.eval.store``):
+atomic writes, corrupt-file quarantine, the legacy single-file store, the
+content-addressed blob store and the stats/gc/migrate helpers."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.eval.store import (
+    BlobStore,
+    CorruptCacheWarning,
+    JsonFileStore,
+    atomic_write_bytes,
+    blob_root_for,
+    collect_stats,
+    discover_families,
+    gc_blobs,
+    load_json_entries,
+    make_store,
+    migrate_legacy_file,
+    preserve_corrupt_file,
+)
+
+KEY_A = "ab" + "0" * 14
+KEY_B = "cd" + "1" * 14
+KEY_C = "ab" + "2" * 14  # shares KEY_A's shard
+
+
+class TestAtomicWriteBytes:
+    def test_writes_and_overwrites(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "file.json"
+        atomic_write_bytes(target, b"one")
+        assert target.read_bytes() == b"one"
+        atomic_write_bytes(target, b"two")
+        assert target.read_bytes() == b"two"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "file.json"
+        for index in range(5):
+            atomic_write_bytes(target, str(index).encode())
+        assert [child.name for child in tmp_path.iterdir()] == ["file.json"]
+
+
+class TestPreserveCorruptFile:
+    def test_sidecar_holds_the_bytes(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_bytes(b"{broken")
+        with pytest.warns(CorruptCacheWarning, match="preserved"):
+            sidecar = preserve_corrupt_file(path, b"{broken", reason="test")
+        assert sidecar.parent == tmp_path
+        assert sidecar.name.startswith("cache.json.corrupt-")
+        assert sidecar.read_bytes() == b"{broken"
+
+    def test_warns_once_per_file_and_content(self, tmp_path):
+        path = tmp_path / "cache.json"
+        with pytest.warns(CorruptCacheWarning):
+            preserve_corrupt_file(path, b"{broken", reason="test")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            preserve_corrupt_file(path, b"{broken", reason="test")
+        # Different corruption of the same file is news again.
+        with pytest.warns(CorruptCacheWarning):
+            preserve_corrupt_file(path, b"{other", reason="test")
+
+
+class TestLoadJsonEntries:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_json_entries(tmp_path / "absent.json") == {}
+
+    def test_non_object_payload_is_quarantined(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.warns(CorruptCacheWarning):
+            assert load_json_entries(path) == {}
+        assert list(tmp_path.glob("cache.json.corrupt-*"))
+
+    def test_quarantine_can_be_disabled(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{nope")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_json_entries(path, quarantine=False) == {}
+        assert not list(tmp_path.glob("cache.json.corrupt-*"))
+
+
+class TestJsonFileStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        store = JsonFileStore(path)
+        assert len(store) == 0
+        store.put(KEY_A, {"value": 1})
+        store.flush()
+        again = JsonFileStore(path)
+        assert again.get(KEY_A) == {"value": 1}
+        assert again.keys() == [KEY_A]
+
+    def test_flush_is_atomic_and_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "cache.json"
+        store = JsonFileStore(path)
+        for index in range(3):
+            store.put(f"{KEY_A}{index:02d}", {"value": index})
+            store.flush()
+        assert [child.name for child in tmp_path.iterdir()] == ["cache.json"]
+        assert json.loads(path.read_text())  # well-formed after every flush
+
+    def test_flush_without_puts_writes_nothing(self, tmp_path):
+        path = tmp_path / "cache.json"
+        JsonFileStore(path).flush()
+        assert not path.exists()
+
+    def test_corrupt_file_is_preserved_not_clobbered(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{definitely not json")
+        with pytest.warns(CorruptCacheWarning):
+            store = JsonFileStore(path)
+        assert len(store) == 0
+        store.put(KEY_A, {"value": 1})
+        store.flush()
+        (sidecar,) = tmp_path.glob("cache.json.corrupt-*")
+        assert sidecar.read_text() == "{definitely not json"
+        assert json.loads(path.read_text()) == {KEY_A: {"value": 1}}
+
+    def test_malformed_entry_is_a_miss_but_not_dropped(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({KEY_A: "oops", KEY_B: {"ok": True}}))
+        store = JsonFileStore(path)
+        assert store.get(KEY_A) is None
+        assert store.get(KEY_B) == {"ok": True}
+        assert store.keys() == [KEY_B]
+
+
+class TestBlobStore:
+    def test_round_trip_and_sharding(self, tmp_path):
+        root = tmp_path / "cache.blobs"
+        store = BlobStore(root, salt="timing-v2")
+        store.put(KEY_A, {"value": 1})
+        store.put(KEY_B, {"value": 2})
+        store.put(KEY_C, {"value": 3})
+        # Staged entries are visible before flush.
+        assert store.get(KEY_A) == {"value": 1}
+        store.flush()
+        assert sorted(p.name for p in root.iterdir()) == ["ab", "cd"]
+        blob = root / KEY_A[:2] / f"{KEY_A}.json"
+        envelope = json.loads(blob.read_text())
+        assert envelope == {"key": KEY_A, "salt": "timing-v2", "entry": {"value": 1}}
+        # A fresh store over the same root sees everything.
+        again = BlobStore(root)
+        assert again.get(KEY_B) == {"value": 2}
+        assert again.keys() == sorted([KEY_A, KEY_B, KEY_C])
+        assert len(again) == 3
+
+    def test_sees_writes_from_other_stores(self, tmp_path):
+        """Unlike the eagerly-loaded legacy store, blob reads go to disk —
+        a second process's flushes become visible immediately."""
+        root = tmp_path / "cache.blobs"
+        reader = BlobStore(root)
+        assert reader.get(KEY_A) is None
+        writer = BlobStore(root)
+        writer.put(KEY_A, {"value": 1})
+        writer.flush()
+        assert reader.get(KEY_A) == {"value": 1}
+
+    def test_put_rejects_non_hex_keys(self, tmp_path):
+        store = BlobStore(tmp_path / "cache.blobs")
+        for bad in ("", "xyz", "AB12CD", "../escape", "a/b", "ab"):
+            with pytest.raises(ValueError, match="invalid cache key"):
+                store.put(bad, {})
+
+    def test_get_tolerates_non_hex_keys(self, tmp_path):
+        store = BlobStore(tmp_path / "cache.blobs")
+        assert store.get("not a key") is None
+        assert store.get("../escape") is None
+
+    def test_corrupt_blob_is_quarantined_and_reads_as_miss(self, tmp_path):
+        root = tmp_path / "cache.blobs"
+        store = BlobStore(root)
+        store.put(KEY_A, {"value": 1})
+        store.flush()
+        blob = root / KEY_A[:2] / f"{KEY_A}.json"
+        blob.write_text("{smashed")
+        with pytest.warns(CorruptCacheWarning):
+            assert store.get(KEY_A) is None
+        assert not blob.exists()
+        (sidecar,) = blob.parent.glob(f"{KEY_A}.json.corrupt-*")
+        assert sidecar.read_text() == "{smashed"
+
+    def test_malformed_envelope_is_a_silent_miss(self, tmp_path):
+        root = tmp_path / "cache.blobs"
+        store = BlobStore(root)
+        store.put(KEY_A, {"value": 1})
+        store.flush()
+        blob = root / KEY_A[:2] / f"{KEY_A}.json"
+        blob.write_text(json.dumps({"key": KEY_A, "entry": "not a dict"}))
+        assert store.get(KEY_A) is None
+
+    def test_reads_through_legacy_and_writes_back(self, tmp_path):
+        legacy = tmp_path / "cache.json"
+        legacy.write_text(json.dumps({KEY_A: {"value": 1}, "bad key": {"value": 2}}))
+        store = BlobStore(
+            blob_root_for(legacy), salt="timing-v2", legacy_path=legacy
+        )
+        assert store.get(KEY_A) == {"value": 1}
+        # The hit was immediately written back as a blob (so even an
+        # all-hits warm run migrates), stamped with the reader's salt.
+        blob = blob_root_for(legacy) / KEY_A[:2] / f"{KEY_A}.json"
+        assert json.loads(blob.read_text())["salt"] == "timing-v2"
+        # Non-hex legacy keys are still served, just never become blobs.
+        assert store.get("bad key") == {"value": 2}
+        assert store.keys() == sorted([KEY_A, "bad key"])
+
+    def test_blob_wins_over_legacy(self, tmp_path):
+        legacy = tmp_path / "cache.json"
+        legacy.write_text(json.dumps({KEY_A: {"value": "stale"}}))
+        store = BlobStore(blob_root_for(legacy), legacy_path=legacy)
+        store.put(KEY_A, {"value": "fresh"})
+        store.flush()
+        assert BlobStore(blob_root_for(legacy), legacy_path=legacy).get(KEY_A) == {
+            "value": "fresh"
+        }
+
+
+class TestMakeStore:
+    def test_json_backend(self, tmp_path):
+        store = make_store(tmp_path / "cache.json", backend="json")
+        assert isinstance(store, JsonFileStore)
+        assert store.path == tmp_path / "cache.json"
+
+    def test_blob_backend_derives_root_and_legacy(self, tmp_path):
+        store = make_store(tmp_path / "cache.json", salt="s")
+        assert isinstance(store, BlobStore)
+        assert store.path == tmp_path / "cache.blobs"
+        assert store.legacy_path == tmp_path / "cache.json"
+        assert store.salt == "s"
+
+    def test_unknown_backend(self, tmp_path):
+        with pytest.raises(ValueError, match="backend"):
+            make_store(tmp_path / "cache.json", backend="sqlite")
+
+
+class TestMigrate:
+    def test_bulk_migration(self, tmp_path):
+        legacy = tmp_path / "cache.json"
+        legacy.write_text(
+            json.dumps({KEY_A: {"value": 1}, KEY_B: {"value": 2}, "bad key": {}})
+        )
+        result = migrate_legacy_file(legacy)
+        assert (result.migrated, result.skipped_invalid) == (2, 1)
+        assert not result.removed_legacy
+        store = BlobStore(blob_root_for(legacy))
+        assert store.get(KEY_A) == {"value": 1}
+        # Envelopes carry salt: null — legacy never recorded a generation.
+        blob = blob_root_for(legacy) / KEY_A[:2] / f"{KEY_A}.json"
+        assert json.loads(blob.read_text())["salt"] is None
+
+    def test_existing_blobs_win(self, tmp_path):
+        legacy = tmp_path / "cache.json"
+        legacy.write_text(json.dumps({KEY_A: {"value": "stale"}}))
+        fresh = BlobStore(blob_root_for(legacy))
+        fresh.put(KEY_A, {"value": "fresh"})
+        fresh.flush()
+        result = migrate_legacy_file(legacy)
+        assert (result.migrated, result.skipped_existing) == (0, 1)
+        assert fresh.get(KEY_A) == {"value": "fresh"}
+
+    def test_remove_legacy_only_when_fully_migrated(self, tmp_path):
+        partial = tmp_path / "partial.json"
+        partial.write_text(json.dumps({KEY_A: {}, "bad key": {}}))
+        assert not migrate_legacy_file(partial, remove_legacy=True).removed_legacy
+        assert partial.exists()
+        clean = tmp_path / "clean.json"
+        clean.write_text(json.dumps({KEY_B: {"value": 2}}))
+        assert migrate_legacy_file(clean, remove_legacy=True).removed_legacy
+        assert not clean.exists()
+        assert BlobStore(blob_root_for(clean)).get(KEY_B) == {"value": 2}
+
+
+class TestStatsAndGc:
+    def seed(self, cache_dir):
+        store = BlobStore(cache_dir / "sweep-cache.blobs", salt="timing-v2")
+        store.put(KEY_A, {"value": 1})
+        store.put(KEY_B, {"value": 2})
+        store.flush()
+        old = BlobStore(cache_dir / "sweep-cache.blobs", salt="timing-v1")
+        old.put(KEY_C, {"value": 3})
+        old.flush()
+        return cache_dir / "sweep-cache.blobs"
+
+    def test_discover_families(self, tmp_path):
+        self.seed(tmp_path)
+        (tmp_path / "accuracy-cache.json").write_text("{}")
+        assert discover_families(tmp_path) == ["accuracy-cache", "sweep-cache"]
+
+    def test_collect_stats(self, tmp_path):
+        self.seed(tmp_path)
+        (tmp_path / "sweep-cache.json").write_text(json.dumps({KEY_A: {"v": 1}}))
+        (family,) = collect_stats(tmp_path)
+        assert family.name == "sweep-cache"
+        assert family.blobs == 3
+        assert family.shards == 2
+        assert family.salts == {"timing-v1": 1, "timing-v2": 2}
+        assert family.legacy_entries == 1
+        assert family.blob_bytes > 0
+
+    def test_gc_retires_orphaned_salts(self, tmp_path):
+        root = self.seed(tmp_path)
+        dry = gc_blobs(root, frozenset({"timing-v2"}), dry_run=True)
+        assert (dry.examined, dry.kept, dry.removed) == (3, 2, 1)
+        assert BlobStore(root).get(KEY_C) is not None  # dry run deleted nothing
+        wet = gc_blobs(root, frozenset({"timing-v2"}))
+        assert wet.removed == 1 and wet.removed_bytes > 0
+        store = BlobStore(root)
+        assert store.get(KEY_C) is None
+        assert store.get(KEY_A) is not None
+
+    def test_gc_unsalted_policy(self, tmp_path):
+        legacy = tmp_path / "sweep-cache.json"
+        legacy.write_text(json.dumps({KEY_A: {"value": 1}}))
+        migrate_legacy_file(legacy)
+        root = blob_root_for(legacy)
+        assert gc_blobs(root, frozenset({"timing-v2"})).kept == 1
+        assert gc_blobs(root, frozenset({"timing-v2"}), drop_unsalted=True).removed == 1
+
+    def test_gc_sweeps_stray_tmp_and_corrupt_blobs(self, tmp_path):
+        root = self.seed(tmp_path)
+        (root / KEY_A[:2] / "dead-writer.tmp").write_text("partial")
+        blob = root / KEY_C[:2] / f"{KEY_C}.json"
+        blob.write_text("{smashed")
+        with pytest.warns(CorruptCacheWarning):
+            result = gc_blobs(root, frozenset({"timing-v1", "timing-v2"}))
+        assert result.tmp_removed == 1
+        assert result.quarantined == 1
+        assert not (root / KEY_A[:2] / "dead-writer.tmp").exists()
+        assert not blob.exists()
+        assert list(blob.parent.glob(f"{KEY_C}.json.corrupt-*"))

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.eval.runner import MODEL_VERSION
+from repro.eval.store import CorruptCacheWarning, blob_root_for
 from repro.models.shapes import transformer_layers
 from repro.tune import (
     PLAN_FILENAME,
@@ -101,7 +104,7 @@ class TestPlanCacheRoundTrip:
         first = Autotuner(cache_dir=tmp_path)
         plan = first.plan("transformer", "V100", 0.75)
         assert first.stats.misses == 1 and first.stats.hits == 0
-        assert (tmp_path / PLAN_FILENAME).exists()
+        assert blob_root_for(tmp_path / PLAN_FILENAME).is_dir()
 
         second = Autotuner(cache_dir=tmp_path)
         cached = second.plan("transformer", "V100", 0.75)
@@ -114,10 +117,12 @@ class TestPlanCacheRoundTrip:
         tuner.plan("gnmt", "T4", 0.85)
         assert (tuner.stats.hits, tuner.stats.misses) == (1, 1)
 
-    def test_cache_file_is_debuggable_json(self, tmp_path):
+    def test_cache_blobs_are_debuggable_json(self, tmp_path):
         Autotuner(cache_dir=tmp_path).plan("transformer", "A100", 0.5)
-        payload = json.loads((tmp_path / PLAN_FILENAME).read_text())
-        (entry,) = payload.values()
+        (blob,) = blob_root_for(tmp_path / PLAN_FILENAME).glob("*/*.json")
+        envelope = json.loads(blob.read_text())
+        assert envelope["key"] == blob.name.removesuffix(".json")
+        entry = envelope["entry"]
         assert entry["plan"]["salt"] == MODEL_VERSION
         assert entry["plan"]["model"] == "transformer"
         assert entry["plan"]["assignments"]
@@ -137,23 +142,23 @@ class TestModelVersionInvalidation:
         bumped.plan("transformer", "V100", 0.75)
         assert (bumped.stats.hits, bumped.stats.misses) == (0, 1)
         # Both generations coexist in the store under different keys.
-        payload = json.loads((tmp_path / PLAN_FILENAME).read_text())
-        assert len(payload) == 2
+        blobs = list(blob_root_for(tmp_path / PLAN_FILENAME).glob("*/*.json"))
+        assert len(blobs) == 2
 
     def test_entry_salt_is_checked_on_read(self, tmp_path):
-        """Even a hand-edited file cannot serve a stale-version plan."""
+        """Even a hand-edited blob cannot serve a stale-version plan."""
         tuner = Autotuner(cache_dir=tmp_path)
         tuner.plan("transformer", "V100", 0.75)
-        path = tmp_path / PLAN_FILENAME
-        payload = json.loads(path.read_text())
-        key = next(iter(payload))
+        (blob,) = blob_root_for(tmp_path / PLAN_FILENAME).glob("*/*.json")
+        key = blob.name.removesuffix(".json")
         stale = PlanCache(tmp_path, salt="some-other-version")
         assert stale.get(key) is None
 
-    def test_malformed_cache_file_reads_as_empty(self, tmp_path):
+    def test_malformed_legacy_file_reads_as_empty(self, tmp_path):
         (tmp_path / PLAN_FILENAME).write_text("{not json")
         tuner = Autotuner(cache_dir=tmp_path)
-        tuner.plan("transformer", "V100", 0.75)
+        with pytest.warns(CorruptCacheWarning):
+            tuner.plan("transformer", "V100", 0.75)
         assert tuner.stats.misses == 1
 
     def test_malformed_entry_reads_as_miss(self, tmp_path):
