@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Micro-batched serving vs the batch-size-1 serial baseline.
+
+Two gates over ``repro.serve``:
+
+* *byte-identity*: replaying the same request stream serially and across a
+  process pool must produce byte-identical outputs (the repo-wide
+  determinism contract, extended to serving);
+* *throughput*: the live service with timing-model-planned micro-batching
+  must reach at least ``--min-speedup`` times the request rate of the same
+  service forced to batch-size-1 serial dispatch, at the same worker count.
+
+Both modes run the identical closed-loop protocol — every request submitted
+up front, the service drained to completion — so the measured difference is
+purely the coalescing policy.  The measurements (p50/p99 latency, req/s per
+mode, the speedup) land in ``BENCH_serve.json``; perf-smoke CI enforces the
+gates and uploads the JSON as an artifact.
+
+Run standalone (after ``pip install -e .``)::
+
+    python benchmarks/bench_serve.py
+    python benchmarks/bench_serve.py --smoke           # identity gate only
+    python benchmarks/bench_serve.py --min-speedup 2   # the CI bar
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.runner import MODEL_VERSION
+from repro.serve import InferenceService, PredictRequest
+from repro.tune import Autotuner
+
+#: The benchmarked operating point: a decode-style skinny-activation GEMM
+#: where coalescing pays (the planned kernel amortises its per-launch weight
+#: traffic over the batch), at the paper's headline 90% sparsity.
+GEMM = (1024, 32, 1024)
+GPU = "V100"
+SPARSITY = 0.9
+LAYER = f"gemm-{GEMM[0]}x{GEMM[1]}x{GEMM[2]}"
+
+
+def make_requests(count: int, *, seed: int = 42) -> list[PredictRequest]:
+    """``count`` deterministic single-column (batch-size-1) requests."""
+    rng = np.random.default_rng(seed)
+    return [
+        PredictRequest.from_array(
+            LAYER, rng.normal(size=GEMM[2]), request_id=str(index)
+        )
+        for index in range(count)
+    ]
+
+
+def check_replay_identity(plan, requests, jobs: int) -> dict:
+    """Serial vs ``jobs``-way replay of the same stream, byte for byte."""
+    service = InferenceService(plan)
+    serial = service.replay(requests, jobs=1)
+    parallel = service.replay(requests, jobs=jobs)
+    mismatches = sum(
+        left.output.tobytes() != right.output.tobytes()
+        for left, right in zip(serial, parallel, strict=True)
+    )
+    return {
+        "requests": len(requests),
+        "jobs": jobs,
+        "identical": mismatches == 0,
+        "mismatches": mismatches,
+    }
+
+
+def run_live(plan, requests, *, workers: int, width: int | None) -> dict:
+    """Closed-loop live serving of one request stream; returns the metrics."""
+    service = InferenceService(
+        plan, workers=workers, width=width, max_pending=len(requests) + 1
+    )
+    service.start()
+    try:
+        began = time.perf_counter()
+        handles = [service.submit(request) for request in requests]
+        for handle in handles:
+            handle.result(timeout=600.0)
+        elapsed = time.perf_counter() - began
+    finally:
+        service.stop()
+    stats = service.stats.to_dict()
+    stats["elapsed_s"] = elapsed
+    stats["requests_per_s"] = len(requests) / elapsed
+    stats["windows"] = {
+        layer: {"width": window.width, "deadline_ms": window.deadline_s * 1e3}
+        for layer, window in service.windows.items()
+    }
+    return stats
+
+
+def run(*, requests: int, workers: int, jobs: int, smoke: bool) -> dict:
+    plan = Autotuner().plan_gemm(GEMM, GPU, SPARSITY)
+    stream = make_requests(requests)
+    result: dict = {
+        "benchmark": "serve",
+        "model_version": MODEL_VERSION,
+        "config": {
+            "gemm": list(GEMM),
+            "gpu": GPU,
+            "sparsity": SPARSITY,
+            "kernel": plan.assignments[0].label,
+            "requests": requests,
+            "workers": workers,
+        },
+        "replay_identity": check_replay_identity(plan, stream, jobs),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    if smoke:
+        return result
+    # Warm the shared runtime once so neither mode pays first-touch prepare.
+    InferenceService(plan).start().stop()
+    result["serial"] = run_live(plan, stream, workers=workers, width=1)
+    result["microbatched"] = run_live(plan, stream, workers=workers, width=None)
+    result["speedup"] = (
+        result["microbatched"]["requests_per_s"] / result["serial"]["requests_per_s"]
+    )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail below this micro-batched vs serial req/s ratio (default 2)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=256,
+        help="closed-loop request count per mode (default 256)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes in both live modes (default 2)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="process count of the parallel replay identity check (default 2)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="replay byte-identity only; the throughput gate is skipped",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_serve.json"),
+        help="where to write the result JSON (default BENCH_serve.json)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run(
+        requests=args.requests,
+        workers=args.workers,
+        jobs=args.jobs,
+        smoke=args.smoke,
+    )
+    result["min_speedup"] = args.min_speedup
+    args.output.write_text(json.dumps(result, indent=1) + "\n", encoding="utf-8")
+
+    identity = result["replay_identity"]
+    print(
+        f"replay identity: {identity['requests']} requests, "
+        f"1 vs {identity['jobs']} jobs -> "
+        f"{'byte-identical' if identity['identical'] else 'MISMATCH'}"
+    )
+    if not identity["identical"]:
+        print(
+            f"FAILED: {identity['mismatches']} response(s) differ between "
+            "serial and parallel replay",
+            file=sys.stderr,
+        )
+        return 1
+    if args.smoke:
+        print(f"wrote {args.output}")
+        print("OK: serial and parallel replay byte-identical (smoke)")
+        return 0
+
+    for mode in ("serial", "microbatched"):
+        stats = result[mode]
+        print(
+            f"{mode:13s}: {stats['requests_per_s']:8.1f} req/s  "
+            f"p50 {stats['p50_latency_ms']:7.2f} ms  "
+            f"p99 {stats['p99_latency_ms']:7.2f} ms  "
+            f"mean width {stats['mean_batch_width']:5.1f}"
+        )
+    print(
+        f"speedup      : {result['speedup']:8.2f}x  "
+        f"(gate: >= {args.min_speedup}x at {args.workers} workers)"
+    )
+    print(f"wrote {args.output}")
+    if result["speedup"] < args.min_speedup:
+        print(
+            f"FAILED: micro-batching is only {result['speedup']:.2f}x the serial "
+            f"baseline (gate: {args.min_speedup}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: micro-batched serving beats the serial baseline by the gated margin")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

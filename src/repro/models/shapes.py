@@ -14,6 +14,7 @@ input resolution and are lowered to implicit-GEMM shapes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..kernels.base import GEMMShape, conv_to_gemm_shape
@@ -88,6 +89,26 @@ class LayerShape:
     def weighted_flops(self) -> float:
         """Dense FLOPs of all occurrences of this layer."""
         return self.gemm.flops * self.count
+
+    def with_tokens(self, tokens: int) -> "LayerShape":
+        """This layer re-shaped to a different activation batch width.
+
+        Linear layers only: ``N`` is the token dimension of their GEMM, so a
+        serving-time batch sweep just swaps it (decode-time widths are as
+        skinny as ``N = 1``).  A convolution's ``N`` is ``batch * OH * OW`` —
+        re-batching it changes the lowering, not just one dimension — so it
+        is rejected rather than silently mis-shaped.
+        """
+        if self.kind != "linear":
+            raise ValueError(
+                f"layer {self.name!r} is {self.kind}; only linear layers "
+                "support token re-batching"
+            )
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        return dataclasses.replace(
+            self, gemm=GEMMShape(m=self.gemm.m, n=int(tokens), k=self.gemm.k)
+        )
 
 
 def transformer_layers(*, tokens: int = 256) -> list[LayerShape]:

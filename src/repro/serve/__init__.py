@@ -1,0 +1,60 @@
+"""Micro-batching inference serving over tuning plans.
+
+The serving layer of the reproduction (ROADMAP item 1): load a
+:class:`~repro.tune.planner.TuningPlan` plus derived pruned weights once,
+then answer ``predict`` requests through
+:class:`~repro.tune.planned.PlannedModel` with timing-model-planned dynamic
+micro-batching, worker processes sharing prepared-weight caches, and
+bounded-queue backpressure.  See ``docs/architecture.md`` for the data flow
+and the README's Serving section for the CLI quickstart.
+"""
+
+from .batcher import (
+    DEFAULT_WIDTHS,
+    BatchWindow,
+    MicroBatcher,
+    QueueFullError,
+    replay_batches,
+    serving_windows,
+)
+from .cells import (
+    SERVE_TASK,
+    PredictRequest,
+    PredictResponse,
+    ServeBatch,
+    ServeBatchRecord,
+    execute_serve_batches,
+)
+from .pool import BatchResult, WorkerPool
+from .service import (
+    DEFAULT_WEIGHT_SEED,
+    InferenceService,
+    PendingPrediction,
+    ServiceOverloadedError,
+    ServiceStats,
+)
+from .weights import derive_weights, planned_runtime
+
+__all__ = [
+    "DEFAULT_WEIGHT_SEED",
+    "DEFAULT_WIDTHS",
+    "BatchResult",
+    "BatchWindow",
+    "InferenceService",
+    "MicroBatcher",
+    "PendingPrediction",
+    "PredictRequest",
+    "PredictResponse",
+    "QueueFullError",
+    "SERVE_TASK",
+    "ServeBatch",
+    "ServeBatchRecord",
+    "ServiceOverloadedError",
+    "ServiceStats",
+    "WorkerPool",
+    "derive_weights",
+    "execute_serve_batches",
+    "planned_runtime",
+    "replay_batches",
+    "serving_windows",
+]

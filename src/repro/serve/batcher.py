@@ -1,0 +1,280 @@
+"""Dynamic micro-batching: coalescing windows planned by the timing model.
+
+The batched timing model can *predict* how a layer's execution time scales
+with the activation batch ``N`` — one :meth:`~repro.kernels.base.SpMMKernel.
+estimate_grid` call prices every candidate width at once.  Serving turns
+that prediction into a coalescing policy per layer: pick the width ``w*``
+that maximises modelled throughput (``w / t(w)``), and bound how long any
+request may wait for companions by a deadline derived from ``t(w*)`` (a
+request never waits longer than one full batch is predicted to take, so
+worst-case latency stays within ~2x the batch service time).
+
+:class:`MicroBatcher` implements the queueing side with an *explicit clock*:
+every mutation takes ``now`` as an argument, so the deadline semantics are
+deterministic and unit-testable with a fake clock, and the class itself
+stays off the wall clock entirely (the service supplies ``time.monotonic``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.arch import get_gpu
+from ..kernels.registry import make_kernel
+from ..tune.candidates import candidate_density
+from ..tune.planned import PlannedModel
+from ..tune.planner import TuningPlan
+from .cells import PredictRequest
+
+__all__ = [
+    "DEFAULT_WIDTHS",
+    "BatchWindow",
+    "QueueFullError",
+    "MicroBatcher",
+    "serving_windows",
+    "replay_batches",
+]
+
+#: Candidate coalescing widths the window planner prices per layer
+#: (decode-time skinny shapes up to a modest serving batch).
+DEFAULT_WIDTHS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`MicroBatcher.push` when the bounded queue is full.
+
+    This is the explicit backpressure signal: the caller sheds the request
+    (and tells the client) instead of queueing unbounded work.
+    """
+
+
+@dataclass(frozen=True)
+class BatchWindow:
+    """The coalescing policy of one layer.
+
+    ``width`` is the target coalesced column count; ``deadline_s`` how long
+    the oldest queued request may wait before a partial batch is flushed;
+    ``predicted_batch_time_s`` / ``predicted_unit_time_s`` the timing-model
+    estimates at ``width`` and at ``N = 1`` that the policy was derived from
+    (the deadline starts as the modelled batch time and is re-scaled to host
+    time by the service's calibration pass).
+    """
+
+    layer: str
+    width: int
+    deadline_s: float
+    predicted_batch_time_s: float
+    predicted_unit_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("window width must be positive")
+        if self.deadline_s < 0.0:
+            raise ValueError("deadline must be non-negative")
+
+    def calibrated(self, scale: float) -> "BatchWindow":
+        """The same window with its deadline re-scaled to host time."""
+        if scale <= 0.0:
+            raise ValueError("calibration scale must be positive")
+        return dataclasses.replace(self, deadline_s=self.deadline_s * scale)
+
+    def with_deadline(self, deadline_s: float) -> "BatchWindow":
+        """The same window with an explicit deadline override."""
+        return dataclasses.replace(self, deadline_s=float(deadline_s))
+
+
+def serving_windows(
+    plan: TuningPlan,
+    *,
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    width: int | None = None,
+    deadline_s: float | None = None,
+) -> dict[str, BatchWindow]:
+    """Plan one :class:`BatchWindow` per linear layer of a tuning plan.
+
+    For each layer the assigned kernel is priced at every candidate width
+    with one batched timing-model call, and the throughput argmax picks the
+    coalescing target (first maximum wins ties, so windows are stable).
+    ``width`` forces the same coalescing width everywhere; ``deadline_s``
+    forces the same deadline (otherwise the modelled batch time is the
+    deadline, awaiting the service's host-time calibration).  Convolution
+    layers have no token dimension to coalesce and are skipped.
+    """
+    candidate_widths = tuple(int(w) for w in widths)
+    if not candidate_widths or min(candidate_widths) <= 0:
+        raise ValueError("widths must be positive")
+    if width is not None and width <= 0:
+        raise ValueError("width override must be positive")
+    arch = get_gpu(plan.gpu)
+    model = PlannedModel(plan)
+    density = 1.0 - plan.sparsity
+    windows: dict[str, BatchWindow] = {}
+    for assignment in plan.assignments:
+        layer = model.layers[assignment.layer]
+        if layer.kind != "linear":
+            continue
+        kernel = make_kernel(assignment.kernel, **dict(assignment.kernel_kwargs))
+        scored_density = candidate_density(kernel, density)
+        priced = candidate_widths if width is None else (int(width),)
+        shapes = [layer.with_tokens(w).gemm for w in priced]
+        times = kernel.estimate_grid(
+            arch, shapes, np.full(len(priced), scored_density)
+        ).total_time_s
+        throughput = np.asarray(priced, dtype=np.float64) / times
+        best = int(np.argmax(throughput))
+        unit_time = float(times[0]) if priced[0] == 1 else float(
+            kernel.estimate(arch, layer.with_tokens(1).gemm, scored_density).total_time_s
+        )
+        batch_time = float(times[best])
+        windows[assignment.layer] = BatchWindow(
+            layer=assignment.layer,
+            width=int(priced[best]),
+            deadline_s=batch_time if deadline_s is None else float(deadline_s),
+            predicted_batch_time_s=batch_time,
+            predicted_unit_time_s=unit_time,
+        )
+    return windows
+
+
+class MicroBatcher:
+    """Bounded per-layer request queues with deadline-driven coalescing.
+
+    Requests accumulate per layer until either (a) the layer's window width
+    is filled — the batch is released immediately — or (b) the *oldest*
+    queued request has waited ``deadline_s`` — the partial batch is flushed
+    so no request ever waits past its deadline.  ``max_pending`` bounds the
+    total queued width across layers; :meth:`push` raises
+    :class:`QueueFullError` beyond it (reject semantics — the service never
+    silently drops an accepted request).
+
+    All methods take ``now`` explicitly (any monotonic float clock).
+    """
+
+    def __init__(
+        self, windows: Mapping[str, BatchWindow], *, max_pending: int = 256
+    ) -> None:
+        """``windows`` maps layer name to its coalescing policy."""
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.windows = dict(windows)
+        self.max_pending = max_pending
+        self._queues: dict[str, deque[tuple[PredictRequest, float]]] = {
+            layer: deque() for layer in self.windows
+        }
+
+    @property
+    def pending(self) -> int:
+        """Total queued column width across all layers."""
+        return sum(
+            request.width
+            for queue in self._queues.values()
+            for request, _ in queue
+        )
+
+    def push(self, request: PredictRequest, now: float) -> None:
+        """Enqueue one request at time ``now``.
+
+        Raises :class:`KeyError` for layers the plan does not serve and
+        :class:`QueueFullError` when the bounded queue is full.
+        """
+        if request.layer not in self._queues:
+            raise KeyError(f"no serving window for layer {request.layer!r}")
+        if self.pending + request.width > self.max_pending:
+            raise QueueFullError(
+                f"queue full: {self.pending} pending columns + "
+                f"{request.width} would exceed max_pending={self.max_pending}"
+            )
+        self._queues[request.layer].append((request, now))
+
+    def poll(self, now: float) -> list[list[PredictRequest]]:
+        """Release every batch that is ready at time ``now``.
+
+        Width-filled batches release unconditionally; a partial batch
+        releases once its oldest request's deadline has passed.  Layers are
+        visited in sorted-name order so the release order is deterministic
+        for a given queue state.
+        """
+        ready: list[list[PredictRequest]] = []
+        for layer in sorted(self._queues):
+            window = self.windows[layer]
+            queue = self._queues[layer]
+            while self._queued_width(queue) >= window.width:
+                ready.append(self._take(queue, window.width))
+            if queue and now - queue[0][1] >= window.deadline_s:
+                ready.append(self._take(queue, window.width))
+        return ready
+
+    def next_deadline(self) -> float | None:
+        """The earliest time any queued request's deadline expires."""
+        deadlines = [
+            queue[0][1] + self.windows[layer].deadline_s
+            for layer, queue in self._queues.items()
+            if queue
+        ]
+        return min(deadlines) if deadlines else None
+
+    def drain(self) -> list[list[PredictRequest]]:
+        """Release everything immediately (shutdown path): width-filled
+        batches first, then one final partial batch per layer."""
+        ready: list[list[PredictRequest]] = []
+        for layer in sorted(self._queues):
+            window = self.windows[layer]
+            queue = self._queues[layer]
+            while queue:
+                ready.append(self._take(queue, window.width))
+        return ready
+
+    @staticmethod
+    def _queued_width(queue: deque[tuple[PredictRequest, float]]) -> int:
+        return sum(request.width for request, _ in queue)
+
+    @staticmethod
+    def _take(
+        queue: deque[tuple[PredictRequest, float]], width: int
+    ) -> list[PredictRequest]:
+        """Pop requests in arrival order until ``width`` columns are filled
+        (or the queue empties)."""
+        batch: list[PredictRequest] = []
+        filled = 0
+        while queue and filled < width:
+            request, _ = queue.popleft()
+            batch.append(request)
+            filled += request.width
+        return batch
+
+
+def replay_batches(
+    requests: Iterable[PredictRequest],
+    windows: Mapping[str, BatchWindow],
+) -> list[list[PredictRequest]]:
+    """Deterministic batch composition of a whole request stream.
+
+    The replay (offline) path: batches are a pure function of the request
+    order and the windows — per layer, requests coalesce in arrival order
+    and a batch is emitted the moment its window width fills; leftovers
+    flush as partial batches in layer first-appearance order.  Because the
+    composition is deterministic, replaying the same stream serially or
+    across any number of workers produces byte-identical outputs.
+    """
+    buffers: dict[str, list[PredictRequest]] = {}
+    order: list[str] = []
+    batches: list[list[PredictRequest]] = []
+    for request in requests:
+        if request.layer not in windows:
+            raise KeyError(f"no serving window for layer {request.layer!r}")
+        buffer = buffers.setdefault(request.layer, [])
+        if not buffer and request.layer not in order:
+            order.append(request.layer)
+        buffer.append(request)
+        if sum(r.width for r in buffer) >= windows[request.layer].width:
+            batches.append(buffer.copy())
+            buffer.clear()
+    for layer in order:
+        if buffers.get(layer):
+            batches.append(buffers[layer])
+    return batches

@@ -1,0 +1,203 @@
+"""Long-lived worker processes executing serve batches.
+
+The offline sweeps use ``ProcessPoolExecutor`` maps over a *closed* config
+list; serving needs the open-ended version — workers that stay up across an
+unbounded request stream, accept one micro-batch at a time, and survive
+crashes.  :class:`WorkerPool` keeps ``N`` processes on duplex pipes, routes
+each batch to the least-loaded worker, and recovers from a dead worker by
+respawning it and resubmitting everything it still owed (a batch is only
+dropped from the outstanding set once its result arrives, so a crash never
+loses accepted work).
+
+Workers run :func:`~repro.serve.cells.execute_serve_batches` — the same pure
+cell executor as the replay path — with the wall-clock timing wrapped
+*around* the pure function, so results are byte-identical wherever a batch
+lands and the purity gate still covers the compute.
+
+On Linux the default (fork) start method makes the parent's warmed-up
+prepared-weight memo (:mod:`repro.serve.cells`) visible to every worker
+copy-on-write: the service warms the runtime *before* building the pool, so
+workers share the prepared kernel formats instead of re-deriving them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+
+import numpy as np
+
+from .cells import ServeBatch, execute_serve_batches
+
+__all__ = ["BatchResult", "WorkerPool"]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """One completed micro-batch: its outputs and the worker-side wall time."""
+
+    batch: ServeBatch
+    outputs: tuple[np.ndarray, ...]
+    elapsed_s: float
+
+
+def _worker_main(conn: connection.Connection) -> None:
+    """Worker loop: receive a batch, execute it, send the timed result.
+
+    ``None`` is the shutdown sentinel.  The timing wraps the pure executor
+    from outside, so the measured host time per batch feeds the service's
+    per-layer recordings without the executor itself touching a clock.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if message is None:
+            break
+        batch: ServeBatch = message
+        start = time.perf_counter()
+        record = execute_serve_batches([batch])[0]
+        elapsed = time.perf_counter() - start
+        try:
+            conn.send((batch.batch_id, record.outputs, elapsed))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: connection.Connection
+    outstanding: dict[int, ServeBatch] = field(default_factory=dict)
+
+
+class WorkerPool:
+    """``N`` serve workers behind duplex pipes, with crash recovery.
+
+    ``submit`` routes a batch (whose ``batch_id`` must be unique among the
+    pool's outstanding work) to the least-loaded live worker; ``collect``
+    gathers finished results and transparently respawns any worker found
+    dead, resubmitting its outstanding batches.  ``close`` shuts the pool
+    down after the caller has collected everything it cares about.
+
+    ``submit`` writes to a pipe and may block until the target worker
+    reads.  Callers whose batches or results can exceed the OS socket
+    buffer must therefore keep at most one batch outstanding per worker
+    between ``collect`` calls (as :class:`~repro.serve.service.\
+InferenceService` does) — submitting more can deadlock the parent against
+    a worker that is itself blocked writing a large result.
+    """
+
+    def __init__(self, workers: int, *, context: str | None = None) -> None:
+        """Spawn ``workers`` processes (``context`` picks the
+        multiprocessing start method; the platform default otherwise)."""
+        if workers <= 0:
+            raise ValueError("worker count must be positive")
+        self._ctx = multiprocessing.get_context(context)
+        self._workers = [self._spawn() for _ in range(workers)]
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def outstanding(self) -> int:
+        """How many submitted batches have not been collected yet."""
+        return sum(len(worker.outstanding) for worker in self._workers)
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn)
+
+    def _revive(self, worker: _Worker) -> None:
+        """Replace a dead worker in place and resubmit what it owed."""
+        orphaned = list(worker.outstanding.values())
+        worker.outstanding.clear()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        replacement = self._spawn()
+        index = self._workers.index(worker)
+        self._workers[index] = replacement
+        for batch in orphaned:
+            self.submit(batch)
+
+    def submit(self, batch: ServeBatch) -> None:
+        """Send one batch to the least-loaded worker (crash-safe)."""
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed pool")
+        while True:
+            worker = min(self._workers, key=lambda w: len(w.outstanding))
+            if batch.batch_id in worker.outstanding:
+                raise ValueError(f"duplicate outstanding batch_id {batch.batch_id}")
+            try:
+                worker.conn.send(batch)
+            except (BrokenPipeError, OSError):
+                self._revive(worker)
+                continue
+            worker.outstanding[batch.batch_id] = batch
+            return
+
+    def collect(self, timeout: float | None = 0.0) -> list[BatchResult]:
+        """Results that are ready within ``timeout`` seconds.
+
+        A worker whose pipe reports end-of-file (it crashed or was killed)
+        is respawned and its outstanding batches are resubmitted; the
+        results then surface from a later ``collect`` call.
+        """
+        results: list[BatchResult] = []
+        conns = {worker.conn: worker for worker in self._workers}
+        for ready in connection.wait(list(conns), timeout=timeout):
+            worker = conns[ready]
+            try:
+                batch_id, outputs, elapsed = ready.recv()
+            except (EOFError, OSError):
+                self._revive(worker)
+                continue
+            batch = worker.outstanding.pop(batch_id)
+            results.append(
+                BatchResult(batch=batch, outputs=outputs, elapsed_s=elapsed)
+            )
+        return results
+
+    def collect_all(self, *, poll_s: float = 0.05) -> list[BatchResult]:
+        """Block until every outstanding batch has a result."""
+        results: list[BatchResult] = []
+        while self.outstanding:
+            results.extend(self.collect(timeout=poll_s))
+        return results
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass

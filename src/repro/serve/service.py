@@ -1,0 +1,418 @@
+"""The inference service: queue, micro-batcher, workers and backpressure.
+
+:class:`InferenceService` is the serving front of the repo: it binds one
+:class:`~repro.tune.planner.TuningPlan` to derived pruned weights, plans a
+coalescing window per layer from the batched timing model, and then answers
+``predict`` requests through :class:`~repro.tune.planned.PlannedModel` —
+live (a dispatcher thread coalescing queued requests up to each layer's
+latency deadline, executing on ``N`` worker processes) or offline
+(:meth:`~InferenceService.replay`, a deterministic pure path through the
+sweep runner whose outputs are byte-identical at any worker count).
+
+Deadline semantics: the timing model predicts GPU execution times while the
+functional engines run on the host, so the modelled per-batch time is
+re-scaled at :meth:`~InferenceService.start` by a measured calibration pass
+(one warm batch per layer through the real engine — which also pre-warms
+the prepared-weight caches the forked workers inherit).  The calibrated
+deadline ≈ the host-time cost of one full batch, so a request's worst-case
+latency stays within roughly two batch service times.
+
+Backpressure: the micro-batcher's queue is bounded in total coalesced
+columns; a ``submit`` beyond the bound raises
+:class:`ServiceOverloadedError` immediately (explicit reject — accepted
+requests are never shed).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..eval.runner import SweepRunner
+from ..tune.measure import RecordedRefiner
+from ..tune.planner import TuningPlan
+from .batcher import MicroBatcher, QueueFullError, serving_windows
+from .cells import (
+    SERVE_TASK,
+    PredictRequest,
+    PredictResponse,
+    ServeBatch,
+    _runtime_for,
+    execute_serve_batches,
+)
+
+__all__ = [
+    "DEFAULT_WEIGHT_SEED",
+    "ServiceOverloadedError",
+    "PendingPrediction",
+    "ServiceStats",
+    "InferenceService",
+]
+
+#: Weight seed the service derives pruned tensors from unless told otherwise.
+DEFAULT_WEIGHT_SEED = 2024
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised by ``submit`` when the bounded request queue is full."""
+
+
+@dataclass
+class PendingPrediction:
+    """A submitted request awaiting its response (a minimal future)."""
+
+    request: PredictRequest
+    submitted_at: float
+    response: PredictResponse | None = None
+    _event: threading.Event = field(default_factory=threading.Event)
+
+    def resolve(self, response: PredictResponse) -> None:
+        """Deliver the response and wake any waiter."""
+        self.response = response
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> PredictResponse:
+        """Block until the response arrives (``TimeoutError`` otherwise)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id!r} not served in time"
+            )
+        assert self.response is not None
+        return self.response
+
+
+@dataclass
+class ServiceStats:
+    """Serving counters accumulated over the service lifetime."""
+
+    served: int = 0
+    rejected: int = 0
+    batches: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    batch_widths: list[int] = field(default_factory=list)
+
+    def percentile_latency_s(self, percentile: float) -> float:
+        """Latency percentile over every served request (0 when none)."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), percentile))
+
+    @property
+    def mean_batch_width(self) -> float:
+        """Average coalesced width of the dispatched batches (0 when none)."""
+        if not self.batch_widths:
+            return 0.0
+        return float(np.mean(self.batch_widths))
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (the benchmark's per-mode block)."""
+        return {
+            "served": self.served,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "mean_batch_width": self.mean_batch_width,
+            "p50_latency_ms": self.percentile_latency_s(50) * 1e3,
+            "p99_latency_ms": self.percentile_latency_s(99) * 1e3,
+        }
+
+
+class InferenceService:
+    """Serve ``predict`` requests through a tuning plan.
+
+    Parameters
+    ----------
+    plan:
+        The tuned per-layer kernel assignment to serve.
+    weight_seed:
+        Seed of the derived pruned weights (the serving state is a pure
+        function of ``(plan, weight_seed)``).
+    workers:
+        Worker processes; ``0`` executes batches inline on the dispatcher
+        thread (useful for tests and tiny deployments).
+    width / deadline_s:
+        Optional overrides of the per-layer coalescing windows; by default
+        the width is the timing model's throughput argmax and the deadline
+        its calibrated batch time (see module docstring).
+    max_pending:
+        Queue bound in total coalesced columns; beyond it ``submit`` raises
+        :class:`ServiceOverloadedError`.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        plan: TuningPlan,
+        *,
+        weight_seed: int = DEFAULT_WEIGHT_SEED,
+        workers: int = 0,
+        width: int | None = None,
+        deadline_s: float | None = None,
+        max_pending: int = 256,
+        clock=time.monotonic,
+    ) -> None:
+        self.plan = plan
+        self.weight_seed = int(weight_seed)
+        self.workers = int(workers)
+        self._explicit_deadline = deadline_s
+        self.windows = serving_windows(plan, width=width, deadline_s=deadline_s)
+        if not self.windows:
+            raise ValueError("the plan has no linear layers to serve")
+        self.stats = ServiceStats()
+        self._clock = clock
+        self._condition = threading.Condition()
+        self._batcher = MicroBatcher(self.windows, max_pending=max_pending)
+        self._waiting: dict[int, PendingPrediction] = {}
+        self._inflight: dict[int, tuple[ServeBatch, list[PendingPrediction]]] = {}
+        self._backlog: deque[list[PredictRequest]] = deque()
+        self._recorded: dict[str, list[float]] = {}
+        self._calibration: dict[str, float] = {}
+        self._next_batch_id = 0
+        self._pool = None
+        self._dispatcher: threading.Thread | None = None
+        self._stopping = False
+        self._started = False
+
+    # ------------------------------ lifecycle ---------------------------- #
+    def start(self) -> "InferenceService":
+        """Warm the runtime, calibrate deadlines, spawn workers, go live."""
+        if self._started:
+            return self
+        model, weights = _runtime_for(self.plan, self.weight_seed)
+        for layer, window in list(self.windows.items()):
+            shape = model.layers[layer].gemm
+            probe = PredictRequest.from_array(
+                layer, np.ones((shape.k, window.width))
+            )
+            batch = ServeBatch(
+                plan=self.plan,
+                weight_seed=self.weight_seed,
+                layer=layer,
+                requests=(probe,),
+            )
+            # First run pays the kernel's prepare (warming the cache the
+            # forked workers inherit); the second measures the steady state.
+            execute_serve_batches([batch])
+            began = time.perf_counter()
+            execute_serve_batches([batch])
+            host_time = max(time.perf_counter() - began, 1e-9)
+            self._calibration[layer] = host_time / window.predicted_batch_time_s
+            if self._explicit_deadline is None:
+                self.windows[layer] = window.with_deadline(host_time)
+        self._batcher.windows = dict(self.windows)
+        if self.workers > 0:
+            from .pool import WorkerPool
+
+            self._pool = WorkerPool(self.workers)
+        self._stopping = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Drain the queue, serve everything accepted, shut workers down."""
+        if not self._started:
+            return
+        with self._condition:
+            self._stopping = True
+            self._condition.notify_all()
+        assert self._dispatcher is not None
+        self._dispatcher.join()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._started = False
+
+    def __enter__(self) -> "InferenceService":
+        """Context-manager entry: start the service."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: drain and stop."""
+        self.stop()
+
+    # ------------------------------ live path ---------------------------- #
+    def submit(self, request: PredictRequest) -> PendingPrediction:
+        """Enqueue one request; raises on unknown layers or a full queue."""
+        with self._condition:
+            now = self._clock()
+            try:
+                self._batcher.push(request, now)
+            except QueueFullError as exc:
+                self.stats.rejected += 1
+                raise ServiceOverloadedError(str(exc)) from exc
+            pending = PendingPrediction(request=request, submitted_at=now)
+            self._waiting[id(request)] = pending
+            self._condition.notify_all()
+            return pending
+
+    def predict(
+        self, request: PredictRequest, *, timeout: float | None = None
+    ) -> PredictResponse:
+        """Submit one request and block for its response."""
+        return self.submit(request).result(timeout)
+
+    def _dispatch_loop(self) -> None:
+        # With a pool, at most ONE batch per worker is in flight at once; the
+        # rest wait in the dispatcher's backlog.  The bound is what makes the
+        # blocking pipe sends safe: a submit then always targets a worker
+        # sitting idle in recv, so the batch pickle drains no matter how
+        # large, and a worker blocked sending an oversized result is never
+        # sent more work while the dispatcher comes around to collect it.
+        # Anything looser deadlocks once a batch or result pickle exceeds
+        # the OS socket buffer (parent wedged sending work, worker wedged
+        # sending results, nobody collecting).
+        max_inflight = self.workers if self.workers > 0 else 1
+        while True:
+            with self._condition:
+                now = self._clock()
+                if self._stopping:
+                    self._backlog.extend(self._batcher.drain())
+                else:
+                    self._backlog.extend(self._batcher.poll(now))
+                idle = not self._backlog and not self._inflight
+                if idle and not self._stopping:
+                    deadline = self._batcher.next_deadline()
+                    timeout = (
+                        max(0.0, deadline - now) if deadline is not None else None
+                    )
+                    self._condition.wait(timeout=timeout)
+                    continue
+            while self._backlog and len(self._inflight) < max_inflight:
+                self._dispatch(self._backlog.popleft())
+            if self._pool is not None and self._inflight:
+                for result in self._pool.collect(timeout=0.005):
+                    self._complete(result.batch, result.outputs, result.elapsed_s)
+            with self._condition:
+                if (
+                    self._stopping
+                    and self._batcher.pending == 0
+                    and not self._backlog
+                    and not self._inflight
+                ):
+                    return
+
+    def _dispatch(self, requests: list[PredictRequest]) -> None:
+        with self._condition:
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            batch = ServeBatch(
+                plan=self.plan,
+                weight_seed=self.weight_seed,
+                layer=requests[0].layer,
+                requests=tuple(requests),
+                batch_id=batch_id,
+            )
+            pendings = [self._waiting.pop(id(request)) for request in requests]
+            self._inflight[batch_id] = (batch, pendings)
+        if self._pool is not None:
+            self._pool.submit(batch)
+            return
+        began = time.perf_counter()
+        record = execute_serve_batches([batch])[0]
+        elapsed = time.perf_counter() - began
+        self._complete(batch, record.outputs, elapsed)
+
+    def _complete(
+        self,
+        batch: ServeBatch,
+        outputs: tuple[np.ndarray, ...],
+        elapsed_s: float,
+    ) -> None:
+        with self._condition:
+            _, pendings = self._inflight.pop(batch.batch_id)
+            now = self._clock()
+            self.stats.batches += 1
+            self.stats.batch_widths.append(batch.width)
+            self._recorded.setdefault(batch.layer, []).append(elapsed_s)
+            for request, output, pending in zip(
+                batch.requests, outputs, pendings, strict=True
+            ):
+                latency = now - pending.submitted_at
+                self.stats.served += 1
+                self.stats.latencies_s.append(latency)
+                pending.resolve(
+                    PredictResponse(
+                        request_id=request.request_id,
+                        layer=request.layer,
+                        output=output,
+                        width=batch.width,
+                        latency_s=latency,
+                    )
+                )
+
+    # ----------------------------- replay path --------------------------- #
+    def replay(
+        self,
+        requests: list[PredictRequest],
+        *,
+        jobs: int = 1,
+        cache_dir=None,
+    ) -> list[PredictResponse]:
+        """Serve a whole recorded request stream deterministically.
+
+        Batch composition is a pure function of the request order and the
+        serving windows (:func:`~repro.serve.batcher.replay_batches`), and
+        execution runs through the sweep runner's cached
+        ``contiguous_process_map`` — so the responses are byte-identical at
+        any ``jobs`` count, and a ``cache_dir`` makes warm re-runs free.
+        Responses come back in the order of ``requests``; latency is
+        ``None`` (the replay path is pure and unclocked).
+        """
+        from .batcher import replay_batches
+
+        grouped = replay_batches(requests, self.windows)
+        batches = [
+            ServeBatch(
+                plan=self.plan,
+                weight_seed=self.weight_seed,
+                layer=group[0].layer,
+                requests=tuple(group),
+                batch_id=index,
+            )
+            for index, group in enumerate(grouped)
+        ]
+        runner = SweepRunner(jobs=jobs, cache_dir=cache_dir)
+        result = runner.run_cells(batches, SERVE_TASK)
+        by_identity: dict[int, PredictResponse] = {}
+        for record in result.records:
+            for request, output in zip(
+                record.config.requests, record.outputs, strict=True
+            ):
+                by_identity[id(request)] = PredictResponse(
+                    request_id=request.request_id,
+                    layer=request.layer,
+                    output=output,
+                    width=record.config.width,
+                )
+        return [by_identity[id(request)] for request in requests]
+
+    # ------------------------------ telemetry ---------------------------- #
+    def recorded_times(self) -> dict[str, float]:
+        """Median measured host seconds per dispatched batch, per layer."""
+        return {
+            layer: float(np.median(np.asarray(times)))
+            for layer, times in sorted(self._recorded.items())
+        }
+
+    def recorded_refiner(self) -> RecordedRefiner:
+        """The measured per-layer times as a planner refinement hook.
+
+        Host medians are re-scaled back to the timing model's clock through
+        the calibration factors, so a re-plan can compare them against the
+        analytical estimates of candidates that never served (ROADMAP's
+        online-autotuning direction).
+        """
+        records = []
+        for layer, median in self.recorded_times().items():
+            scale = self._calibration.get(layer, 1.0)
+            label = self.plan.assignment_for(layer).label
+            records.append(((layer, label), median / scale))
+        return RecordedRefiner(records=tuple(records))

@@ -21,7 +21,7 @@ from ..eval.runner import KernelSpec
 from ..kernels.base import SpMMKernel
 from ..models.shapes import LayerShape
 
-__all__ = ["MeasuredRefiner"]
+__all__ = ["MeasuredRefiner", "RecordedRefiner", "Refiner"]
 
 
 def _round_to(value: int, multiple: int, *, lo: int, hi: int) -> int:
@@ -127,3 +127,85 @@ class MeasuredRefiner:
         if not measured:
             return 0
         return min(measured)[1]
+
+
+@dataclass(frozen=True)
+class RecordedRefiner:
+    """Re-ranks candidates by times *recorded during serving*.
+
+    The online half of the refinement story (ROADMAP's plan-lifecycle
+    direction): :meth:`repro.serve.service.InferenceService.recorded_refiner`
+    exports the measured per-layer batch times — re-scaled to the timing
+    model's clock through the service's calibration factors — and a re-plan
+    with this refiner folds them back into candidate selection.  A candidate
+    whose ``(layer, label)`` pair was served keys on its recorded time;
+    candidates that never served keep their analytical estimate, so the
+    recorded evidence can only displace the modelled winner where real
+    traffic contradicts the model.
+
+    ``records`` maps ``(layer name, candidate display label)`` to seconds on
+    the timing model's clock.  The class is a frozen dataclass with a
+    canonical ``to_dict`` so — like :class:`MeasuredRefiner` — it hashes
+    into the plan-cache key and a changed recording reads as a cold plan.
+    """
+
+    records: tuple[tuple[tuple[str, str], float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "records",
+            tuple(
+                ((str(layer), str(label)), float(seconds))
+                for (layer, label), seconds in self.records
+            ),
+        )
+
+    def to_dict(self) -> dict:
+        """Canonical form hashed into the plan-cache key."""
+        return {
+            "recorded": [
+                [layer, label, seconds]
+                for (layer, label), seconds in sorted(self.records)
+            ],
+        }
+
+    def recorded_time(self, layer: str, label: str) -> float | None:
+        """The recorded seconds of one ``(layer, label)`` pair, if any."""
+        for key, seconds in self.records:
+            if key == (layer, label):
+                return seconds
+        return None
+
+    def refine(
+        self,
+        scored: list[tuple[KernelSpec, SpMMKernel, float]],
+        layer: LayerShape,
+        density: float,
+    ) -> int:
+        """Index (into ``scored``) of the winner under recorded evidence.
+
+        Argmin over hybrid keys: recorded time where the pair served,
+        analytical time otherwise; ties keep the analytical order (stable
+        plans, same convention as the planner's ``_choose``).
+        """
+        keyed = [
+            (
+                self.recorded_time(layer.name, spec.display_label),
+                analytical,
+                index,
+            )
+            for index, (spec, _, analytical) in enumerate(scored)
+        ]
+        return min(
+            keyed,
+            key=lambda entry: (
+                entry[1] if entry[0] is None else entry[0],
+                entry[2],
+            ),
+        )[2]
+
+
+#: What the planner accepts as a refinement hook: anything with the
+#: ``refine(scored, layer, density) -> int`` + canonical ``to_dict`` shape.
+Refiner = MeasuredRefiner | RecordedRefiner

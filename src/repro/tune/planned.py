@@ -106,6 +106,7 @@ class PlanComparison:
 
     @property
     def planned_time_s(self) -> float:
+        """Modelled whole-model time under the plan."""
         return self.plan.total_time_s
 
     @property

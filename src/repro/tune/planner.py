@@ -43,7 +43,7 @@ from .candidates import (
     default_candidates,
     prune_candidates,
 )
-from .measure import MeasuredRefiner
+from .measure import Refiner
 
 __all__ = [
     "PLAN_FILENAME",
@@ -92,6 +92,7 @@ class LayerAssignment:
         return self.time_s * self.count
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form (the unit ``TuningPlan`` persists)."""
         return {
             "layer": self.layer,
             "kernel": self.kernel,
@@ -105,6 +106,7 @@ class LayerAssignment:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "LayerAssignment":
+        """Rebuild an assignment from its :meth:`to_dict` form."""
         return cls(
             layer=data["layer"],
             kernel=data["kernel"],
@@ -174,6 +176,7 @@ class TuningPlan:
         return histogram
 
     def to_dict(self) -> dict:
+        """JSON-serialisable form; also the plan's cache-key payload."""
         return {
             "gpu": self.gpu,
             "sparsity": self.sparsity,
@@ -187,6 +190,7 @@ class TuningPlan:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "TuningPlan":
+        """Rebuild a plan from its :meth:`to_dict` form."""
         gemm = data.get("gemm")
         return cls(
             gpu=data["gpu"],
@@ -247,7 +251,7 @@ def plan_request_hash(
     layers: Sequence[LayerShape],
     candidates: tuple[KernelSpec, ...],
     mode: str,
-    refiner: MeasuredRefiner | None,
+    refiner: Refiner | None,
     model: str | None = None,
     gemm: tuple[int, int, int] | None = None,
     salt: str = MODEL_VERSION,
@@ -314,6 +318,8 @@ class PlanCache:
         return len(self._store)
 
     def get(self, key: str) -> TuningPlan | None:
+        """The cached plan under ``key``, or ``None`` on a miss, an
+        undecodable entry, or a salt (model-version) mismatch."""
         entry = self._store.get(key)
         if entry is None or "plan" not in entry:
             return None
@@ -326,6 +332,7 @@ class PlanCache:
         return plan
 
     def put(self, key: str, plan: TuningPlan) -> None:
+        """Stage ``plan`` under ``key`` (persisted on :meth:`flush`)."""
         self._store.put(key, {"plan": plan.to_dict()})
 
     def flush(self) -> None:
@@ -352,7 +359,7 @@ class Autotuner:
     candidates: tuple[KernelSpec, ...] = field(default_factory=default_candidates)
     cache_dir: str | Path | None = None
     salt: str = MODEL_VERSION
-    refiner: MeasuredRefiner | None = None
+    refiner: Refiner | None = None
     batched: bool = True
     store: str = "blob"
     stats: CacheStats = field(default_factory=CacheStats)
@@ -369,6 +376,7 @@ class Autotuner:
 
     @property
     def mode(self) -> str:
+        """Plan provenance: ``"measured"`` with a refiner, else ``"model"``."""
         return "measured" if self.refiner is not None else "model"
 
     # ------------------------------ planning ----------------------------- #

@@ -1,0 +1,157 @@
+"""Micro-batcher semantics under a fake clock, and window planning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DEFAULT_WIDTHS,
+    BatchWindow,
+    MicroBatcher,
+    PredictRequest,
+    QueueFullError,
+    replay_batches,
+    serving_windows,
+)
+from repro.tune import Autotuner
+
+from conftest import LAYER, make_requests
+
+
+def window(*, width=4, deadline=1.0, layer=LAYER):
+    return {
+        layer: BatchWindow(
+            layer=layer,
+            width=width,
+            deadline_s=deadline,
+            predicted_batch_time_s=1e-6,
+            predicted_unit_time_s=1e-6,
+        )
+    }
+
+
+class TestServingWindows:
+    def test_windows_cover_linear_layers(self, plan):
+        windows = serving_windows(plan)
+        assert set(windows) == {LAYER}
+        w = windows[LAYER]
+        assert w.width in DEFAULT_WIDTHS
+        assert w.deadline_s == w.predicted_batch_time_s > 0.0
+
+    def test_width_maximises_modelled_throughput(self, plan):
+        """The chosen width is the throughput argmax over the candidates."""
+        windows = serving_windows(plan)
+        w = windows[LAYER]
+        best_throughput = w.width / w.predicted_batch_time_s
+        # No candidate width beats it (re-derive each candidate's estimate).
+        for other in DEFAULT_WIDTHS:
+            forced = serving_windows(plan, width=other)[LAYER]
+            assert other / forced.predicted_batch_time_s <= best_throughput + 1e-12
+
+    def test_overrides(self, plan):
+        forced = serving_windows(plan, width=8, deadline_s=0.25)[LAYER]
+        assert forced.width == 8
+        assert forced.deadline_s == 0.25
+
+    def test_conv_layers_are_skipped(self):
+        plan = Autotuner().plan("resnet50", "V100", 0.9)
+        assert serving_windows(plan) == {}
+
+    def test_multi_layer_plan(self, transformer_plan):
+        windows = serving_windows(transformer_plan)
+        assert set(windows) == {"attn_qkv", "attn_out", "ffn1", "ffn2"}
+
+
+class TestMicroBatcher:
+    def test_full_width_releases_immediately(self):
+        batcher = MicroBatcher(window(width=4, deadline=100.0))
+        for request in make_requests(4):
+            batcher.push(request, now=0.0)
+        batches = batcher.poll(now=0.0)
+        assert [len(batch) for batch in batches] == [4]
+        assert batcher.pending == 0
+
+    def test_partial_batch_waits_for_deadline(self):
+        batcher = MicroBatcher(window(width=4, deadline=1.0))
+        requests = make_requests(2)
+        batcher.push(requests[0], now=0.0)
+        batcher.push(requests[1], now=0.5)
+        assert batcher.poll(now=0.99) == []
+        # The *oldest* request's deadline governs: released at t=1.0 even
+        # though the second request has only waited 0.5s.
+        batches = batcher.poll(now=1.0)
+        assert [len(batch) for batch in batches] == [2]
+
+    def test_request_never_waits_past_deadline(self):
+        """Polling at any time >= arrival + deadline always releases."""
+        batcher = MicroBatcher(window(width=64, deadline=0.125))
+        request = make_requests(1)[0]
+        batcher.push(request, now=10.0)
+        assert batcher.poll(now=10.124) == []
+        assert batcher.poll(now=10.125) == [[request]]
+
+    def test_next_deadline_tracks_oldest(self):
+        batcher = MicroBatcher(window(width=8, deadline=2.0))
+        assert batcher.next_deadline() is None
+        requests = make_requests(2)
+        batcher.push(requests[0], now=3.0)
+        batcher.push(requests[1], now=4.0)
+        assert batcher.next_deadline() == pytest.approx(5.0)
+
+    def test_width_counts_columns_not_requests(self):
+        batcher = MicroBatcher(window(width=4, deadline=10.0))
+        wide = PredictRequest.from_array(LAYER, np.ones((256, 3)))
+        narrow = make_requests(1)[0]
+        batcher.push(wide, now=0.0)
+        assert batcher.poll(now=0.0) == []
+        batcher.push(narrow, now=0.0)
+        batches = batcher.poll(now=0.0)
+        assert [sum(r.width for r in batch) for batch in batches] == [4]
+
+    def test_unknown_layer_rejected(self):
+        batcher = MicroBatcher(window())
+        with pytest.raises(KeyError):
+            batcher.push(
+                PredictRequest.from_array("absent", np.ones(256)), now=0.0
+            )
+
+    def test_backpressure_rejects_beyond_bound(self):
+        batcher = MicroBatcher(window(width=4, deadline=10.0), max_pending=3)
+        requests = make_requests(4)
+        for request in requests[:3]:
+            batcher.push(request, now=0.0)
+        with pytest.raises(QueueFullError):
+            batcher.push(requests[3], now=0.0)
+        # The reject left the accepted queue intact.
+        assert batcher.pending == 3
+
+    def test_drain_flushes_everything(self):
+        batcher = MicroBatcher(window(width=4, deadline=100.0))
+        for request in make_requests(6):
+            batcher.push(request, now=0.0)
+        batches = batcher.drain()
+        assert [len(batch) for batch in batches] == [4, 2]
+        assert batcher.pending == 0
+
+
+class TestReplayBatches:
+    def test_deterministic_chunking(self):
+        requests = make_requests(10)
+        batches = replay_batches(requests, window(width=4))
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+        assert [r.request_id for batch in batches for r in batch] == [
+            str(i) for i in range(10)
+        ]
+
+    def test_same_stream_same_batches(self):
+        requests = make_requests(10)
+        assert replay_batches(requests, window(width=4)) == replay_batches(
+            requests, window(width=4)
+        )
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(KeyError):
+            replay_batches(
+                [PredictRequest.from_array("absent", np.ones(4))], window()
+            )

@@ -1,0 +1,84 @@
+"""Worker pool: correct results, crash recovery, clean shutdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeBatch, WorkerPool, execute_serve_batches
+from repro.serve.pool import BatchResult
+
+from conftest import LAYER, make_requests
+
+
+def make_batches(plan, count: int) -> list[ServeBatch]:
+    requests = make_requests(count * 2)
+    return [
+        ServeBatch(
+            plan=plan,
+            weight_seed=2024,
+            layer=LAYER,
+            requests=tuple(requests[2 * i : 2 * i + 2]),
+            batch_id=i,
+        )
+        for i in range(count)
+    ]
+
+
+class TestWorkerPool:
+    def test_results_match_serial_execution(self, plan):
+        batches = make_batches(plan, 4)
+        expected = execute_serve_batches(batches)
+        pool = WorkerPool(2)
+        try:
+            for batch in batches:
+                pool.submit(batch)
+            results = {r.batch.batch_id: r for r in pool.collect_all()}
+        finally:
+            pool.close()
+        assert set(results) == {0, 1, 2, 3}
+        for record in expected:
+            result = results[record.config.batch_id]
+            assert isinstance(result, BatchResult)
+            assert result.elapsed_s > 0.0
+            for left, right in zip(record.outputs, result.outputs, strict=True):
+                assert left.tobytes() == right.tobytes()
+
+    def test_worker_crash_recovers_outstanding_batches(self, plan):
+        """Killing a worker mid-stream loses nothing: the pool respawns it
+        and resubmits the batches it owed."""
+        batches = make_batches(plan, 6)
+        pool = WorkerPool(2)
+        try:
+            for batch in batches:
+                pool.submit(batch)
+            victim = pool._workers[0].process
+            victim.kill()
+            victim.join(timeout=10.0)
+            results = pool.collect_all()
+        finally:
+            pool.close()
+        assert sorted(r.batch.batch_id for r in results) == list(range(6))
+        # The crashed slot was respawned, not removed.
+        assert len(pool) == 2
+
+    def test_duplicate_batch_id_rejected(self, plan):
+        batch = make_batches(plan, 1)[0]
+        pool = WorkerPool(1)
+        try:
+            pool.submit(batch)
+            with pytest.raises(ValueError):
+                pool.submit(batch)
+            pool.collect_all()
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_blocks_submit(self, plan):
+        pool = WorkerPool(1)
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(make_batches(plan, 1)[0])
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)

@@ -1,0 +1,99 @@
+"""``python -m repro.serve`` end to end over the stdin JSONL transport."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def run_cli(args: list[str], stdin: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.serve", *args],
+        input=stdin,
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=180,
+    )
+
+
+def jsonl_requests(count: int, *, k: int = 256, seed: int = 11) -> str:
+    rng = np.random.default_rng(seed)
+    lines = [
+        json.dumps({"id": str(i), "activations": rng.normal(size=k).tolist()})
+        for i in range(count)
+    ]
+    return "\n".join(lines) + "\n"
+
+
+BASE_ARGS = ["--gemm", "256", "32", "256", "--gpu", "V100", "--sparsity", "0.9"]
+
+
+class TestStdinJsonl:
+    def test_replay_mode_serves_in_order(self):
+        result = run_cli([*BASE_ARGS, "--stdin-jsonl", "--replay"], jsonl_requests(6))
+        assert result.returncode == 0, result.stderr
+        responses = [json.loads(line) for line in result.stdout.splitlines()]
+        assert [r["id"] for r in responses] == [str(i) for i in range(6)]
+        assert all(r["status"] == "ok" for r in responses)
+        assert all(len(r["output"]) == 256 for r in responses)
+
+    def test_replay_is_worker_count_invariant(self):
+        stdin = jsonl_requests(8)
+        serial = run_cli([*BASE_ARGS, "--stdin-jsonl", "--replay"], stdin)
+        parallel = run_cli(
+            [*BASE_ARGS, "--stdin-jsonl", "--replay", "--workers", "2"], stdin
+        )
+        assert serial.returncode == parallel.returncode == 0
+        assert serial.stdout == parallel.stdout
+
+    def test_live_mode_with_deadline(self):
+        result = run_cli(
+            [*BASE_ARGS, "--stdin-jsonl", "--deadline-ms", "5"], jsonl_requests(4)
+        )
+        assert result.returncode == 0, result.stderr
+        responses = [json.loads(line) for line in result.stdout.splitlines()]
+        assert [r["id"] for r in responses] == [str(i) for i in range(4)]
+        assert all(r["latency_ms"] >= 0.0 for r in responses)
+
+    def test_malformed_line_reports_error(self):
+        stdin = 'not json\n' + jsonl_requests(1)
+        result = run_cli([*BASE_ARGS, "--stdin-jsonl", "--replay"], stdin)
+        assert result.returncode == 0, result.stderr
+        first, second = (json.loads(line) for line in result.stdout.splitlines())
+        assert first["status"] == "error"
+        assert second["status"] == "ok"
+
+    def test_backpressure_rejection_is_reported(self):
+        result = run_cli(
+            [*BASE_ARGS, "--stdin-jsonl", "--max-pending", "2"], jsonl_requests(5)
+        )
+        assert result.returncode == 0, result.stderr
+        responses = [json.loads(line) for line in result.stdout.splitlines()]
+        statuses = [r["status"] for r in responses]
+        assert statuses.count("rejected") >= 1
+        # Accepted requests are always served, never shed.
+        assert set(statuses) <= {"ok", "rejected"}
+
+
+class TestParser:
+    def test_workload_is_required(self):
+        from repro.serve.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--stdin-jsonl"])
+
+    def test_transport_is_required(self):
+        from repro.serve.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--gemm", "64", "16", "64"])

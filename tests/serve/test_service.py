@@ -1,0 +1,135 @@
+"""Service-level guarantees: byte-identity, correctness, backpressure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    InferenceService,
+    PredictRequest,
+    ServiceOverloadedError,
+    derive_weights,
+)
+from repro.tune.measure import RecordedRefiner
+from repro.tune.planned import PlannedModel
+
+from conftest import LAYER, make_requests
+
+
+class TestReplay:
+    def test_serial_and_parallel_are_byte_identical(self, plan, tmp_path):
+        """The acceptance criterion: the same request stream produces
+        byte-identical outputs at any worker count."""
+        requests = make_requests(40)
+        service = InferenceService(plan)
+        serial = service.replay(requests, jobs=1)
+        parallel = service.replay(requests, jobs=3)
+        assert len(serial) == len(parallel) == 40
+        for left, right in zip(serial, parallel, strict=True):
+            assert left.output.tobytes() == right.output.tobytes()
+
+    def test_responses_follow_request_order(self, plan):
+        requests = make_requests(10)
+        responses = InferenceService(plan).replay(requests)
+        assert [r.request_id for r in responses] == [str(i) for i in range(10)]
+        assert all(r.layer == LAYER for r in responses)
+
+    def test_single_width_matches_direct_kernel_run(self, plan):
+        """At width 1 every batch is one request, so replay outputs equal a
+        direct single-column run through the planned kernel bit for bit."""
+        requests = make_requests(5)
+        service = InferenceService(plan, width=1)
+        responses = service.replay(requests)
+        model = PlannedModel(plan)
+        weight = derive_weights(plan, service.weight_seed)[LAYER]
+        for request, response in zip(requests, responses, strict=True):
+            expected = model.matmul(LAYER, weight, request.to_array())
+            assert response.output.tobytes() == expected.tobytes()
+
+    def test_warm_cache_reruns_identically(self, plan, tmp_path):
+        requests = make_requests(12)
+        service = InferenceService(plan)
+        cold = service.replay(requests, cache_dir=tmp_path)
+        warm = service.replay(requests, cache_dir=tmp_path)
+        for left, right in zip(cold, warm, strict=True):
+            assert left.output.tobytes() == right.output.tobytes()
+
+    def test_multi_layer_stream(self, transformer_plan):
+        rng = np.random.default_rng(3)
+        requests = [
+            PredictRequest.from_array(
+                ("ffn1", "attn_out")[i % 2], rng.normal(size=1024), request_id=str(i)
+            )
+            for i in range(12)
+        ]
+        responses = InferenceService(transformer_plan).replay(requests, jobs=2)
+        assert [r.request_id for r in responses] == [str(i) for i in range(12)]
+        assert {r.layer for r in responses} == {"ffn1", "attn_out"}
+
+
+class TestBackpressure:
+    def test_submit_rejects_beyond_queue_bound(self, plan):
+        service = InferenceService(plan, max_pending=4)
+        requests = make_requests(5)
+        for request in requests[:4]:
+            service.submit(request)
+        with pytest.raises(ServiceOverloadedError):
+            service.submit(requests[4])
+        assert service.stats.rejected == 1
+
+    def test_unknown_layer_raises(self, plan):
+        service = InferenceService(plan)
+        with pytest.raises(KeyError):
+            service.submit(make_requests(1, layer="absent")[0])
+
+
+class TestLiveService:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_all_requests_served(self, plan, workers):
+        requests = make_requests(24)
+        with InferenceService(plan, workers=workers, max_pending=64) as service:
+            handles = [service.submit(request) for request in requests]
+            responses = [handle.result(timeout=60.0) for handle in handles]
+        assert [r.request_id for r in responses] == [str(i) for i in range(24)]
+        assert service.stats.served == 24
+        assert service.stats.rejected == 0
+        assert all(r.latency_s is not None and r.latency_s >= 0.0 for r in responses)
+        assert all(r.output.shape == (256, 1) for r in responses)
+
+    def test_deadlines_are_calibrated_to_host_time(self, plan):
+        service = InferenceService(plan, max_pending=64)
+        modelled = {layer: w.deadline_s for layer, w in service.windows.items()}
+        service.start()
+        try:
+            calibrated = {layer: w.deadline_s for layer, w in service.windows.items()}
+            # The functional engines run on the host, orders of magnitude
+            # slower than the modelled GPU times the windows start from.
+            for layer in modelled:
+                assert calibrated[layer] > modelled[layer]
+        finally:
+            service.stop()
+
+    def test_explicit_deadline_survives_calibration(self, plan):
+        with InferenceService(plan, deadline_s=0.123, max_pending=8) as service:
+            assert service.windows[LAYER].deadline_s == 0.123
+
+    def test_stop_drains_accepted_requests(self, plan):
+        service = InferenceService(plan, max_pending=64)
+        handles = [service.submit(request) for request in make_requests(6)]
+        service.start()
+        service.stop()
+        responses = [handle.result(timeout=1.0) for handle in handles]
+        assert len(responses) == 6
+
+    def test_recorded_times_feed_the_refiner(self, plan):
+        with InferenceService(plan, max_pending=64) as service:
+            for request in make_requests(8):
+                service.submit(request)
+        recorded = service.recorded_times()
+        assert set(recorded) == {LAYER}
+        assert recorded[LAYER] > 0.0
+        refiner = service.recorded_refiner()
+        assert isinstance(refiner, RecordedRefiner)
+        label = plan.assignment_for(LAYER).label
+        assert refiner.recorded_time(LAYER, label) is not None

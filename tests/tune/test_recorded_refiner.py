@@ -1,0 +1,69 @@
+"""RecordedRefiner: serving measurements folded back into planning."""
+
+from __future__ import annotations
+
+from repro.eval.runner import KernelSpec
+from repro.models.shapes import LayerShape
+from repro.kernels.base import GEMMShape
+from repro.tune import Autotuner
+from repro.tune.measure import RecordedRefiner
+
+LAYER = LayerShape("probe", GEMMShape(m=64, n=16, k=64))
+
+
+def scored_pool():
+    """Two fake candidates ordered by analytical time (best first)."""
+    return [
+        (KernelSpec(name="fast", label="fast"), None, 1.0),
+        (KernelSpec(name="slow", label="slow"), None, 2.0),
+    ]
+
+
+class TestRefine:
+    def test_no_records_keeps_analytical_winner(self):
+        assert RecordedRefiner().refine(scored_pool(), LAYER, 0.1) == 0
+
+    def test_recorded_evidence_displaces_the_winner(self):
+        """Real traffic showed the analytical runner-up is actually faster."""
+        refiner = RecordedRefiner(records=((("probe", "slow"), 0.5),))
+        assert refiner.refine(scored_pool(), LAYER, 0.1) == 1
+
+    def test_recorded_confirmation_keeps_the_winner(self):
+        refiner = RecordedRefiner(records=((("probe", "fast"), 0.9),))
+        assert refiner.refine(scored_pool(), LAYER, 0.1) == 0
+
+    def test_records_of_other_layers_are_ignored(self):
+        refiner = RecordedRefiner(records=((("elsewhere", "slow"), 0.001),))
+        assert refiner.refine(scored_pool(), LAYER, 0.1) == 0
+
+    def test_exact_tie_keeps_analytical_order(self):
+        refiner = RecordedRefiner(records=((("probe", "slow"), 1.0),))
+        assert refiner.refine(scored_pool(), LAYER, 0.1) == 0
+
+
+class TestPlanIntegration:
+    def test_measured_mode_and_distinct_cache_keys(self, tmp_path):
+        """A recorded refiner flips the plan to measured mode, and its
+        records hash into the plan-cache key (changed evidence = cold plan)."""
+        gemm = (256, 32, 256)
+        plain = Autotuner(cache_dir=tmp_path)
+        plan = plain.plan_gemm(gemm, "V100", 0.9)
+        assert plan.mode == "model"
+
+        refined = Autotuner(
+            cache_dir=tmp_path,
+            refiner=RecordedRefiner(records=((("gemm-256x32x256", "x"), 1.0),)),
+        )
+        refined_plan = refined.plan_gemm(gemm, "V100", 0.9)
+        assert refined_plan.mode == "measured"
+        # Both tuners missed (different keys) rather than aliasing.
+        assert plain.stats.misses == 1
+        assert refined.stats.misses == 1
+
+    def test_to_dict_is_sorted_and_canonical(self):
+        refiner = RecordedRefiner(
+            records=((("b", "y"), 2.0), (("a", "x"), 1.0))
+        )
+        assert refiner.to_dict() == {
+            "recorded": [["a", "x", 1.0], ["b", "y", 2.0]]
+        }
