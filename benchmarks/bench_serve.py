@@ -8,7 +8,11 @@ Two gates over ``repro.serve``:
   determinism contract, extended to serving);
 * *throughput*: the live service with timing-model-planned micro-batching
   must reach at least ``--min-speedup`` times the request rate of the same
-  service forced to batch-size-1 serial dispatch, at the same worker count.
+  service forced to batch-size-1 serial dispatch, at the same worker count;
+* *fault recovery*: the same micro-batched run with one worker killed
+  mid-stream (a deterministic ``FaultPlan``) must lose zero requests and
+  still clear the ``--min-speedup`` bar — crash recovery costs a respawn,
+  not the stream.
 
 Both modes run the identical closed-loop protocol — every request submitted
 up front, the service drained to completion — so the measured difference is
@@ -29,12 +33,19 @@ import argparse
 import json
 import sys
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from repro.eval.runner import MODEL_VERSION
-from repro.serve import InferenceService, PredictRequest
+from repro.serve import (
+    FaultPlan,
+    FaultSpec,
+    InferenceService,
+    PoolStompedWarning,
+    PredictRequest,
+)
 from repro.tune import Autotuner
 
 #: The benchmarked operating point: a decode-style skinny-activation GEMM
@@ -74,18 +85,32 @@ def check_replay_identity(plan, requests, jobs: int) -> dict:
     }
 
 
-def run_live(plan, requests, *, workers: int, width: int | None) -> dict:
+def run_live(
+    plan,
+    requests,
+    *,
+    workers: int,
+    width: int | None,
+    fault_plan: FaultPlan | None = None,
+) -> dict:
     """Closed-loop live serving of one request stream; returns the metrics."""
     service = InferenceService(
-        plan, workers=workers, width=width, max_pending=len(requests) + 1
+        plan,
+        workers=workers,
+        width=width,
+        max_pending=len(requests) + 1,
+        fault_plan=fault_plan,
+        backoff_base_s=0.01,
     )
     service.start()
     try:
-        began = time.perf_counter()
-        handles = [service.submit(request) for request in requests]
-        for handle in handles:
-            handle.result(timeout=600.0)
-        elapsed = time.perf_counter() - began
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PoolStompedWarning)
+            began = time.perf_counter()
+            handles = [service.submit(request) for request in requests]
+            for handle in handles:
+                handle.result(timeout=600.0)
+            elapsed = time.perf_counter() - began
     finally:
         service.stop()
     stats = service.stats.to_dict()
@@ -123,6 +148,24 @@ def run(*, requests: int, workers: int, jobs: int, smoke: bool) -> dict:
     result["microbatched"] = run_live(plan, stream, workers=workers, width=None)
     result["speedup"] = (
         result["microbatched"]["requests_per_s"] / result["serial"]["requests_per_s"]
+    )
+    # The faulted mode: identical micro-batched run, but one worker is
+    # killed mid-stream (a deterministic FaultPlan, so the run is
+    # reproducible).  The recovery gate: zero lost requests, and enough
+    # throughput left to still beat the serial baseline.
+    # Batch 1 always exists (any stream of >= 2 batches) and is never the
+    # first — the kill lands mid-stream regardless of the planned width.
+    faulted_stream = make_requests(requests)
+    fault_plan = FaultPlan((FaultSpec(kind="kill", batch_id=1, times=1),))
+    result["faulted"] = run_live(
+        plan, faulted_stream, workers=workers, width=None, fault_plan=fault_plan
+    )
+    result["faulted"]["injected"] = [
+        {"kind": spec.kind, "batch_id": spec.batch_id, "times": spec.times}
+        for spec in fault_plan.specs
+    ]
+    result["faulted_speedup"] = (
+        result["faulted"]["requests_per_s"] / result["serial"]["requests_per_s"]
     )
     return result
 
@@ -193,7 +236,7 @@ def main(argv: list[str] | None = None) -> int:
         print("OK: serial and parallel replay byte-identical (smoke)")
         return 0
 
-    for mode in ("serial", "microbatched"):
+    for mode in ("serial", "microbatched", "faulted"):
         stats = result[mode]
         print(
             f"{mode:13s}: {stats['requests_per_s']:8.1f} req/s  "
@@ -205,6 +248,10 @@ def main(argv: list[str] | None = None) -> int:
         f"speedup      : {result['speedup']:8.2f}x  "
         f"(gate: >= {args.min_speedup}x at {args.workers} workers)"
     )
+    print(
+        f"faulted      : {result['faulted_speedup']:8.2f}x with one worker "
+        f"killed mid-stream (gate: >= {args.min_speedup}x, zero lost)"
+    )
     print(f"wrote {args.output}")
     if result["speedup"] < args.min_speedup:
         print(
@@ -213,7 +260,31 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 1
+    faulted = result["faulted"]
+    if faulted["retried"] < 1:
+        print(
+            "FAILED: the injected worker kill never fired (no batch was "
+            "retried) — the faulted gate is vacuous",
+            file=sys.stderr,
+        )
+        return 1
+    if faulted["served"] != args.requests:
+        print(
+            f"FAILED: faulted run lost requests: served {faulted['served']} "
+            f"of {args.requests}",
+            file=sys.stderr,
+        )
+        return 1
+    if result["faulted_speedup"] < args.min_speedup:
+        print(
+            f"FAILED: with one injected worker kill the service is only "
+            f"{result['faulted_speedup']:.2f}x the serial baseline "
+            f"(gate: {args.min_speedup}x)",
+            file=sys.stderr,
+        )
+        return 1
     print("OK: micro-batched serving beats the serial baseline by the gated margin")
+    print("OK: one injected worker kill recovers with zero lost requests")
     return 0
 
 

@@ -25,7 +25,14 @@ from .cells import (
     ServeBatchRecord,
     execute_serve_batches,
 )
-from .pool import BatchResult, WorkerPool
+from .faults import (
+    FAULT_KINDS,
+    BatchError,
+    FaultInjectionError,
+    FaultPlan,
+    FaultSpec,
+)
+from .pool import BatchResult, PoolStompedWarning, WorkerPool
 from .service import (
     DEFAULT_WEIGHT_SEED,
     InferenceService,
@@ -38,11 +45,17 @@ from .weights import derive_weights, planned_runtime
 __all__ = [
     "DEFAULT_WEIGHT_SEED",
     "DEFAULT_WIDTHS",
+    "FAULT_KINDS",
+    "BatchError",
     "BatchResult",
     "BatchWindow",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultSpec",
     "InferenceService",
     "MicroBatcher",
     "PendingPrediction",
+    "PoolStompedWarning",
     "PredictRequest",
     "PredictResponse",
     "QueueFullError",

@@ -210,13 +210,66 @@ class MicroBatcher:
         return ready
 
     def next_deadline(self) -> float | None:
-        """The earliest time any queued request's deadline expires."""
-        deadlines = [
-            queue[0][1] + self.windows[layer].deadline_s
-            for layer, queue in self._queues.items()
-            if queue
-        ]
+        """The earliest time any queued request's deadline expires.
+
+        Covers both deadline kinds: each layer's coalescing-window deadline
+        (oldest request + ``window.deadline_s``) and every queued request's
+        own optional shed deadline (``request.deadline_s``), so the service
+        wakes in time to flush partial batches *and* to shed expired work.
+        """
+        deadlines: list[float] = []
+        for layer, queue in self._queues.items():
+            if not queue:
+                continue
+            deadlines.append(queue[0][1] + self.windows[layer].deadline_s)
+            deadlines.extend(
+                enqueued + request.deadline_s
+                for request, enqueued in queue
+                if request.deadline_s is not None
+            )
         return min(deadlines) if deadlines else None
+
+    def remove(self, request: PredictRequest) -> bool:
+        """Withdraw one queued request by identity (False if not queued).
+
+        The cancellation path: a caller whose ``result(timeout=...)``
+        expired reclaims the queue slot so the request is neither served
+        nor counted later.  Only *queued* requests can be withdrawn — once
+        released into a batch the request is in flight and will be
+        answered.
+        """
+        queue = self._queues.get(request.layer)
+        if queue is None:
+            return False
+        for entry in queue:
+            if entry[0] is request:
+                queue.remove(entry)
+                return True
+        return False
+
+    def shed_expired(self, now: float) -> list[PredictRequest]:
+        """Remove (and return) every queued request whose own deadline passed.
+
+        Requests carrying ``deadline_s`` are shed *before* dispatch once
+        ``now - enqueue_time >= deadline_s`` — the service answers them with
+        an expired error response instead of spending batch capacity on
+        work nobody is waiting for.  Layers are visited in sorted order so
+        the shed order is deterministic.
+        """
+        shed: list[PredictRequest] = []
+        for layer in sorted(self._queues):
+            queue = self._queues[layer]
+            kept: deque[tuple[PredictRequest, float]] = deque()
+            for request, enqueued in queue:
+                if (
+                    request.deadline_s is not None
+                    and now - enqueued >= request.deadline_s
+                ):
+                    shed.append(request)
+                else:
+                    kept.append((request, enqueued))
+            self._queues[layer] = kept
+        return shed
 
     def drain(self) -> list[list[PredictRequest]]:
         """Release everything immediately (shutdown path): width-filled

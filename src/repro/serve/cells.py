@@ -50,13 +50,18 @@ class PredictRequest:
     ``K`` rows by ``n`` columns, stored as nested tuples so the request is
     immutable and canonically JSON-serialisable (the batch hash digests the
     exact float values).  ``request_id`` is a correlation handle for the
-    caller; it is cosmetic — excluded from equality and from the cache key,
-    like every display-only field in the repo's cell families.
+    caller and ``deadline_s`` an optional shed-after bound (seconds from
+    submission; expired requests are shed before dispatch with an error
+    response); both are cosmetic — excluded from equality and from the
+    cache key, like every display-only field in the repo's cell families
+    (a deadline decides *whether* a request is served, never what its
+    output is).
     """
 
     layer: str
     activations: tuple[tuple[float, ...], ...]
     request_id: str | None = field(default=None, compare=False)
+    deadline_s: float | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         rows = tuple(
@@ -66,11 +71,18 @@ class PredictRequest:
             raise ValueError("activations must be a non-empty K x n matrix")
         if any(len(row) != len(rows[0]) for row in rows):
             raise ValueError("activation rows must all have the same width")
+        if self.deadline_s is not None and self.deadline_s < 0.0:
+            raise ValueError("a request deadline must be non-negative")
         object.__setattr__(self, "activations", rows)
 
     @classmethod
     def from_array(
-        cls, layer: str, activations: np.ndarray, *, request_id: str | None = None
+        cls,
+        layer: str,
+        activations: np.ndarray,
+        *,
+        request_id: str | None = None,
+        deadline_s: float | None = None,
     ) -> "PredictRequest":
         """Build a request from a ``(K,)`` or ``(K, n)`` numpy operand."""
         array = np.asarray(activations, dtype=np.float64)
@@ -82,6 +94,7 @@ class PredictRequest:
             layer=layer,
             activations=tuple(tuple(row) for row in array.tolist()),
             request_id=request_id,
+            deadline_s=deadline_s,
         )
 
     @property
@@ -108,27 +121,38 @@ class PredictRequest:
 
 @dataclass(frozen=True)
 class PredictResponse:
-    """The served result of one :class:`PredictRequest`.
+    """The served result of one :class:`PredictRequest` — or its failure.
 
     ``output`` is the layer's ``(M, n)`` output slice for the request's
     columns; ``width`` is the total column width of the micro-batch the
     request was coalesced into; ``latency_s`` is the submit-to-completion
     wall time (``None`` on the offline replay path, which is pure and
-    therefore unclocked).
+    therefore unclocked).  A failed request (executor error, quarantined
+    poison batch, expired deadline, shutdown shed) carries ``error`` text
+    and ``output=None`` — the caller always gets exactly one response per
+    accepted request, success or not.
     """
 
     request_id: str | None
     layer: str
-    output: np.ndarray
+    output: np.ndarray | None
     width: int
     latency_s: float | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True for a served result, False for a structured error reply."""
+        return self.error is None
 
     def to_dict(self) -> dict:
         """Flat JSON-friendly form (one object per response)."""
         return {
             "id": self.request_id,
             "layer": self.layer,
-            "output": self.output.tolist(),
+            "status": "ok" if self.error is None else "error",
+            "error": self.error,
+            "output": None if self.output is None else self.output.tolist(),
             "width": self.width,
             "latency_ms": None if self.latency_s is None else self.latency_s * 1e3,
         }

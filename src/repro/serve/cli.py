@@ -2,16 +2,24 @@
 
 The line protocol is JSONL in both transports: one request object per line
 (``{"id": ..., "layer": ..., "activations": [[...], ...]}``, activations as
-a ``K x n`` column block or a flat length-``K`` vector) and one response
-object per line (``{"id", "layer", "status", "output", "width",
+a ``K x n`` column block or a flat length-``K`` vector, plus an optional
+``deadline_ms`` after which the request is shed instead of served) and one
+response object per line (``{"id", "layer", "status", "output", "width",
 "latency_ms"}`` on success; ``status: "rejected"`` with an ``error`` when
-backpressure sheds the request, ``status: "error"`` for malformed input).
+backpressure sheds the request, ``status: "error"`` for malformed input or
+a structured serving failure — executor error, quarantined batch, expired
+deadline).  A malformed line *never* tears down the loop or the
+connection: garbage bytes, truncated JSON and unknown layers all produce
+one error reply and the stream continues.
 
 ``--stdin-jsonl`` reads every request from stdin, serves them, and prints
 the responses in input order.  ``--port`` runs a threaded TCP server with
 the same per-line protocol; concurrent connections coalesce into shared
-micro-batches.  ``--replay`` switches the stdin mode onto the
-deterministic offline path (byte-identical at any ``--workers`` count).
+micro-batches, and the literal line ``/health`` (or ``{"op": "health"}``)
+answers with a one-line stats snapshot (served/rejected/retried/
+quarantined/expired/degraded counters, latency percentiles, worker count).
+``--replay`` switches the stdin mode onto the deterministic offline path
+(byte-identical at any ``--workers`` count).
 """
 
 from __future__ import annotations
@@ -84,6 +92,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue bound in coalesced columns before requests are rejected",
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="worker crashes per batch before it is quarantined (default 2)",
+    )
+    parser.add_argument(
+        "--hang-timeout-s",
+        type=float,
+        default=30.0,
+        help="declare a silent worker dead after this long (default 30)",
+    )
+    parser.add_argument(
         "--weight-seed",
         type=int,
         default=DEFAULT_WEIGHT_SEED,
@@ -121,11 +141,19 @@ def load_service(args: argparse.Namespace) -> InferenceService:
         width=args.width,
         deadline_s=None if args.deadline_ms is None else args.deadline_ms / 1e3,
         max_pending=args.max_pending,
+        max_retries=args.max_retries,
+        hang_timeout_s=args.hang_timeout_s,
     )
 
 
 def _parse_request(line: str, fallback_layer: str) -> PredictRequest:
-    """One JSONL line as a :class:`PredictRequest` (raises ``ValueError``)."""
+    """One JSONL line as a :class:`PredictRequest` (raises ``ValueError``).
+
+    Every malformed payload — garbage bytes, truncated JSON, non-numeric
+    or ragged activations, a bad deadline — surfaces as ``ValueError`` so
+    the transports can answer with one structured error line and keep the
+    stream alive.
+    """
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
@@ -134,10 +162,18 @@ def _parse_request(line: str, fallback_layer: str) -> PredictRequest:
         raise ValueError("request object needs an 'activations' field")
     import numpy as np
 
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
+        raise ValueError("'deadline_ms' must be a number")
+    try:
+        activations = np.asarray(payload["activations"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"activations are not a numeric matrix: {exc}") from exc
     return PredictRequest.from_array(
         str(payload.get("layer", fallback_layer)),
-        np.asarray(payload["activations"], dtype=np.float64),
+        activations,
         request_id=None if payload.get("id") is None else str(payload["id"]),
+        deadline_s=None if deadline_ms is None else float(deadline_ms) / 1e3,
     )
 
 
@@ -151,6 +187,30 @@ def _error_line(line: str, status: str, error: str) -> str:
     except json.JSONDecodeError:
         pass
     return json.dumps({"id": request_id, "status": status, "error": error})
+
+
+def _health_line(service: InferenceService) -> str:
+    """One JSON line summarising the live service (the ``/health`` reply)."""
+    return json.dumps(
+        {
+            "status": "ok",
+            "op": "health",
+            "workers": service.workers,
+            "layers": sorted(service.windows),
+            "stats": service.stats.to_dict(),
+        }
+    )
+
+
+def _is_health_probe(line: str) -> bool:
+    """True for the ``/health`` literal or a ``{"op": "health"}`` payload."""
+    if line.strip() == "/health":
+        return True
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(payload, dict) and payload.get("op") == "health"
 
 
 def _default_layer(service: InferenceService) -> str:
@@ -168,8 +228,10 @@ def _serve_stdin(service: InferenceService, *, replay: bool) -> int:
     requests: list[tuple[int, PredictRequest]] = []
     for index, line in enumerate(lines):
         try:
-            requests.append((index, _parse_request(line, fallback)))
-        except (ValueError, KeyError) as exc:
+            request = _parse_request(line, fallback)
+            service.validate(request)
+            requests.append((index, request))
+        except Exception as exc:
             slots[index] = _error_line(line, "error", str(exc))
     if replay:
         responses = service.replay(
@@ -177,20 +239,20 @@ def _serve_stdin(service: InferenceService, *, replay: bool) -> int:
             jobs=max(1, service.workers),
         )
         for (index, _), response in zip(requests, responses, strict=True):
-            slots[index] = json.dumps({"status": "ok", **response.to_dict()})
+            slots[index] = json.dumps(response.to_dict())
     else:
         with service:
             pending = []
             for index, request in requests:
                 try:
                     pending.append((index, service.submit(request)))
-                except (ServiceOverloadedError, KeyError) as exc:
-                    slots[index] = _error_line(
-                        lines[index], "rejected", str(exc)
-                    )
+                except ServiceOverloadedError as exc:
+                    slots[index] = _error_line(lines[index], "rejected", str(exc))
+                except Exception as exc:
+                    slots[index] = _error_line(lines[index], "error", str(exc))
             for index, handle in pending:
                 response = handle.result()
-                slots[index] = json.dumps({"status": "ok", **response.to_dict()})
+                slots[index] = json.dumps(response.to_dict())
     for slot in slots:
         assert slot is not None
         print(slot)
@@ -202,7 +264,12 @@ def _serve_port(service: InferenceService, port: int) -> int:
     fallback = _default_layer(service)
 
     class Handler(socketserver.StreamRequestHandler):
-        """One connection: JSONL request lines in, response lines out."""
+        """One connection: JSONL request lines in, response lines out.
+
+        Any per-line failure — malformed payload, unknown layer,
+        backpressure, even an unexpected serving exception — is answered
+        with one structured error line; only a dead socket ends the loop.
+        """
 
         def handle(self) -> None:
             """Serve one client: a response line per request line."""
@@ -210,16 +277,22 @@ def _serve_port(service: InferenceService, port: int) -> int:
                 line = raw.decode("utf-8", errors="replace").strip()
                 if not line:
                     continue
+                if _is_health_probe(line):
+                    reply = _health_line(service)
+                else:
+                    try:
+                        request = _parse_request(line, fallback)
+                        response = service.predict(request)
+                        reply = json.dumps(response.to_dict())
+                    except ServiceOverloadedError as exc:
+                        reply = _error_line(line, "rejected", str(exc))
+                    except Exception as exc:
+                        reply = _error_line(line, "error", str(exc))
                 try:
-                    request = _parse_request(line, fallback)
-                    response = service.predict(request)
-                    reply = json.dumps({"status": "ok", **response.to_dict()})
-                except (ServiceOverloadedError, KeyError) as exc:
-                    reply = _error_line(line, "rejected", str(exc))
-                except ValueError as exc:
-                    reply = _error_line(line, "error", str(exc))
-                self.wfile.write((reply + "\n").encode("utf-8"))
-                self.wfile.flush()
+                    self.wfile.write((reply + "\n").encode("utf-8"))
+                    self.wfile.flush()
+                except (BrokenPipeError, OSError):
+                    return  # client went away; the server keeps serving
 
     class Server(socketserver.ThreadingTCPServer):
         """Threaded so concurrent connections share the micro-batcher."""

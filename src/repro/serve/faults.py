@@ -1,0 +1,161 @@
+"""Seeded, deterministic fault injection for the serving stack.
+
+The serving worker pool and the service loop both accept an optional
+:class:`FaultPlan` — a pure, picklable schedule of worker-side faults keyed
+by ``(batch_id, attempt)``.  The plan makes every failure mode the stack
+claims to survive *injectable on demand* and *reproducible from a seed*:
+
+``kill``
+    The worker process exits hard (``os._exit``) on receiving the batch —
+    the crash-recovery path (respawn + resubmit, bounded by the pool's
+    retry budget).
+``hang``
+    The worker sleeps without replying — the hang-detection path (the pool
+    declares the worker dead after ``hang_timeout_s`` and revives it).
+``delay``
+    The worker sleeps ``delay_s`` and then serves normally — exercises the
+    collect/ordering paths without any recovery machinery.
+``corrupt``
+    The worker writes a garbage message onto the result pipe instead of the
+    result — the pool treats an unreadable stream as a dead worker.
+``raise``
+    The executor raises inside the worker — caught and answered with a
+    structured :class:`BatchError` reply (bad inputs cost one reply, never
+    one process).
+
+Faults are decided on the *parent* side at submit time (the pool knows the
+attempt count; the worker just obeys the action shipped with the batch), so
+a plan's behaviour is a deterministic function of the dispatch order — the
+chaos suite replays the same schedule against the same request stream and
+asserts the same recovery story every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+
+__all__ = ["FAULT_KINDS", "BatchError", "FaultInjectionError", "FaultPlan", "FaultSpec"]
+
+#: Every fault kind a :class:`FaultSpec` may carry.
+FAULT_KINDS: tuple[str, ...] = ("kill", "hang", "delay", "corrupt", "raise")
+
+
+class FaultInjectionError(RuntimeError):
+    """The injected executor exception (the ``raise`` fault kind)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: which batch, what happens, how many attempts.
+
+    ``times`` is the number of *attempts* the fault fires on: ``times=1``
+    models a transient failure (the retry succeeds), while a large ``times``
+    models a poison batch that deterministically crashes every worker it
+    touches (the quarantine path).  ``delay_s`` parameterises the ``delay``
+    and ``hang`` sleeps (hangs sleep ``max(delay_s, HANG_SLEEP_S)``).
+    """
+
+    kind: str
+    batch_id: int
+    times: int = 1
+    delay_s: float = 0.05
+
+    #: How long a ``hang`` fault sleeps at minimum (effectively forever on
+    #: test timescales; SIGTERM from the reviving pool ends it early).
+    HANG_SLEEP_S: ClassVar[float] = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (one of {FAULT_KINDS})")
+        if self.times <= 0:
+            raise ValueError("a fault must fire on at least one attempt")
+        if self.delay_s < 0.0:
+            raise ValueError("delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec` entries.
+
+    The plan is consulted by the pool at submit time with the batch id and
+    its zero-based attempt count; the first matching spec whose ``times``
+    budget covers the attempt is the action.  An empty plan injects nothing
+    (the production default).
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def action_for(self, batch_id: int, attempt: int) -> FaultSpec | None:
+        """The fault to inject on ``attempt`` of ``batch_id`` (None = serve)."""
+        for spec in self.specs:
+            if spec.batch_id == batch_id and attempt < spec.times:
+                return spec
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        batches: int,
+        rate: float = 0.25,
+        kinds: tuple[str, ...] = ("kill", "delay", "corrupt", "raise"),
+        times: int = 1,
+        delay_s: float = 0.02,
+    ) -> "FaultPlan":
+        """A random-but-reproducible schedule over ``batches`` batch ids.
+
+        Each batch id independently draws a fault with probability ``rate``
+        and a uniformly chosen kind; the same ``seed`` always produces the
+        same schedule, so a chaos run is replayable bit for bit.  ``hang``
+        is deliberately absent from the default kinds — include it only when
+        the pool under test has a finite ``hang_timeout_s``.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        rng = np.random.default_rng(seed)
+        specs = []
+        for batch_id in range(batches):
+            if rng.random() < rate:
+                kind = kinds[int(rng.integers(len(kinds)))]
+                specs.append(
+                    FaultSpec(kind=kind, batch_id=batch_id, times=times, delay_s=delay_s)
+                )
+        return cls(specs=tuple(specs))
+
+
+@dataclass(frozen=True)
+class BatchError:
+    """A structured failure reply for one batch (instead of a dead worker).
+
+    ``kind`` states which guarantee produced it:
+
+    * ``"executor"`` — the batch executor raised; the worker survived and
+      answered with the exception text (one reply per bad input).
+    * ``"quarantined"`` — the batch crashed workers past the pool's retry
+      budget and was isolated (poison-batch isolation: its requests get
+      error responses, the pool keeps serving everything else).
+    * ``"shutdown"`` — a bounded ``stop(timeout=...)`` shed the batch
+      before it could be served.
+    """
+
+    batch_id: int
+    kind: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("executor", "quarantined", "shutdown"):
+            raise ValueError(f"unknown batch-error kind {self.kind!r}")
+
+    def describe(self) -> str:
+        """One human-readable line (the error text of the responses)."""
+        return f"[{self.kind}] batch {self.batch_id}: {self.message}"

@@ -21,6 +21,18 @@ Backpressure: the micro-batcher's queue is bounded in total coalesced
 columns; a ``submit`` beyond the bound raises
 :class:`ServiceOverloadedError` immediately (explicit reject — accepted
 requests are never shed).
+
+Failure semantics: every *accepted* request gets exactly one response —
+success or a structured error.  Worker-side executor exceptions come back
+as error responses (never a dead worker); a batch that crashes workers past
+the pool's retry budget is quarantined and answered with errors; requests
+carrying their own ``deadline_s`` are shed before dispatch once expired; a
+pool whose workers keep dying trips the circuit breaker and the service
+degrades to inline dispatcher execution; and ``stop(timeout=...)`` is
+bounded — it escalates worker shutdown and resolves anything still
+unanswered with shutdown errors, reporting what it shed.  All of it is
+fault-injectable through :class:`~repro.serve.faults.FaultPlan` and counted
+in :class:`ServiceStats`.
 """
 
 from __future__ import annotations
@@ -28,6 +40,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,6 +57,7 @@ from .cells import (
     _runtime_for,
     execute_serve_batches,
 )
+from .faults import BatchError, FaultPlan
 
 __all__ = [
     "DEFAULT_WEIGHT_SEED",
@@ -63,35 +77,86 @@ class ServiceOverloadedError(RuntimeError):
 
 @dataclass
 class PendingPrediction:
-    """A submitted request awaiting its response (a minimal future)."""
+    """A submitted request awaiting its response (a minimal future).
+
+    ``result(timeout=...)`` that times out *cancels* the queued request:
+    the queue slot is reclaimed, ``stats.expired`` is incremented exactly
+    once, and the request is never served or counted later.  A request
+    already coalesced into an in-flight batch can no longer be withdrawn —
+    it will be answered normally and later ``result()`` calls return that
+    response.
+    """
 
     request: PredictRequest
     submitted_at: float
     response: PredictResponse | None = None
+    cancelled: bool = False
     _event: threading.Event = field(default_factory=threading.Event)
+    _canceller: Callable[["PendingPrediction"], bool] | None = field(
+        default=None, repr=False
+    )
 
     def resolve(self, response: PredictResponse) -> None:
-        """Deliver the response and wake any waiter."""
-        self.response = response
+        """Deliver the response and wake any waiter (first resolve wins)."""
+        if self.response is None:
+            self.response = response
         self._event.set()
 
+    def cancel(self) -> bool:
+        """Withdraw the request if it is still queued (idempotent).
+
+        True when this call reclaimed the queue slot; False when the
+        request was already dispatched, resolved, or cancelled earlier.
+        """
+        if self._canceller is None:
+            return False
+        if self._canceller(self):
+            self.cancelled = True
+            self._event.set()
+            return True
+        return False
+
     def result(self, timeout: float | None = None) -> PredictResponse:
-        """Block until the response arrives (``TimeoutError`` otherwise)."""
+        """Block until the response arrives (``TimeoutError`` otherwise).
+
+        A timeout cancels the queued request before raising, so the slot
+        is reclaimed instead of being served to nobody (see the class
+        docstring for the in-flight caveat).
+        """
         if not self._event.wait(timeout):
+            self.cancel()
             raise TimeoutError(
                 f"request {self.request.request_id!r} not served in time"
             )
-        assert self.response is not None
+        if self.cancelled or self.response is None:
+            raise TimeoutError(
+                f"request {self.request.request_id!r} was cancelled after "
+                "timing out"
+            )
         return self.response
 
 
 @dataclass
 class ServiceStats:
-    """Serving counters accumulated over the service lifetime."""
+    """Serving counters accumulated over the service lifetime.
+
+    Besides the happy-path counters, the failure half of the story:
+    ``retried`` batch resubmissions after worker deaths, ``quarantined``
+    poison batches isolated past the retry budget, ``errors`` batches
+    answered with executor-error responses, ``expired`` requests shed on
+    their deadlines (before dispatch or via ``result(timeout=...)``
+    cancellation), and ``degraded`` batches executed inline after the
+    worker pool's circuit breaker tripped.
+    """
 
     served: int = 0
     rejected: int = 0
     batches: int = 0
+    retried: int = 0
+    quarantined: int = 0
+    errors: int = 0
+    expired: int = 0
+    degraded: int = 0
     latencies_s: list[float] = field(default_factory=list)
     batch_widths: list[int] = field(default_factory=list)
 
@@ -114,6 +179,11 @@ class ServiceStats:
             "served": self.served,
             "rejected": self.rejected,
             "batches": self.batches,
+            "retried": self.retried,
+            "quarantined": self.quarantined,
+            "errors": self.errors,
+            "expired": self.expired,
+            "degraded": self.degraded,
             "mean_batch_width": self.mean_batch_width,
             "p50_latency_ms": self.percentile_latency_s(50) * 1e3,
             "p99_latency_ms": self.percentile_latency_s(99) * 1e3,
@@ -140,6 +210,15 @@ class InferenceService:
     max_pending:
         Queue bound in total coalesced columns; beyond it ``submit`` raises
         :class:`ServiceOverloadedError`.
+    max_retries / hang_timeout_s / breaker_threshold / backoff_base_s:
+        The worker pool's recovery budget — crash retries per batch before
+        quarantine, silence before a worker is declared hung, consecutive
+        deaths before the circuit breaker degrades the service to inline
+        execution, and the respawn backoff base (see
+        :class:`~repro.serve.pool.WorkerPool`).
+    fault_plan:
+        Optional deterministic fault-injection schedule
+        (:class:`~repro.serve.faults.FaultPlan`; chaos testing only).
     clock:
         Monotonic time source (injectable for deterministic tests).
     """
@@ -153,15 +232,31 @@ class InferenceService:
         width: int | None = None,
         deadline_s: float | None = None,
         max_pending: int = 256,
+        max_retries: int = 2,
+        hang_timeout_s: float | None = 30.0,
+        breaker_threshold: int = 8,
+        backoff_base_s: float = 0.05,
+        fault_plan: FaultPlan | None = None,
         clock=time.monotonic,
     ) -> None:
         self.plan = plan
         self.weight_seed = int(weight_seed)
         self.workers = int(workers)
+        self.max_retries = int(max_retries)
+        self.hang_timeout_s = hang_timeout_s
+        self.breaker_threshold = int(breaker_threshold)
+        self.backoff_base_s = float(backoff_base_s)
+        self.fault_plan = fault_plan
         self._explicit_deadline = deadline_s
         self.windows = serving_windows(plan, width=width, deadline_s=deadline_s)
         if not self.windows:
             raise ValueError("the plan has no linear layers to serve")
+        from ..tune.planned import PlannedModel
+
+        _layers = PlannedModel(plan).layers
+        self._expected_rows = {
+            layer: _layers[layer].gemm.k for layer in self.windows
+        }
         self.stats = ServiceStats()
         self._clock = clock
         self._condition = threading.Condition()
@@ -175,6 +270,8 @@ class InferenceService:
         self._pool = None
         self._dispatcher: threading.Thread | None = None
         self._stopping = False
+        self._abort = False
+        self._degraded = False
         self._started = False
 
     # ------------------------------ lifecycle ---------------------------- #
@@ -207,8 +304,16 @@ class InferenceService:
         if self.workers > 0:
             from .pool import WorkerPool
 
-            self._pool = WorkerPool(self.workers)
+            self._pool = WorkerPool(
+                self.workers,
+                max_retries=self.max_retries,
+                hang_timeout_s=self.hang_timeout_s,
+                breaker_threshold=self.breaker_threshold,
+                backoff_base_s=self.backoff_base_s,
+                fault_plan=self.fault_plan,
+            )
         self._stopping = False
+        self._abort = False
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatcher", daemon=True
         )
@@ -216,19 +321,77 @@ class InferenceService:
         self._started = True
         return self
 
-    def stop(self) -> None:
-        """Drain the queue, serve everything accepted, shut workers down."""
+    def stop(self, timeout: float | None = None) -> dict:
+        """Drain and shut down, bounded by ``timeout`` seconds when given.
+
+        ``timeout=None`` keeps the original graceful contract: every
+        accepted request is served before the workers shut down.  With a
+        timeout the stop is *bounded*: the dispatcher gets ``timeout``
+        seconds to drain; if it is still wedged (e.g. a hung worker with
+        hang detection disabled) the loop is aborted, everything still
+        unanswered is resolved with shutdown error responses, and worker
+        shutdown escalates join → terminate → kill.  Returns a report:
+        ``{"shed": <requests resolved with shutdown errors>, "clean":
+        <True when the drain finished in time>, "pool": <escalation
+        counts>}``.
+        """
+        report: dict = {
+            "shed": 0,
+            "clean": True,
+            "pool": {"joined": 0, "terminated": 0, "killed": 0},
+        }
         if not self._started:
-            return
+            return report
         with self._condition:
             self._stopping = True
             self._condition.notify_all()
         assert self._dispatcher is not None
-        self._dispatcher.join()
+        self._dispatcher.join(timeout)
+        if self._dispatcher.is_alive():
+            report["clean"] = False
+            self._abort = True
+            with self._condition:
+                self._condition.notify_all()
+            self._dispatcher.join(timeout=1.0)
+            report["shed"] = self._shed_unanswered()
         if self._pool is not None:
-            self._pool.close()
+            report["pool"] = self._pool.close(
+                timeout=5.0 if timeout is None else max(timeout, 0.1)
+            )
             self._pool = None
+        self._dispatcher = None
+        self._abort = False
         self._started = False
+        return report
+
+    def _shed_unanswered(self) -> int:
+        """Resolve every still-unanswered request with a shutdown error."""
+        with self._condition:
+            pendings = list(self._waiting.values())
+            self._waiting.clear()
+            for _, batch_pendings in self._inflight.values():
+                pendings.extend(batch_pendings)
+            self._inflight.clear()
+            self._backlog.clear()
+            self._batcher.drain()
+            now = self._clock()
+            shed = 0
+            for pending in pendings:
+                if pending.response is not None or pending.cancelled:
+                    continue
+                shed += 1
+                pending.resolve(
+                    PredictResponse(
+                        request_id=pending.request.request_id,
+                        layer=pending.request.layer,
+                        output=None,
+                        width=0,
+                        latency_s=now - pending.submitted_at,
+                        error="[shutdown] service stopped before the request "
+                        "was served",
+                    )
+                )
+            return shed
 
     def __enter__(self) -> "InferenceService":
         """Context-manager entry: start the service."""
@@ -240,7 +403,15 @@ class InferenceService:
 
     # ------------------------------ live path ---------------------------- #
     def submit(self, request: PredictRequest) -> PendingPrediction:
-        """Enqueue one request; raises on unknown layers or a full queue."""
+        """Enqueue one request.
+
+        Raises ``KeyError`` for unknown layers, ``ValueError`` when the
+        activation row count does not match the layer's input width (a
+        mis-shaped request would poison every companion coalesced into its
+        batch, so it is rejected at the gate), and
+        :class:`ServiceOverloadedError` when the queue is full.
+        """
+        self.validate(request)
         with self._condition:
             now = self._clock()
             try:
@@ -248,7 +419,11 @@ class InferenceService:
             except QueueFullError as exc:
                 self.stats.rejected += 1
                 raise ServiceOverloadedError(str(exc)) from exc
-            pending = PendingPrediction(request=request, submitted_at=now)
+            pending = PendingPrediction(
+                request=request,
+                submitted_at=now,
+                _canceller=self._cancel_pending,
+            )
             self._waiting[id(request)] = pending
             self._condition.notify_all()
             return pending
@@ -258,6 +433,43 @@ class InferenceService:
     ) -> PredictResponse:
         """Submit one request and block for its response."""
         return self.submit(request).result(timeout)
+
+    def validate(self, request: PredictRequest) -> None:
+        """Reject requests whose activations cannot join the layer's batch.
+
+        ``KeyError`` for a layer the plan does not serve; ``ValueError``
+        when the activation row count does not match the layer's input
+        width.  Both :meth:`submit` and the CLI transports call this at
+        the gate so one mis-shaped request can never poison the batch it
+        would have been coalesced into.
+        """
+        expected = self._expected_rows.get(request.layer)
+        if expected is None:
+            raise KeyError(f"no serving window for layer {request.layer!r}")
+        if request.rows != expected:
+            raise ValueError(
+                f"layer {request.layer!r} expects K={expected} activation "
+                f"rows, got {request.rows}"
+            )
+
+    def _cancel_pending(self, pending: PendingPrediction) -> bool:
+        """Withdraw a queued request (the ``result`` timeout path).
+
+        Succeeds only while the request still sits in the micro-batcher:
+        the slot is reclaimed from ``_waiting`` *and* the queue, and
+        ``stats.expired`` is incremented exactly once.  Once the request is
+        in the dispatch backlog or in flight the withdrawal fails and the
+        request is answered normally.
+        """
+        with self._condition:
+            key = id(pending.request)
+            if key not in self._waiting:
+                return False
+            if not self._batcher.remove(pending.request):
+                return False
+            del self._waiting[key]
+            self.stats.expired += 1
+            return True
 
     def _dispatch_loop(self) -> None:
         # With a pool, at most ONE batch per worker is in flight at once; the
@@ -271,8 +483,11 @@ class InferenceService:
         # sending results, nobody collecting).
         max_inflight = self.workers if self.workers > 0 else 1
         while True:
+            if self._abort:
+                return
             with self._condition:
                 now = self._clock()
+                self._shed_expired_locked(now)
                 if self._stopping:
                     self._backlog.extend(self._batcher.drain())
                 else:
@@ -289,7 +504,15 @@ class InferenceService:
                 self._dispatch(self._backlog.popleft())
             if self._pool is not None and self._inflight:
                 for result in self._pool.collect(timeout=0.005):
-                    self._complete(result.batch, result.outputs, result.elapsed_s)
+                    if result.error is not None:
+                        self._complete_error(result.batch, result.error)
+                    else:
+                        self._complete(
+                            result.batch, result.outputs, result.elapsed_s
+                        )
+                self.stats.retried = self._pool.retried
+                if self._pool.broken:
+                    self._degrade()
             with self._condition:
                 if (
                     self._stopping
@@ -298,6 +521,42 @@ class InferenceService:
                     and not self._inflight
                 ):
                     return
+
+    def _shed_expired_locked(self, now: float) -> None:
+        """Shed queued requests whose own deadline passed (lock held)."""
+        for request in self._batcher.shed_expired(now):
+            pending = self._waiting.pop(id(request), None)
+            if pending is None:
+                continue
+            self.stats.expired += 1
+            pending.resolve(
+                PredictResponse(
+                    request_id=request.request_id,
+                    layer=request.layer,
+                    output=None,
+                    width=0,
+                    latency_s=now - pending.submitted_at,
+                    error=(
+                        f"[expired] deadline_s={request.deadline_s} passed "
+                        "before dispatch"
+                    ),
+                )
+            )
+
+    def _degrade(self) -> None:
+        """Circuit breaker tripped: reclaim the pool's work, go inline.
+
+        The pool stops existing; every unfinished batch (and everything
+        dispatched from now on) executes inline on the dispatcher thread —
+        slower, but alive.  Counted per batch in ``stats.degraded``.
+        """
+        assert self._pool is not None
+        leftover = self._pool.abandon()
+        self._pool.close(timeout=5.0)
+        self._pool = None
+        self._degraded = True
+        for batch in leftover:
+            self._execute_inline(batch)
 
     def _dispatch(self, requests: list[PredictRequest]) -> None:
         with self._condition:
@@ -315,9 +574,30 @@ class InferenceService:
         if self._pool is not None:
             self._pool.submit(batch)
             return
+        self._execute_inline(batch)
+
+    def _execute_inline(self, batch: ServeBatch) -> None:
+        """Run one batch on the dispatcher thread (no pool, or degraded).
+
+        Executor exceptions become structured error responses here too, so
+        a poison batch cannot kill the dispatcher thread.
+        """
         began = time.perf_counter()
-        record = execute_serve_batches([batch])[0]
+        try:
+            record = execute_serve_batches([batch])[0]
+        except Exception as exc:
+            self._complete_error(
+                batch,
+                BatchError(
+                    batch_id=batch.batch_id,
+                    kind="executor",
+                    message=f"{type(exc).__name__}: {exc}",
+                ),
+            )
+            return
         elapsed = time.perf_counter() - began
+        if self._degraded:
+            self.stats.degraded += 1
         self._complete(batch, record.outputs, elapsed)
 
     def _complete(
@@ -327,7 +607,10 @@ class InferenceService:
         elapsed_s: float,
     ) -> None:
         with self._condition:
-            _, pendings = self._inflight.pop(batch.batch_id)
+            entry = self._inflight.pop(batch.batch_id, None)
+            if entry is None:
+                return  # already shed by a bounded stop
+            _, pendings = entry
             now = self._clock()
             self.stats.batches += 1
             self.stats.batch_widths.append(batch.width)
@@ -345,6 +628,31 @@ class InferenceService:
                         output=output,
                         width=batch.width,
                         latency_s=latency,
+                    )
+                )
+
+    def _complete_error(self, batch: ServeBatch, error: BatchError) -> None:
+        """Answer every request of a failed batch with a structured error."""
+        with self._condition:
+            entry = self._inflight.pop(batch.batch_id, None)
+            if entry is None:
+                return  # already shed by a bounded stop
+            _, pendings = entry
+            now = self._clock()
+            self.stats.batches += 1
+            if error.kind == "quarantined":
+                self.stats.quarantined += 1
+            else:
+                self.stats.errors += 1
+            for request, pending in zip(batch.requests, pendings, strict=True):
+                pending.resolve(
+                    PredictResponse(
+                        request_id=request.request_id,
+                        layer=request.layer,
+                        output=None,
+                        width=batch.width,
+                        latency_s=now - pending.submitted_at,
+                        error=error.describe(),
                     )
                 )
 

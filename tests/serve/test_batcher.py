@@ -155,3 +155,56 @@ class TestReplayBatches:
             replay_batches(
                 [PredictRequest.from_array("absent", np.ones(4))], window()
             )
+
+
+def deadline_request(deadline_s, *, request_id="d0", k=4):
+    return PredictRequest.from_array(
+        LAYER, np.ones(k), request_id=request_id, deadline_s=deadline_s
+    )
+
+
+class TestCancellationAndDeadlines:
+    """PR 9: identity-based withdrawal and per-request shed deadlines."""
+
+    def test_remove_withdraws_only_the_exact_request(self):
+        batcher = MicroBatcher(window(width=4, deadline=100.0))
+        first, second = make_requests(2)
+        batcher.push(first, now=0.0)
+        batcher.push(second, now=0.0)
+        assert batcher.remove(first) is True
+        assert batcher.remove(first) is False  # already gone
+        assert batcher.pending == second.width
+        released = batcher.poll(now=200.0)
+        assert released == [[second]]
+
+    def test_remove_unknown_layer_or_unqueued_is_false(self):
+        batcher = MicroBatcher(window())
+        assert batcher.remove(make_requests(1)[0]) is False
+        foreign = PredictRequest.from_array("absent", np.ones(4))
+        assert batcher.remove(foreign) is False
+
+    def test_shed_expired_removes_only_expired_requests(self):
+        batcher = MicroBatcher(window(width=8, deadline=100.0))
+        doomed = deadline_request(0.5, request_id="doomed")
+        patient = deadline_request(50.0, request_id="patient")
+        eternal = make_requests(1)[0]
+        for request in (doomed, patient, eternal):
+            batcher.push(request, now=0.0)
+        assert batcher.shed_expired(now=0.4) == []
+        shed = batcher.shed_expired(now=1.0)
+        assert [r.request_id for r in shed] == ["doomed"]
+        assert batcher.pending == patient.width + eternal.width
+        # Shedding is idempotent: the doomed request is gone for good.
+        assert batcher.shed_expired(now=2.0) == []
+
+    def test_next_deadline_covers_request_deadlines(self):
+        batcher = MicroBatcher(window(width=8, deadline=10.0))
+        batcher.push(make_requests(1)[0], now=0.0)
+        assert batcher.next_deadline() == pytest.approx(10.0)
+        # A tighter per-request deadline pulls the wake-up earlier.
+        batcher.push(deadline_request(2.5), now=1.0)
+        assert batcher.next_deadline() == pytest.approx(3.5)
+
+    def test_request_deadline_validation(self):
+        with pytest.raises(ValueError):
+            deadline_request(-0.1)

@@ -1,0 +1,310 @@
+"""Chaos suite: seeded fault schedules against the serving invariants.
+
+Every test here drives the live service (or the pool directly) under a
+deterministic :class:`FaultPlan` and asserts the robustness contract of
+PR 9: every accepted request gets exactly one response (success or
+structured error), surviving outputs are byte-identical to ``replay()``,
+recovery is bounded (retry budget, quarantine, circuit breaker, hang
+timeout), and shutdown always terminates within its bound.
+
+The schedules are parameterised over seeds; CI's chaos-smoke job extends
+the seed set through the ``CHAOS_SEED`` environment variable so every
+matrix leg explores a different deterministic schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.serve import (
+    FaultPlan,
+    FaultSpec,
+    InferenceService,
+    PoolStompedWarning,
+    ServeBatch,
+    WorkerPool,
+)
+
+from conftest import LAYER, make_requests
+
+#: Fixed local seed matrix; CI's chaos-smoke legs add more via CHAOS_SEED.
+SEEDS = [0, 1, 2]
+if os.environ.get("CHAOS_SEED"):
+    SEEDS = sorted({*SEEDS, int(os.environ["CHAOS_SEED"])})
+
+
+def chaos_service(plan, **overrides):
+    """A width-1 service tuned for fast, deterministic chaos runs.
+
+    Width 1 makes live batch composition identical to replay's (one
+    request per batch), so surviving responses can be compared byte for
+    byte; the tiny backoff keeps seeded kill-storms fast.
+    """
+    defaults = dict(
+        workers=2,
+        width=1,
+        max_pending=256,
+        backoff_base_s=0.01,
+        hang_timeout_s=2.0,
+        max_retries=3,
+    )
+    defaults.update(overrides)
+    return InferenceService(plan, **defaults)
+
+
+def serve_all(service, requests, *, timeout=120.0):
+    """Submit every request and gather exactly one response per handle."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", PoolStompedWarning)
+        with service:
+            handles = [service.submit(request) for request in requests]
+            return [handle.result(timeout=timeout) for handle in handles]
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        left = FaultPlan.seeded(11, batches=50, rate=0.5)
+        right = FaultPlan.seeded(11, batches=50, rate=0.5)
+        assert left == right
+        assert FaultPlan.seeded(12, batches=50, rate=0.5) != left
+
+    def test_action_respects_attempt_budget(self):
+        plan = FaultPlan((FaultSpec(kind="kill", batch_id=3, times=2),))
+        assert plan.action_for(3, 0) is not None
+        assert plan.action_for(3, 1) is not None
+        assert plan.action_for(3, 2) is None
+        assert plan.action_for(4, 0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor", batch_id=0)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="kill", batch_id=0, times=0)
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(0, batches=4, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan.seeded(0, batches=4, kinds=("meteor",))
+
+    def test_empty_plan_is_falsy_and_inert(self):
+        plan = FaultPlan()
+        assert not plan
+        assert plan.action_for(0, 0) is None
+
+
+class TestSeededChaos:
+    """The acceptance criterion: seeded schedules x worker counts."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_no_accepted_request_lost_or_unanswered(self, plan, seed, workers):
+        requests = make_requests(18, seed=seed)
+        fault_plan = FaultPlan.seeded(seed, batches=18, rate=0.4)
+        service = chaos_service(plan, workers=workers, fault_plan=fault_plan)
+        responses = serve_all(service, requests)
+        # Exactly one response per accepted request, success or error.
+        assert len(responses) == len(requests)
+        assert [r.request_id for r in responses] == [r.request_id for r in requests]
+        # Surviving responses are byte-identical to the deterministic replay.
+        replayed = service.replay(requests)
+        survivors = 0
+        for live, offline in zip(responses, replayed, strict=True):
+            if live.ok:
+                survivors += 1
+                assert live.output.tobytes() == offline.output.tobytes()
+            else:
+                assert live.error  # structured, never empty
+        # Accounting: every request is either served or answered with an error.
+        stats = service.stats
+        assert stats.served == survivors
+        assert stats.served + (len(requests) - survivors) == len(requests)
+        assert stats.rejected == 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_transient_faults_lose_nothing(self, plan, seed):
+        """kill/delay/corrupt with times=1 always recover: zero errors."""
+        requests = make_requests(16, seed=seed + 100)
+        fault_plan = FaultPlan.seeded(
+            seed, batches=16, rate=0.5, kinds=("kill", "delay", "corrupt")
+        )
+        service = chaos_service(plan, fault_plan=fault_plan)
+        responses = serve_all(service, requests)
+        assert all(response.ok for response in responses)
+        replayed = service.replay(requests)
+        for live, offline in zip(responses, replayed, strict=True):
+            assert live.output.tobytes() == offline.output.tobytes()
+        assert service.stats.served == 16
+
+
+class TestPoisonBatch:
+    def test_quarantined_after_max_retries_not_forever(self, plan):
+        """A deterministically crashing batch is isolated, not looped."""
+        requests = make_requests(6)
+        fault_plan = FaultPlan((FaultSpec(kind="kill", batch_id=0, times=99),))
+        service = chaos_service(plan, fault_plan=fault_plan, max_retries=2)
+        responses = serve_all(service, requests)
+        poisoned = [r for r in responses if not r.ok]
+        assert len(poisoned) == 1
+        assert poisoned[0].request_id == "0"
+        assert "quarantined" in poisoned[0].error
+        assert service.stats.quarantined == 1
+        assert service.stats.retried == 2  # exactly the budget, then isolation
+        assert service.stats.served == 5
+
+    def test_executor_exception_costs_one_reply_not_one_process(self, plan):
+        """A raising cell is answered with a structured error; no retries."""
+        requests = make_requests(5)
+        fault_plan = FaultPlan((FaultSpec(kind="raise", batch_id=2, times=99),))
+        service = chaos_service(plan, fault_plan=fault_plan)
+        responses = serve_all(service, requests)
+        failed = [r for r in responses if not r.ok]
+        assert [r.request_id for r in failed] == ["2"]
+        assert "executor" in failed[0].error
+        assert service.stats.errors == 1
+        assert service.stats.retried == 0  # an answered batch is never retried
+
+
+class TestHungWorker:
+    def test_hang_detected_and_recovered(self, plan):
+        requests = make_requests(6)
+        fault_plan = FaultPlan((FaultSpec(kind="hang", batch_id=1, times=1),))
+        service = chaos_service(
+            plan, fault_plan=fault_plan, hang_timeout_s=0.5
+        )
+        responses = serve_all(service, requests)
+        assert all(response.ok for response in responses)
+        assert service.stats.retried >= 1
+
+    def test_bounded_stop_sheds_with_hang_detection_disabled(self, plan):
+        """stop(timeout=...) must return within its bound and report what
+        it shed, even when every worker is wedged and undetectable."""
+        requests = make_requests(4)
+        fault_plan = FaultPlan(
+            tuple(FaultSpec(kind="hang", batch_id=i, times=9) for i in range(4))
+        )
+        service = chaos_service(
+            plan, fault_plan=fault_plan, hang_timeout_s=None
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", PoolStompedWarning)
+            service.start()
+            handles = [service.submit(request) for request in requests]
+            time.sleep(0.3)
+            began = time.monotonic()
+            report = service.stop(timeout=1.0)
+            elapsed = time.monotonic() - began
+        assert elapsed < 15.0  # join + abort + per-stage pool escalation
+        assert report["clean"] is False
+        assert report["shed"] == 4
+        assert report["pool"]["terminated"] + report["pool"]["killed"] >= 1
+        for handle in handles:
+            response = handle.result(timeout=1.0)
+            assert not response.ok
+            assert "shutdown" in response.error
+
+
+class TestCircuitBreaker:
+    def test_pool_collapse_degrades_to_inline_execution(self, plan):
+        """Workers that die on every batch trip the breaker; the service
+        keeps answering (inline) instead of crash-looping forever."""
+        requests = make_requests(10)
+        fault_plan = FaultPlan(
+            tuple(FaultSpec(kind="kill", batch_id=i, times=99) for i in range(10))
+        )
+        service = chaos_service(
+            plan,
+            fault_plan=fault_plan,
+            max_retries=99,
+            breaker_threshold=3,
+        )
+        responses = serve_all(service, requests)
+        # The fault plan only reaches workers: inline execution serves fine.
+        assert all(response.ok for response in responses)
+        assert service.stats.degraded > 0
+        replayed = service.replay(requests)
+        for live, offline in zip(responses, replayed, strict=True):
+            assert live.output.tobytes() == offline.output.tobytes()
+
+
+class TestPoolChaos:
+    """Crash-recovery invariants on the pool itself (no service on top)."""
+
+    def make_batches(self, plan, count):
+        requests = make_requests(count)
+        return [
+            ServeBatch(
+                plan=plan,
+                weight_seed=2024,
+                layer=LAYER,
+                requests=(requests[i],),
+                batch_id=i,
+            )
+            for i in range(count)
+        ]
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_collect_all_terminates_when_every_worker_dies_once(
+        self, plan, workers
+    ):
+        """Each of the first N batches kills its worker once; collect_all
+        must still return every result (bounded resubmission, zero lost)."""
+        batches = self.make_batches(plan, 2 * workers + 2)
+        fault_plan = FaultPlan(
+            tuple(
+                FaultSpec(kind="kill", batch_id=i, times=1) for i in range(workers)
+            )
+        )
+        pool = WorkerPool(
+            workers,
+            fault_plan=fault_plan,
+            backoff_base_s=0.01,
+            breaker_threshold=100,
+        )
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", PoolStompedWarning)
+                results = []
+                for batch in batches:
+                    pool.submit(batch)
+                    results.extend(pool.collect(timeout=0.0))
+                results.extend(pool.collect_all())
+        finally:
+            pool.close()
+        assert sorted(r.batch.batch_id for r in results) == list(
+            range(len(batches))
+        )
+        assert all(r.error is None for r in results)
+        # Bounded resubmission: every kill retries its batch (plus any
+        # batches stranded on the dead worker), never more than the
+        # whole stream per casualty.
+        assert workers <= pool.retried <= workers * len(batches)
+        assert pool.quarantined == 0
+        assert len(pool) == workers  # every casualty was replaced
+
+    def test_seeded_pool_schedule_is_reproducible(self, plan):
+        """The same seed yields the same retry/quarantine accounting."""
+        outcomes = []
+        for _ in range(2):
+            batches = self.make_batches(plan, 8)
+            pool = WorkerPool(
+                2,
+                fault_plan=FaultPlan.seeded(
+                    5, batches=8, rate=0.5, kinds=("kill", "raise"), times=1
+                ),
+                backoff_base_s=0.01,
+            )
+            try:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", PoolStompedWarning)
+                    for batch in batches:
+                        pool.submit(batch)
+                        pool.collect(timeout=0.0)
+                    results = pool.collect_all()
+                    results.extend(pool.collect(timeout=0.0))
+            finally:
+                pool.close()
+            outcomes.append((pool.retried, pool.quarantined))
+        assert outcomes[0] == outcomes[1]

@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import time
+import warnings
+
 import pytest
 
-from repro.serve import ServeBatch, WorkerPool, execute_serve_batches
+from repro.serve import (
+    FaultPlan,
+    FaultSpec,
+    PoolStompedWarning,
+    ServeBatch,
+    WorkerPool,
+    execute_serve_batches,
+)
 from repro.serve.pool import BatchResult
 
 from conftest import LAYER, make_requests
@@ -82,3 +92,99 @@ class TestWorkerPool:
     def test_worker_count_validated(self):
         with pytest.raises(ValueError):
             WorkerPool(0)
+
+
+class TestPoolRobustness:
+    """PR 9 hardening: structured errors, stale replies, bounded close."""
+
+    def test_executor_error_returns_batch_error_not_crash(self, plan):
+        """A batch whose cell raises answers with error="executor": the
+        worker survives and keeps serving subsequent batches."""
+        batches = make_batches(plan, 3)
+        fault_plan = FaultPlan((FaultSpec(kind="raise", batch_id=1, times=9),))
+        pool = WorkerPool(1, fault_plan=fault_plan)
+        try:
+            for batch in batches:
+                pool.submit(batch)
+            results = {r.batch.batch_id: r for r in pool.collect_all()}
+        finally:
+            pool.close()
+        assert set(results) == {0, 1, 2}
+        assert results[0].error is None and results[2].error is None
+        failed = results[1]
+        assert failed.outputs is None
+        assert failed.error is not None and failed.error.kind == "executor"
+        assert "injected executor fault" in failed.error.message
+        assert pool.retried == 0  # an answered error is final, never retried
+
+    def test_unknown_batch_id_reply_dropped_with_warning(self, plan):
+        """A stale/foreign batch_id in a worker reply must not KeyError the
+        dispatcher: the reply is dropped under PoolStompedWarning."""
+        batch = make_batches(plan, 1)[0]
+        pool = WorkerPool(1)
+        try:
+            pool.submit(batch)
+            # Simulate ledger stomping: forget the in-flight entry so the
+            # worker's reply arrives with an unknown batch_id.
+            stolen = dict(pool._workers[0].outstanding)
+            pool._workers[0].outstanding.clear()
+            pool._workers[0].sent_at.clear()
+            with pytest.warns(PoolStompedWarning, match="unknown batch_id"):
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    if pool.collect(timeout=0.2):
+                        raise AssertionError("stale reply must be dropped")
+                    if not pool._workers[0].conn.poll(0):
+                        break
+            # The pool still works: restore and serve the batch for real.
+            pool._workers[0].outstanding.update(stolen)
+            pool.submit(make_batches(plan, 2)[1])
+        finally:
+            pool.close()
+
+    def test_quarantine_after_retry_budget(self, plan):
+        batches = make_batches(plan, 2)
+        fault_plan = FaultPlan((FaultSpec(kind="kill", batch_id=0, times=99),))
+        pool = WorkerPool(
+            1, fault_plan=fault_plan, max_retries=1, backoff_base_s=0.01
+        )
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", PoolStompedWarning)
+                pool.submit(batches[0])
+                results = {r.batch.batch_id: r for r in pool.collect_all()}
+                # The pool keeps serving after isolating the poison batch.
+                pool.submit(batches[1])
+                results.update(
+                    (r.batch.batch_id, r) for r in pool.collect_all()
+                )
+        finally:
+            pool.close()
+        assert results[0].error is not None
+        assert results[0].error.kind == "quarantined"
+        assert "max_retries=1" in results[0].error.message
+        assert results[1].error is None
+        assert pool.quarantined == 1
+
+    def test_close_reports_escalation_stages(self, plan):
+        pool = WorkerPool(2)
+        report = pool.close(timeout=5.0)
+        assert report == {"joined": 2, "terminated": 0, "killed": 0}
+        # Idempotent: a second close has nothing left to do.
+        assert pool.close() == {"joined": 0, "terminated": 0, "killed": 0}
+
+    def test_close_terminates_wedged_workers(self, plan):
+        """A worker stuck in a hang fault cannot join: close() escalates to
+        terminate within its bound instead of waiting forever."""
+        batch = make_batches(plan, 1)[0]
+        fault_plan = FaultPlan((FaultSpec(kind="hang", batch_id=0, times=1),))
+        pool = WorkerPool(1, fault_plan=fault_plan)
+        try:
+            pool.submit(batch)
+            time.sleep(0.3)  # let the worker enter the hang
+        finally:
+            began = time.monotonic()
+            report = pool.close(timeout=0.5)
+            elapsed = time.monotonic() - began
+        assert elapsed < 10.0
+        assert report["terminated"] + report["killed"] == 1

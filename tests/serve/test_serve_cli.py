@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import subprocess
 import sys
 
@@ -97,3 +98,106 @@ class TestParser:
 
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--gemm", "64", "16", "64"])
+
+
+class TestMalformedInput:
+    """Satellite: malformed input never tears down the loop or connection."""
+
+    GARBAGE = [
+        "\x00\xffgarbage bytes\x07",
+        '{"id": "t", "activations": [[1.0, 2.0',  # truncated JSON
+        '{"id": "u", "layer": "absent", "activations": [1.0]}',
+        '{"id": "v", "activations": [null]}',
+        '{"id": "w", "activations": "nope"}',
+        '{"id": "x"}',
+        '{"id": "y", "activations": [1.0], "deadline_ms": "soon"}',
+        "[1, 2, 3]",
+    ]
+
+    def test_every_garbage_line_gets_a_structured_error(self):
+        stdin = "\n".join(self.GARBAGE) + "\n" + jsonl_requests(2)
+        result = run_cli([*BASE_ARGS, "--stdin-jsonl"], stdin)
+        assert result.returncode == 0, result.stderr
+        responses = [json.loads(line) for line in result.stdout.splitlines()]
+        assert len(responses) == len(self.GARBAGE) + 2
+        for reply in responses[: len(self.GARBAGE)]:
+            assert reply["status"] == "error"
+            assert reply["error"]
+        # The stream survived: trailing well-formed requests are served.
+        assert [r["status"] for r in responses[-2:]] == ["ok", "ok"]
+        assert [r["id"] for r in responses[-2:]] == ["0", "1"]
+
+    def test_unknown_layer_echoes_request_id(self):
+        stdin = '{"id": "q7", "layer": "absent", "activations": [1.0]}\n'
+        result = run_cli([*BASE_ARGS, "--stdin-jsonl", "--replay"], stdin)
+        assert result.returncode == 0, result.stderr
+        reply = json.loads(result.stdout.splitlines()[0])
+        assert reply == {
+            "id": "q7",
+            "status": "error",
+            "error": reply["error"],
+        }
+        assert "absent" in reply["error"]
+
+
+class TestTcpTransport:
+    """The --port transport: per-line errors, /health, connection survival."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", *BASE_ARGS, "--port", "0"],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stderr.readline()  # "serving on host:port"
+            assert "serving on" in line, line
+            port = int(line.rsplit(":", 1)[1])
+            yield port
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    def exchange(self, port: int, lines: list[str]) -> list[dict]:
+        with socket.create_connection(("127.0.0.1", port), timeout=60) as conn:
+            conn.sendall(("\n".join(lines) + "\n").encode())
+            conn.shutdown(socket.SHUT_WR)
+            stream = conn.makefile("r", encoding="utf-8")
+            return [json.loads(reply) for reply in stream]
+
+    def test_garbage_then_valid_on_one_connection(self, server):
+        rng = np.random.default_rng(3)
+        lines = [
+            "utter garbage",
+            '{"id": "t", "activations": [[1.0,',
+            json.dumps({"id": "ok1", "activations": rng.normal(size=256).tolist()}),
+        ]
+        replies = self.exchange(server, lines)
+        assert [r["status"] for r in replies] == ["error", "error", "ok"]
+        assert replies[2]["id"] == "ok1"
+
+    def test_server_survives_poisoned_connection(self, server):
+        self.exchange(server, ["\x00\x01\x02 not even close"])
+        rng = np.random.default_rng(4)
+        replies = self.exchange(
+            server,
+            [json.dumps({"id": "after", "activations": rng.normal(size=256).tolist()})],
+        )
+        assert replies[0]["status"] == "ok"
+        assert replies[0]["id"] == "after"
+
+    def test_health_probe(self, server):
+        for probe in ["/health", '{"op": "health"}']:
+            reply = self.exchange(server, [probe])[0]
+            assert reply["status"] == "ok"
+            assert reply["op"] == "health"
+            assert reply["layers"] == ["gemm-256x32x256"]
+            stats = reply["stats"]
+            for key in ("served", "rejected", "retried", "quarantined",
+                        "expired", "degraded"):
+                assert key in stats

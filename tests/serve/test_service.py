@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -133,3 +135,91 @@ class TestLiveService:
         assert isinstance(refiner, RecordedRefiner)
         label = plan.assignment_for(LAYER).label
         assert refiner.recorded_time(LAYER, label) is not None
+
+
+class TestDeadlinesAndCancellation:
+    """PR 9: request deadlines, timed-out handles, and the leak fix."""
+
+    def test_result_timeout_cancels_and_reclaims_slot(self, plan):
+        """The leak regression: a timed-out result() must cancel the queued
+        request — no stale ``_waiting`` entry, queue slot reclaimed, and
+        ``stats.expired`` incremented exactly once."""
+        service = InferenceService(plan, max_pending=4)
+        handle = service.submit(make_requests(1)[0])
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.01)
+        assert handle.cancelled
+        assert service.stats.expired == 1
+        assert not service._waiting
+        assert service._batcher.pending == 0
+        # Second timeout on the same handle is a no-op for the counter.
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.01)
+        assert service.stats.expired == 1
+        # The reclaimed slots accept the full bound again.
+        for request in make_requests(4):
+            service.submit(request)
+        service.start()
+        service.stop()
+        assert service.stats.served == 4
+
+    def test_request_deadline_shed_before_dispatch(self, plan):
+        """A queued request whose own deadline passes is answered with an
+        expired error instead of being served."""
+        requests = make_requests(2)
+        expiring = PredictRequest.from_array(
+            LAYER,
+            requests[0].to_array(),
+            request_id="doomed",
+            deadline_s=1e-4,
+        )
+        service = InferenceService(plan, width=1, max_pending=8)
+        doomed = service.submit(expiring)
+        time.sleep(0.05)  # let the deadline lapse before the loop runs
+        service.start()
+        live = service.submit(requests[1])
+        response = doomed.result(timeout=30.0)
+        assert not response.ok
+        assert "expired" in response.error
+        assert response.output is None
+        survivor = live.result(timeout=30.0)
+        service.stop()
+        assert survivor.ok
+        assert service.stats.expired == 1
+        assert service.stats.served == 1
+
+    def test_deadline_validation(self, plan):
+        with pytest.raises(ValueError):
+            PredictRequest.from_array(LAYER, np.zeros(256), deadline_s=-1.0)
+
+    def test_deadline_not_in_wire_dict(self, plan):
+        """deadline_s is scheduling metadata: it must stay out of to_dict()
+        so batch cache hashes are unchanged by deadline annotations."""
+        request = PredictRequest.from_array(LAYER, np.zeros(256), deadline_s=5.0)
+        bare = PredictRequest.from_array(LAYER, np.zeros(256))
+        assert request.to_dict() == bare.to_dict()
+
+
+class TestStopReport:
+    def test_clean_stop_reports_nothing_shed(self, plan):
+        service = InferenceService(plan, max_pending=64)
+        handles = [service.submit(request) for request in make_requests(4)]
+        service.start()
+        report = service.stop()
+        assert report["shed"] == 0
+        assert report["clean"] is True
+        assert report["pool"] is None or report["pool"]["killed"] == 0
+        assert all(handle.result(timeout=1.0).ok for handle in handles)
+
+    def test_stop_is_idempotent(self, plan):
+        service = InferenceService(plan)
+        service.start()
+        first = service.stop()
+        second = service.stop()
+        assert first["clean"] is True
+        assert second["shed"] == 0
+
+    def test_stats_dict_has_robustness_counters(self, plan):
+        snapshot = InferenceService(plan).stats.to_dict()
+        for key in ("retried", "quarantined", "errors", "expired", "degraded"):
+            assert key in snapshot
