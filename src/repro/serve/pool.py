@@ -97,7 +97,16 @@ def _worker_main(conn: connection.Connection) -> None:
         if message is None:
             break
         batch, fault = message
-        if fault is not None and not _obey_fault(conn, fault):
+        if fault is not None and fault.kind == "corrupt":
+            # The garbage message *is* this request's one reply — the
+            # parent's quarantine path is the thing being exercised, so the
+            # normal execute-and-send path must not also answer.
+            try:
+                conn.send(("garbage", "not-a-result"))
+            except (BrokenPipeError, OSError):
+                pass
+            continue
+        if fault is not None and not _obey_fault(fault):
             continue
         start = time.perf_counter()
         try:
@@ -119,11 +128,14 @@ def _worker_main(conn: connection.Connection) -> None:
     conn.close()
 
 
-def _obey_fault(conn: connection.Connection, fault: FaultSpec) -> bool:
+def _obey_fault(fault: FaultSpec) -> bool:
     """Apply one injected fault worker-side; False skips normal execution.
 
     ``raise`` returns True — it fires *inside* the execution try block so
     the structured-error reply path is the thing being exercised.
+    ``corrupt`` never reaches here: the worker loop answers it inline (the
+    garbage message is the request's one reply), keeping this helper free
+    of the reply channel entirely.
     """
     if fault.kind == "kill":
         os._exit(13)
@@ -133,12 +145,6 @@ def _obey_fault(conn: connection.Connection, fault: FaultSpec) -> bool:
     if fault.kind == "delay":
         time.sleep(fault.delay_s)
         return True
-    if fault.kind == "corrupt":
-        try:
-            conn.send(("garbage", "not-a-result"))
-        except (BrokenPipeError, OSError):
-            pass
-        return False
     return True  # "raise" is handled by the caller inside its try block
 
 

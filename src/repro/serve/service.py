@@ -491,7 +491,8 @@ class InferenceService:
                 if self._stopping:
                     self._backlog.extend(self._batcher.drain())
                 else:
-                    self._backlog.extend(self._batcher.poll(now))
+                    due = self._batcher.poll(now)  # staticcheck: ignore[SC007] -- in-memory poll
+                    self._backlog.extend(due)
                 idle = not self._backlog and not self._inflight
                 if idle and not self._stopping:
                     deadline = self._batcher.next_deadline()

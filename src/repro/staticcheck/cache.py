@@ -1,0 +1,168 @@
+"""Content-addressed persistence for parsed modules and effect summaries.
+
+Three caches back the ``--cache-dir`` CLI flag, all keyed by source content
+hashes so stale entries are impossible by construction (an edited file has
+a new digest and simply misses):
+
+* :class:`ParseCache` — one pickled
+  :class:`~repro.staticcheck.project.ModuleInfo` per (display path, source
+  digest), skipping the parse and the import/definition indexing of
+  unchanged files;
+* :class:`SummaryCache` — the whole dataflow artifact set of one project
+  (the :class:`~repro.staticcheck.effects.FunctionSummary` map, the call
+  graph edges and the lock registry), keyed by the digest of every indexed
+  file's (path, hash) pair, skipping the call-graph build, the effect
+  scanner and both fixpoints on a warm full-repo run;
+* :class:`FindingsCache` — the raw (pre-suppression) findings of the
+  ordinary rules, keyed by the same project digest plus the executed rule
+  ids.  Rules are pure functions of the index, so a warm unchanged run can
+  skip them wholesale; post rules (SC008) re-run every time — they are
+  cheap and depend only on cached inputs.
+
+Every key is salted with a cache schema version and the running Python
+minor version (AST shapes differ across versions), and writes go through a
+unique temp file plus :func:`os.replace` — the same atomic, multi-writer
+safe discipline as :mod:`repro.eval.store`.  A corrupt or unreadable entry
+is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+from pathlib import Path
+
+from .effects import FunctionSummary
+from .findings import Finding
+from .project import ModuleInfo, ProjectIndex
+
+__all__ = ["CACHE_VERSION", "FindingsCache", "ParseCache", "SummaryCache"]
+
+#: Bumped whenever the pickled shapes (ModuleInfo/FunctionSummary fields,
+#: scanner semantics baked into summaries) change.
+CACHE_VERSION = 1
+
+
+def _salt() -> bytes:
+    return (
+        f"staticcheck-cache-v{CACHE_VERSION}"
+        f"-py{sys.version_info[0]}.{sys.version_info[1]}"
+    ).encode()
+
+
+def _key(*parts: str) -> str:
+    digest = hashlib.blake2b(_salt(), digest_size=16)
+    for part in parts:
+        digest.update(b"\x00")
+        digest.update(part.encode())
+    return digest.hexdigest()
+
+
+class _PickleStore:
+    """A directory of atomically written pickle blobs keyed by digest."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def load(self, key: str) -> object | None:
+        try:
+            return pickle.loads((self.root / f"{key}.pkl").read_bytes())
+        except Exception:
+            return None  # a miss, a corrupt entry, or an unreadable one
+
+    def store(self, key: str, value: object) -> None:
+        final = self.root / f"{key}.pkl"
+        tmp = self.root / f".tmp-{os.getpid()}-{key}.pkl"
+        try:
+            tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            os.replace(tmp, final)
+        except OSError:
+            tmp.unlink(missing_ok=True)  # caching is best-effort
+
+
+class ParseCache:
+    """Per-file cache of parsed+indexed :class:`ModuleInfo` records."""
+
+    def __init__(self, cache_dir: Path) -> None:
+        self._store = _PickleStore(Path(cache_dir) / "modules")
+
+    def load(self, display_path: str, content_hash: str) -> ModuleInfo | None:
+        value = self._store.load(_key(display_path, content_hash))
+        return value if isinstance(value, ModuleInfo) else None
+
+    def store(self, display_path: str, content_hash: str, module: ModuleInfo) -> None:
+        self._store.store(_key(display_path, content_hash), module)
+
+
+#: (summaries, call-graph edges, module-level locks, per-class lock attrs).
+FlowArtifacts = tuple[
+    dict[str, FunctionSummary],
+    dict[str, tuple[str, ...]],
+    set[str],
+    dict[str, set[str]],
+]
+
+
+class SummaryCache:
+    """Whole-project cache of the dataflow artifacts."""
+
+    def __init__(self, cache_dir: Path) -> None:
+        self._store = _PickleStore(Path(cache_dir) / "summaries")
+
+    def load(self, index: ProjectIndex) -> FlowArtifacts | None:
+        value = self._store.load(project_key(index))
+        if not isinstance(value, tuple) or len(value) != 4:
+            return None
+        summaries, edges, module_locks, class_locks = value
+        if not (
+            isinstance(summaries, dict)
+            and isinstance(edges, dict)
+            and isinstance(module_locks, set)
+            and isinstance(class_locks, dict)
+        ):
+            return None
+        for key, summary in summaries.items():
+            if not isinstance(key, str) or not isinstance(summary, FunctionSummary):
+                return None
+        return summaries, edges, module_locks, class_locks
+
+    def store(self, index: ProjectIndex, artifacts: FlowArtifacts) -> None:
+        self._store.store(project_key(index), artifacts)
+
+
+def project_key(index: ProjectIndex) -> str:
+    """Digest over every indexed file's (display path, content hash) pair."""
+    items = sorted(
+        (module.display_path, module.content_hash) for module in index.all_modules
+    )
+    return _key(*(part for item in items for part in item))
+
+
+class FindingsCache:
+    """Whole-project cache of the ordinary rules' raw findings."""
+
+    def __init__(self, cache_dir: Path) -> None:
+        self._store = _PickleStore(Path(cache_dir) / "findings")
+
+    @staticmethod
+    def _run_key(index: ProjectIndex, rule_ids: frozenset[str]) -> str:
+        return _key(project_key(index), *sorted(rule_ids))
+
+    def load(
+        self, index: ProjectIndex, rule_ids: frozenset[str]
+    ) -> list[Finding] | None:
+        value = self._store.load(self._run_key(index, rule_ids))
+        if not isinstance(value, list):
+            return None
+        for finding in value:
+            if not isinstance(finding, Finding):
+                return None
+        return value
+
+    def store(
+        self, index: ProjectIndex, rule_ids: frozenset[str], findings: list[Finding]
+    ) -> None:
+        self._store.store(self._run_key(index, rule_ids), findings)

@@ -7,7 +7,13 @@ Exit codes follow the usual linter contract:
 * ``2`` — usage error: unknown rule id, or a path that does not exist.
 
 ``--format json`` (and ``--output FILE``, which always writes JSON) emit a
-machine-readable report; CI uploads it as an artifact when the gate fails.
+machine-readable report; ``--format sarif`` emits a SARIF 2.1.0 log for
+code-scanning ingestion.  ``--cache-dir DIR`` persists parsed modules and
+effect summaries keyed by source content hashes, making warm re-runs over
+an unchanged tree nearly parse-free.  ``--paths PREFIX[,PREFIX...]``
+restricts *reporting* to files under the given prefixes while the whole
+positional tree is still indexed — the call graph stays complete, so
+interprocedural findings in the filtered files remain correct.
 """
 
 from __future__ import annotations
@@ -18,14 +24,17 @@ import sys
 from pathlib import Path
 from typing import Any, TextIO
 
+from .cache import FindingsCache, ParseCache
 from .findings import Finding
+from .flow import FlowAnalysis
 from .project import ProjectIndex
 from .registry import Rule, UnknownRuleError, get_rules
+from .sarif import to_sarif
 
 __all__ = ["main"]
 
 #: Bumped when the JSON report schema changes shape.
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 _DEFAULT_PATHS = ("src",)
 
@@ -43,13 +52,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format on stdout (default: text)",
     )
     parser.add_argument(
         "--rules",
         help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--paths",
+        dest="report_paths",
+        metavar="PREFIX[,PREFIX...]",
+        help=(
+            "only report findings for files under these path prefixes "
+            "(the full positional tree is still indexed for the call graph)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        metavar="DIR",
+        help="persist parse/summary caches under DIR (content-hash keyed)",
     )
     parser.add_argument(
         "--output",
@@ -84,7 +108,7 @@ def _split_findings(
     index: ProjectIndex, findings: list[Finding]
 ) -> tuple[list[Finding], list[Finding]]:
     """Partition into (active, suppressed) via inline ignore comments."""
-    by_path = {module.display_path: module.suppressions for module in index.modules.values()}
+    by_path = {module.display_path: module.suppressions for module in index.all_modules}
     active: list[Finding] = []
     suppressed: list[Finding] = []
     for finding in findings:
@@ -94,6 +118,18 @@ def _split_findings(
         else:
             active.append(finding)
     return active, suppressed
+
+
+def _path_filter(prefixes: list[str]) -> Any:
+    normalised = [prefix.rstrip("/") for prefix in prefixes if prefix.strip()]
+
+    def matches(finding: Finding) -> bool:
+        return any(
+            finding.path == prefix or finding.path.startswith(prefix + "/")
+            for prefix in normalised
+        )
+
+    return matches
 
 
 def _report(
@@ -115,7 +151,7 @@ def _report(
             for rule in rules
         ],
         "paths": list(paths),
-        "files_scanned": len(index.modules) + len(index.parse_errors),
+        "files_scanned": len(index.all_modules) + len(index.parse_errors),
         "findings": [finding.to_dict() for finding in active],
         "suppressed": len(suppressed),
         "parse_errors": [
@@ -169,11 +205,42 @@ def main(argv: list[str] | None = None) -> int:
         print("error: no Python files found under the given paths", file=sys.stderr)
         return 2
 
-    index = ProjectIndex.from_files(files)
-    findings: list[Finding] = []
-    for rule in rules:
-        findings.extend(rule.run(index))
-    active, suppressed = _split_findings(index, sorted(findings))
+    cache = ParseCache(args.cache_dir) if args.cache_dir is not None else None
+    index = ProjectIndex.from_files(files, cache=cache)
+
+    ordinary = [rule for rule in rules if not rule.is_post]
+    post = [rule for rule in rules if rule.is_post]
+    ordinary_ids = frozenset(rule.rule_id for rule in ordinary)
+    findings_cache = (
+        FindingsCache(args.cache_dir) if args.cache_dir is not None else None
+    )
+    raw = (
+        findings_cache.load(index, ordinary_ids)
+        if findings_cache is not None
+        else None
+    )
+    if raw is None:
+        # Precompute (and with --cache-dir, persist) the shared dataflow
+        # layer so every interprocedural rule hits the memo instead of
+        # re-deriving it.
+        FlowAnalysis.for_index(index, cache_dir=args.cache_dir)
+        raw = []
+        for rule in ordinary:
+            raw.extend(rule.run(index))
+        raw.sort()
+        if findings_cache is not None:
+            findings_cache.store(index, ordinary_ids, raw)
+    active, suppressed = _split_findings(index, raw)
+    # Post rules see the raw findings (a suppressed finding still *matches*
+    # its suppression) and their own findings cannot be suppressed.
+    for rule in post:
+        active.extend(rule.run_post(index, raw, ordinary_ids))
+    active.sort()
+
+    if args.report_paths is not None:
+        matches = _path_filter(args.report_paths.split(","))
+        active = [finding for finding in active if matches(finding)]
+        suppressed = [finding for finding in suppressed if matches(finding)]
 
     report = _report(
         rules=rules,
@@ -186,6 +253,8 @@ def main(argv: list[str] | None = None) -> int:
         args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     if args.format == "json":
         print(json.dumps(report, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(report), indent=2))
     else:
         _print_text(report, active, sys.stdout)
 

@@ -21,11 +21,16 @@ checker can run on broken working trees and on test fixtures alike.
 from __future__ import annotations
 
 import ast
+import hashlib
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .suppressions import Suppressions
+
+if TYPE_CHECKING:
+    from .cache import ParseCache
 
 __all__ = [
     "ClassInfo",
@@ -149,6 +154,8 @@ class ModuleInfo:
     imports: dict[str, str] = field(default_factory=dict)
     functions: dict[str, FunctionInfo] = field(default_factory=dict)
     classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: blake2b digest of the source bytes (the parse/summary cache key).
+    content_hash: str = ""
 
     @property
     def package(self) -> str:
@@ -180,6 +187,10 @@ class ProjectIndex:
 
     def __init__(self) -> None:
         self.modules: dict[str, ModuleInfo] = {}
+        #: Every parsed file, in add order — ``modules`` is keyed by dotted
+        #: name and free-standing files can collide on their stem (two
+        #: ``conftest.py``), so reporting iterates this list instead.
+        self.all_modules: list[ModuleInfo] = []
         #: Every function and method, by qualified name.
         self.functions: dict[str, FunctionInfo] = {}
         self.classes: dict[str, ClassInfo] = {}
@@ -189,18 +200,31 @@ class ProjectIndex:
 
     # ------------------------------ loading ------------------------------ #
     @classmethod
-    def from_files(cls, paths: Iterable[Path]) -> ProjectIndex:
+    def from_files(
+        cls, paths: Iterable[Path], cache: ParseCache | None = None
+    ) -> ProjectIndex:
         index = cls()
         for path in paths:
-            index.add_file(path)
+            index.add_file(path, cache=cache)
         return index
 
-    def add_file(self, path: Path) -> None:
+    def add_file(self, path: Path, cache: ParseCache | None = None) -> None:
         display = str(path)
         try:
-            source = path.read_text(encoding="utf-8")
+            raw = path.read_bytes()
+            source = raw.decode("utf-8")
+        except (OSError, ValueError) as exc:
+            self.parse_errors.append((display, str(exc)))
+            return
+        digest = hashlib.blake2b(raw, digest_size=16).hexdigest()
+        if cache is not None:
+            module = cache.load(display, digest)
+            if module is not None:
+                self._register(module)
+                return
+        try:
             tree = ast.parse(source, filename=display)
-        except (OSError, SyntaxError, ValueError) as exc:
+        except (SyntaxError, ValueError) as exc:
             self.parse_errors.append((display, str(exc)))
             return
         module = ModuleInfo(
@@ -210,10 +234,25 @@ class ProjectIndex:
             tree=tree,
             source=source,
             suppressions=Suppressions(source),
+            content_hash=digest,
         )
         self._index_imports(module)
         self._index_definitions(module)
+        if cache is not None:
+            cache.store(display, digest, module)
+        self._register(module)
+
+    def _register(self, module: ModuleInfo) -> None:
+        """Fold one (freshly parsed or cache-loaded) module into the maps."""
+        self.all_modules.append(module)
         self.modules[module.name] = module
+        for info in module.functions.values():
+            self.functions[info.qualname] = info
+        for cls_info in module.classes.values():
+            self.classes[cls_info.qualname] = cls_info
+            for method in cls_info.methods.values():
+                self.functions[method.qualname] = method
+                self.methods_by_name.setdefault(method.name, []).append(method)
 
     def _index_imports(self, module: ModuleInfo) -> None:
         for node in ast.walk(module.tree):
@@ -246,7 +285,8 @@ class ProjectIndex:
             base_parts.append(node.module)
         return ".".join(base_parts)
 
-    def _index_definitions(self, module: ModuleInfo) -> None:
+    @staticmethod
+    def _index_definitions(module: ModuleInfo) -> None:
         for stmt in module.tree.body:
             if isinstance(stmt, FunctionNode):
                 info = FunctionInfo(
@@ -256,7 +296,6 @@ class ProjectIndex:
                     node=stmt,
                 )
                 module.functions[stmt.name] = info
-                self.functions[info.qualname] = info
             elif isinstance(stmt, ast.ClassDef):
                 cls_info = ClassInfo(
                     qualname=f"{module.name}.{stmt.name}",
@@ -278,10 +317,7 @@ class ProjectIndex:
                             cls=cls_info,
                         )
                         cls_info.methods[sub.name] = method
-                        self.functions[method.qualname] = method
-                        self.methods_by_name.setdefault(sub.name, []).append(method)
                 module.classes[stmt.name] = cls_info
-                self.classes[cls_info.qualname] = cls_info
 
     # ----------------------------- resolution ----------------------------- #
     def resolve_class(self, module: ModuleInfo, chain: str) -> ClassInfo | None:

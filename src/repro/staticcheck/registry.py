@@ -16,9 +16,22 @@ from dataclasses import dataclass
 from .findings import Finding
 from .project import ProjectIndex
 
-__all__ = ["Rule", "UnknownRuleError", "all_rules", "get_rules", "rule"]
+__all__ = [
+    "PostCheck",
+    "Rule",
+    "RuleCheck",
+    "UnknownRuleError",
+    "all_rules",
+    "get_rules",
+    "post_rule",
+    "rule",
+]
 
 RuleCheck = Callable[[ProjectIndex], list[Finding]]
+#: A post rule sees the raw (pre-suppression) findings of every ordinary
+#: rule that ran, plus the set of rule ids that were executed — the shape
+#: the SC008 suppression-hygiene check needs.
+PostCheck = Callable[[ProjectIndex, "list[Finding]", frozenset[str]], "list[Finding]"]
 
 
 class UnknownRuleError(KeyError):
@@ -27,15 +40,35 @@ class UnknownRuleError(KeyError):
 
 @dataclass(frozen=True)
 class Rule:
-    """One registered contract check."""
+    """One registered contract check.
+
+    Exactly one of ``check`` (an ordinary rule over the index) and
+    ``post_check`` (a meta rule over the other rules' raw findings) is set.
+    Post-rule findings are exempt from inline suppression — a hygiene
+    violation cannot be ignored away by the mechanism it polices.
+    """
 
     rule_id: str
     name: str
     description: str
-    check: RuleCheck
+    check: RuleCheck | None = None
+    post_check: PostCheck | None = None
+
+    @property
+    def is_post(self) -> bool:
+        return self.post_check is not None
 
     def run(self, index: ProjectIndex) -> list[Finding]:
+        if self.check is None:
+            return []
         return sorted(self.check(index))
+
+    def run_post(
+        self, index: ProjectIndex, findings: list[Finding], executed: frozenset[str]
+    ) -> list[Finding]:
+        if self.post_check is None:
+            return []
+        return sorted(self.post_check(index, findings, executed))
 
 
 _RULES: dict[str, Rule] = {}
@@ -49,6 +82,22 @@ def rule(rule_id: str, name: str, description: str) -> Callable[[RuleCheck], Rul
             raise ValueError(f"rule {rule_id!r} is already registered")
         _RULES[rule_id] = Rule(
             rule_id=rule_id, name=name, description=description, check=check
+        )
+        return check
+
+    return register
+
+
+def post_rule(
+    rule_id: str, name: str, description: str
+) -> Callable[[PostCheck], PostCheck]:
+    """Register a post check (runs after ordinary rules, over their findings)."""
+
+    def register(check: PostCheck) -> PostCheck:
+        if rule_id in _RULES:
+            raise ValueError(f"rule {rule_id!r} is already registered")
+        _RULES[rule_id] = Rule(
+            rule_id=rule_id, name=name, description=description, post_check=check
         )
         return check
 

@@ -1,11 +1,30 @@
 """Built-in contract rules.
 
 Importing this package registers every rule with the registry; the modules
-self-register via the :func:`repro.staticcheck.registry.rule` decorator.
+self-register via the :func:`repro.staticcheck.registry.rule` (or
+:func:`~repro.staticcheck.registry.post_rule`) decorator.
 """
 
 from __future__ import annotations
 
-from . import cachekey, kernels, parity, purity
+from . import (
+    cachekey,
+    hygiene,
+    kernels,
+    lifecycle,
+    locks,
+    parity,
+    purity,
+    replies,
+)
 
-__all__ = ["cachekey", "kernels", "parity", "purity"]
+__all__ = [
+    "cachekey",
+    "hygiene",
+    "kernels",
+    "lifecycle",
+    "locks",
+    "parity",
+    "purity",
+    "replies",
+]

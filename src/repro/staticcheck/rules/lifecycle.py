@@ -1,0 +1,285 @@
+"""SC006 — resource lifecycle: spawned/opened resources reach a bounded end.
+
+Serving survives worker faults only because every resource the stack
+creates — worker processes, duplex pipes, queues, sockets, opened files,
+executors — is *owned* by something that releases it in bounded time
+(``close``/``terminate``/``kill``/``shutdown`` or ``join`` **with a
+timeout**).  This rule makes that ownership structural:
+
+* a resource constructed in a function must be (a) managed by a ``with``
+  statement, (b) released in the same function, (c) handed off — returned,
+  yielded, passed to a call, or stored into a container/attribute (the new
+  owner is then checked at its own scope), or (d) bound to ``self.attr``,
+  in which case *some* method of the class must release that attribute;
+* both ends of a ``Pipe()`` pair are tracked separately;
+* a constructed resource discarded as a bare expression statement can never
+  be released and is always flagged;
+* every **bare ``join()``** (no timeout) anywhere in the tree is an
+  unbounded-shutdown hazard: a wedged worker blocks it forever.  The
+  serving contract is ``join(timeout=...)`` with terminate/kill
+  escalation, as :meth:`repro.serve.pool.WorkerPool.close` does.
+
+The analysis is presence-based per scope (release *somewhere* in the
+owning function/class counts); ``with`` and ``finally`` remain the only
+forms the rule can prove correct on every path, and the docs recommend
+them.  Each function is scanned in one pass into a :class:`_Facts` record;
+per-class release sets are shared across that class's methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .. import effects
+from ..findings import Finding
+from ..project import ClassInfo, FunctionInfo, ProjectIndex, dotted_chain
+from ..registry import rule
+
+__all__ = ["check_resource_lifecycle"]
+
+RULE_ID = "SC006"
+
+_RELEASE_ATTRS = frozenset(
+    {"close", "terminate", "kill", "shutdown", "release", "cancel", "unlink"}
+)
+
+
+def _walk_no_nested_defs(node: ast.AST) -> Iterator[ast.AST]:
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+@dataclass
+class _Facts:
+    """Everything one pass over a function body collects for this rule."""
+
+    #: Resource ctor discarded as a bare expression statement: unfixable.
+    drops: list[tuple[ast.Call, str]] = field(default_factory=list)
+    #: Resource ctor bound by a plain assignment: (call, kind, names, attrs).
+    binds: list[tuple[ast.Call, str, list[str], list[str]]] = field(
+        default_factory=list
+    )
+    #: Receiver chains of close/terminate/.../join(timeout) calls.
+    release_chains: list[str] = field(default_factory=list)
+    #: Full dotted chains handed to other calls as arguments.
+    arg_chains: set[str] = field(default_factory=set)
+    #: Head variables that escape (returned, yielded, stored, with-managed).
+    escape_heads: set[str] = field(default_factory=set)
+    bare_joins: list[ast.Call] = field(default_factory=list)
+
+
+def _is_release_attr_call(node: ast.Call) -> str | None:
+    """Receiver chain when the call is a bounded release, else ``None``."""
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    if node.func.attr not in _RELEASE_ATTRS and not (
+        node.func.attr == "join" and (node.args or node.keywords)
+    ):
+        return None
+    return dotted_chain(node.func.value)
+
+
+def _assigned_names(assign: ast.Assign) -> tuple[list[str], list[str]]:
+    """Local names and ``self.<attr>`` attrs bound by one assignment."""
+    names: list[str] = []
+    attrs: list[str] = []
+    for target in assign.targets:
+        elements = (
+            list(target.elts) if isinstance(target, (ast.Tuple, ast.List)) else [target]
+        )
+        for element in elements:
+            if isinstance(element, ast.Name):
+                names.append(element.id)
+            elif (
+                isinstance(element, ast.Attribute)
+                and isinstance(element.value, ast.Name)
+                and element.value.id == "self"
+            ):
+                attrs.append(element.attr)
+    return names, attrs
+
+
+def _add_head(chains: set[str], node: ast.expr) -> None:
+    chain = dotted_chain(node)
+    if chain is not None:
+        chains.add(chain.partition(".")[0])
+
+
+def _scan(info: FunctionInfo) -> _Facts:
+    facts = _Facts()
+    module = info.module
+    for node in _walk_no_nested_defs(info.node):
+        if isinstance(node, ast.Call):
+            if effects.is_bare_join(node):
+                facts.bare_joins.append(node)
+            receiver = _is_release_attr_call(node)
+            if receiver is not None:
+                facts.release_chains.append(receiver)
+            for arg in node.args:
+                chain = dotted_chain(arg)
+                if chain is not None:
+                    facts.arg_chains.add(chain)
+            for kw in node.keywords:
+                chain = dotted_chain(kw.value)
+                if chain is not None:
+                    facts.arg_chains.add(chain)
+        elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            value = node.value
+            if value is None:
+                continue
+            elements = (
+                list(value.elts)
+                if isinstance(value, (ast.Tuple, ast.List))
+                else [value]
+            )
+            for element in elements:
+                _add_head(facts.escape_heads, element)
+        elif isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Call):
+                kind = effects.resource_kind(module, node.value)
+                if kind is not None:
+                    names, attrs = _assigned_names(node)
+                    facts.binds.append((node.value, kind, names, attrs))
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    _add_head(facts.escape_heads, node.value)
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            kind = effects.resource_kind(module, node.value)
+            if kind is not None:
+                facts.drops.append((node.value, kind))
+        elif isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            for element in node.elts:
+                _add_head(facts.escape_heads, element)
+        elif isinstance(node, ast.Dict):
+            for element in node.values:
+                _add_head(facts.escape_heads, element)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                _add_head(facts.escape_heads, item.context_expr)
+    return facts
+
+
+def _name_handled(facts: _Facts, name: str) -> bool:
+    if name in facts.escape_heads:
+        return True
+    prefix = name + "."
+    for chain in facts.arg_chains:
+        if chain.partition(".")[0] == name:
+            return True
+    return any(
+        chain == name or chain.startswith(prefix) for chain in facts.release_chains
+    )
+
+
+class _Checker:
+    """Runs the rule over the index, sharing per-function/per-class facts."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self._facts: dict[str, _Facts] = {}
+        self._class_released: dict[str, set[str]] = {}
+        self.findings: list[Finding] = []
+
+    def facts(self, info: FunctionInfo) -> _Facts:
+        cached = self._facts.get(info.qualname)
+        if cached is None:
+            cached = _scan(info)
+            self._facts[info.qualname] = cached
+        return cached
+
+    def _released_attrs(self, cls: ClassInfo) -> set[str]:
+        """``self.<attr>`` names some method releases or hands off."""
+        cached = self._class_released.get(cls.qualname)
+        if cached is not None:
+            return cached
+        released: set[str] = set()
+        for method in cls.methods.values():
+            facts = self.facts(method)
+            for chain in list(facts.release_chains) + sorted(facts.arg_chains):
+                parts = chain.split(".")
+                if parts[0] == "self" and len(parts) >= 2:
+                    released.add(parts[1])
+        self._class_released[cls.qualname] = released
+        return released
+
+    def _flag(self, info: FunctionInfo, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=info.module.display_path,
+                line=getattr(node, "lineno", info.node.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule=RULE_ID,
+                symbol=info.qualname,
+                message=message,
+            )
+        )
+
+    def check(self, info: FunctionInfo) -> None:
+        facts = self.facts(info)
+        for call, kind in facts.drops:
+            self._flag(
+                info,
+                call,
+                f"{kind} constructed and discarded: the result is never "
+                "released; bind it and close/terminate it, or manage it "
+                "with a with statement",
+            )
+        for call, kind, names, attrs in facts.binds:
+            for name in names:
+                if _name_handled(facts, name):
+                    continue
+                self._flag(
+                    info,
+                    call,
+                    f"{kind} bound to {name!r} is never released in this "
+                    "function and never handed off; close/terminate/"
+                    "join(timeout=...) it on every path (a with statement "
+                    "or finally block is the provable form)",
+                )
+            for attr in attrs:
+                cls = info.cls
+                if cls is None or attr in self._released_attrs(cls):
+                    continue
+                self._flag(
+                    info,
+                    call,
+                    f"{kind} stored on self.{attr} but no method of "
+                    f"{cls.name} releases it; add a close()/stop() path "
+                    "with a bounded join",
+                )
+        for join in facts.bare_joins:
+            receiver = (
+                dotted_chain(join.func.value)
+                if isinstance(join.func, ast.Attribute)
+                else None
+            )
+            shown = receiver or "<expr>"
+            self._flag(
+                info,
+                join,
+                f"bare {shown}.join() waits forever on a wedged "
+                "process/thread; pass a timeout and escalate to "
+                "terminate()/kill() like WorkerPool.close does",
+            )
+
+
+@rule(
+    RULE_ID,
+    "resource-lifecycle",
+    "every spawned process/thread, queue/pipe/socket and opened file must "
+    "reach a bounded release (with-managed, closed/terminated locally, or "
+    "owned by a class that releases it); bare join() without a timeout is "
+    "an unbounded-shutdown hazard",
+)
+def check_resource_lifecycle(index: ProjectIndex) -> list[Finding]:
+    checker = _Checker(index)
+    for info in sorted(index.iter_functions(), key=lambda f: f.qualname):
+        checker.check(info)
+    return checker.findings

@@ -1,0 +1,298 @@
+"""SC007 — lock discipline: bounded critical sections, one global lock order.
+
+Two families of deadlock the serving stack must stay free of:
+
+* **blocking under a lock** — a critical section that performs a blocking
+  queue/pipe operation, joins a process, sleeps, or calls a helper whose
+  effect summary says it (transitively) blocks or spawns.  A worker stall
+  then wedges every thread contending for that lock; the repo's own
+  discipline (see ``repro.serve.service``) is to drain queues and join
+  workers strictly *outside* ``with self._condition:`` blocks.
+  ``Condition.wait`` on the *held* lock is exempt — waiting releases it.
+
+* **lock-order inversion** — two locks acquired in opposite orders on two
+  code paths.  The rule collects every nested acquisition (``with a:`` then
+  ``with b:``, direct ``.acquire()`` calls, and lock sets acquired
+  transitively by callees, via the summaries' ``acquires``) into one
+  project-global order graph over resolved lock identities and flags every
+  strongly connected component of two or more locks.
+
+Lock identities come from :class:`repro.staticcheck.flow.LockRegistry`
+(module-level locks, ``self.attr`` locks resolved to their defining class)
+plus function-local constructions tracked here; re-acquiring the lock
+already held is *not* recorded as an order edge (``RLock`` re-entry is
+legitimate).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .. import effects
+from ..findings import Finding
+from ..flow import FlowAnalysis, resolve_call_targets
+from ..project import FunctionInfo, ProjectIndex, dotted_chain
+from ..registry import rule
+
+__all__ = ["check_lock_discipline"]
+
+RULE_ID = "SC007"
+
+#: Effect kinds a callee summary may not contain when called under a lock.
+_HAZARD_KINDS = (effects.BLOCKING, effects.SPAWN)
+
+
+@dataclass(frozen=True)
+class _EdgeSite:
+    """First witness of one ``outer -> inner`` acquisition order."""
+
+    path: str
+    line: int
+    col: int
+    symbol: str
+
+
+class _HeldScan:
+    """One function pass: blocking-under-lock findings plus order edges."""
+
+    def __init__(
+        self, index: ProjectIndex, flow: FlowAnalysis, info: FunctionInfo
+    ) -> None:
+        self.index = index
+        self.flow = flow
+        self.info = info
+        self.module = info.module
+        self._local_locks: dict[str, str] = {}
+        self.held: list[str] = []
+        self.findings: list[Finding] = []
+        #: (outer, inner) -> witness, first one wins.
+        self.edges: dict[tuple[str, str], _EdgeSite] = {}
+
+    # ------------------------------ identity ------------------------------ #
+    def _lock_identity(self, chain: str | None) -> str | None:
+        if chain is None:
+            return None
+        local = self._local_locks.get(chain)
+        if local is not None:
+            return local
+        return self.flow.locks.resolve(self.index, self.info, chain)
+
+    def _site(self, node: ast.AST) -> _EdgeSite:
+        return _EdgeSite(
+            path=self.module.display_path,
+            line=getattr(node, "lineno", self.info.node.lineno),
+            col=getattr(node, "col_offset", 0),
+            symbol=self.info.qualname,
+        )
+
+    def _record_acquire(self, identity: str, node: ast.AST) -> None:
+        for outer in self.held:
+            if outer == identity:
+                continue  # RLock re-entry, not an ordering fact
+            self.edges.setdefault((outer, identity), self._site(node))
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.module.display_path,
+                line=getattr(node, "lineno", self.info.node.lineno),
+                col=getattr(node, "col_offset", 0),
+                rule=RULE_ID,
+                symbol=self.info.qualname,
+                message=message,
+            )
+        )
+
+    # ------------------------------ walking ------------------------------ #
+    def run(self) -> None:
+        self._walk_block(self.info.node.body)
+
+    def _walk_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions run in their own dynamic context
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            if effects.is_lock_constructor(self.module, stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._local_locks[target.id] = (
+                            f"{self.info.qualname}.<{target.id}>"
+                        )
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk_with(stmt)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._walk_expr(child)
+            elif isinstance(child, ast.stmt):
+                self._walk_stmt(child)
+            elif isinstance(child, (ast.excepthandler, ast.match_case)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.stmt):
+                        self._walk_stmt(sub)
+                    elif isinstance(sub, ast.expr):
+                        self._walk_expr(sub)
+
+    def _walk_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        pushed = 0
+        for item in stmt.items:
+            self._walk_expr(item.context_expr)
+            identity = self._lock_identity(dotted_chain(item.context_expr))
+            if identity is not None:
+                self._record_acquire(identity, item.context_expr)
+                self.held.append(identity)
+                pushed += 1
+        self._walk_block(stmt.body)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def _walk_expr(self, node: ast.expr) -> None:
+        stack: list[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.Lambda):
+                continue
+            if isinstance(current, ast.Call):
+                self._check_call(current)
+            stack.extend(ast.iter_child_nodes(current))
+
+    # ------------------------------- calls ------------------------------- #
+    def _check_call(self, node: ast.Call) -> None:
+        receiver = (
+            dotted_chain(node.func.value)
+            if isinstance(node.func, ast.Attribute)
+            else None
+        )
+        receiver_lock = self._lock_identity(receiver)
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "acquire":
+            if receiver_lock is not None:
+                self._record_acquire(receiver_lock, node)
+                return
+        if receiver_lock is not None and receiver_lock in self.held:
+            # Operations on the held lock itself: ``cond.wait()`` releases
+            # it while waiting, ``notify``/``release`` are non-blocking.
+            return
+        if not self.held:
+            return
+        held = self.held[-1]
+        blocking = effects.blocking_detail(self.module, node)
+        if blocking is not None:
+            self._flag(
+                node,
+                f"blocking operation {blocking} while holding {held}; a "
+                "stalled peer wedges every thread contending for the lock — "
+                "move the blocking call outside the critical section",
+            )
+            return
+        spawn = effects.spawn_detail(self.module, node)
+        if spawn is not None:
+            self._flag(
+                node,
+                f"spawns {spawn} while holding {held}; process/thread "
+                "startup is unbounded work inside a critical section",
+            )
+            return
+        for target in resolve_call_targets(self.index, self.info, node.func):
+            summary = self.flow.summary(target.qualname)
+            if summary is None:
+                continue
+            for identity in sorted(summary.acquires):
+                if identity != held:
+                    self.edges.setdefault(
+                        (held, identity), self._site(node)
+                    )
+            hazards = [k for k in _HAZARD_KINDS if k in summary.effects]
+            if hazards:
+                self._flag(
+                    node,
+                    f"calls {target.qualname} (transitively "
+                    f"{' and '.join(sorted(hazards))}) while holding {held}; "
+                    "move the call outside the critical section or split "
+                    "the helper",
+                )
+                return
+
+
+def _strongly_connected(nodes: set[str], succ: dict[str, set[str]]) -> list[list[str]]:
+    """SCCs of two or more locks, each sorted, in deterministic order."""
+    reach: dict[str, set[str]] = {}
+    for start in nodes:
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for nxt in succ.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        reach[start] = seen
+    groups: dict[frozenset[str], None] = {}
+    for a in nodes:
+        component = frozenset(
+            {a} | {b for b in reach[a] if a in reach.get(b, set())} & reach[a]
+        )
+        if len(component) >= 2:
+            groups.setdefault(component)
+    return sorted(sorted(group) for group in groups)
+
+
+@rule(
+    RULE_ID,
+    "lock-discipline",
+    "critical sections must stay bounded — no blocking queue/pipe ops, "
+    "process joins, spawns, or calls to transitively blocking helpers while "
+    "holding a lock — and all nested acquisitions must follow one global "
+    "lock order (the acquisition graph must be acyclic)",
+)
+def check_lock_discipline(index: ProjectIndex) -> list[Finding]:
+    flow = FlowAnalysis.for_index(index)
+    findings: list[Finding] = []
+    edges: dict[tuple[str, str], _EdgeSite] = {}
+    for info in sorted(index.iter_functions(), key=lambda f: f.qualname):
+        summary = flow.summary(info.qualname)
+        if summary is not None and effects.LOCK_ACQUIRE not in summary.direct:
+            # Nothing is ever held here (``with lock:`` and ``.acquire()``
+            # both leave a direct site), so neither finding kind can fire.
+            continue
+        scan = _HeldScan(index, flow, info)
+        scan.run()
+        findings.extend(scan.findings)
+        for edge, site in scan.edges.items():
+            edges.setdefault(edge, site)
+    succ: dict[str, set[str]] = {}
+    nodes: set[str] = set()
+    for outer, inner in edges:
+        succ.setdefault(outer, set()).add(inner)
+        nodes.update((outer, inner))
+    for component in _strongly_connected(nodes, succ):
+        members = set(component)
+        witnesses = sorted(
+            (edge, site)
+            for edge, site in edges.items()
+            if edge[0] in members and edge[1] in members
+        )
+        anchor = witnesses[0][1]
+        detail = "; ".join(
+            f"{outer} -> {inner} at {site.path}:{site.line}"
+            for (outer, inner), site in witnesses
+        )
+        findings.append(
+            Finding(
+                path=anchor.path,
+                line=anchor.line,
+                col=anchor.col,
+                rule=RULE_ID,
+                symbol=anchor.symbol,
+                message=(
+                    "lock-order cycle among {"
+                    + ", ".join(component)
+                    + "}: these locks are acquired in conflicting orders "
+                    "(" + detail + "); pick one global order"
+                ),
+            )
+        )
+    return findings

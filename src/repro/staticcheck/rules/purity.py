@@ -6,7 +6,9 @@ byte-identical records, and a cached record must stay valid forever (until
 the ``MODEL_VERSION`` salt is bumped).  Any nondeterminism inside a cell
 executor silently breaks both.
 
-The rule roots a call-graph walk at the cell-execution entry points:
+The rule roots a reachability walk over the shared
+:mod:`repro.staticcheck.flow` call graph at the cell-execution entry
+points:
 
 * every function passed as the ``execute=`` argument of a ``CellTask(...)``
   construction, and
@@ -14,22 +16,13 @@ The rule roots a call-graph walk at the cell-execution entry points:
   module that also defines the ``SweepRunner`` class (the runner's injectable
   executor surface).
 
-Every project function reachable from those roots (through module-level
-calls, imported names, ``self.``/``cls.`` methods, and attribute-call
-fan-out over method names defined by analyzed classes) is then scanned for
-the nondeterminism sources that would break the serial == parallel
-byte-identity contract:
-
-* wall-clock reads (any call into the ``time`` module),
-* legacy global-state RNG APIs (``random.*`` and ``numpy.random.*`` other
-  than the explicitly seeded generator constructors),
-* environment reads (``os.environ`` / ``os.getenv``), whose values differ
-  between hosts and worker processes,
-* iterating ``set``/``frozenset`` displays or constructor calls into ordered
-  outputs (``for`` targets, comprehensions and ``list``/``tuple``/
-  ``enumerate`` conversions) — set order is salted per process, so any
-  ordered output derived from it is nondeterministic.  Wrapping the set in
-  ``sorted(...)`` is the sanctioned fix.
+Every reachable function's effect summary is then filtered for the
+nondeterminism kinds that would break the serial == parallel byte-identity
+contract — wall-clock reads, legacy global-state RNG, environment reads,
+and set-order-dependent outputs (see
+:data:`repro.staticcheck.effects.PURITY_KINDS`); the sanctioned fixes are
+seeded ``np.random.default_rng`` generators and ``sorted(...)`` around set
+iteration.
 """
 
 from __future__ import annotations
@@ -37,46 +30,22 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
+from ..effects import PURITY_KINDS
 from ..findings import Finding
-from ..project import FunctionInfo, ModuleInfo, ProjectIndex, dotted_chain
+from ..flow import FlowAnalysis, reachable
+from ..project import FunctionInfo, ProjectIndex, dotted_chain
 from ..registry import rule
 
 __all__ = ["check_cell_purity"]
 
 RULE_ID = "SC001"
 
-#: ``numpy.random`` attributes that are deterministic-by-construction entry
-#: points (explicitly seeded generators), not legacy global-state APIs.
-_SEEDED_RNG_APIS = frozenset(
-    {
-        "default_rng",
-        "Generator",
-        "SeedSequence",
-        "BitGenerator",
-        "PCG64",
-        "PCG64DXSM",
-        "Philox",
-        "SFC64",
-        "MT19937",
-    }
-)
-
-#: Attribute-call fan-out: calls like ``kernel.estimate(...)`` cannot be
-#: resolved to a receiver type statically, so they conservatively reach every
-#: analyzed class method of that name — unless the name is so generic that it
-#: is defined by more than this many classes (a dict-like ``get`` would drag
-#: in the whole tree).
-_FANOUT_CAP = 16
-
-#: Builtins that construct sets, and builtins that materialise an iterable
-#: into an *ordered* output (the combination is the set-order hazard).
-_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
-_ORDERING_CONSUMERS = frozenset({"list", "tuple", "enumerate"})
-
 
 def _celltask_execute_roots(index: ProjectIndex) -> Iterator[tuple[FunctionInfo, str]]:
     """Functions passed as ``execute=`` to ``CellTask(...)`` constructions."""
-    for module in index.modules.values():
+    for module in index.all_modules:
+        if "CellTask" not in module.source:
+            continue  # cheap prefilter before the full tree walk
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -97,210 +66,12 @@ def _celltask_execute_roots(index: ProjectIndex) -> Iterator[tuple[FunctionInfo,
 
 def _executor_roots(index: ProjectIndex) -> Iterator[tuple[FunctionInfo, str]]:
     """Module-level ``*_executor`` functions next to the ``SweepRunner``."""
-    for module in index.modules.values():
+    for module in index.all_modules:
         if "SweepRunner" not in module.classes:
             continue
         for name, info in module.functions.items():
             if name.endswith("_executor"):
                 yield info, f"SweepRunner executor ({module.name})"
-
-
-class _CallCollector(ast.NodeVisitor):
-    """Collects resolvable call edges out of one function body."""
-
-    def __init__(self, index: ProjectIndex, info: FunctionInfo) -> None:
-        self.index = index
-        self.info = info
-        self.module: ModuleInfo = info.module
-        self.targets: list[FunctionInfo] = []
-
-    def visit_Call(self, node: ast.Call) -> None:
-        self._collect(node.func)
-        self.generic_visit(node)
-
-    def _collect(self, func: ast.expr) -> None:
-        chain = dotted_chain(func)
-        if chain is None:
-            return
-        head, _, rest = chain.partition(".")
-        if head in ("self", "cls") and self.info.cls is not None and rest:
-            method_name = rest.partition(".")[0]
-            target = self.index.resolve_method(self.info.cls, method_name)
-            if target is not None:
-                self.targets.append(target)
-            return
-        resolved = self.module.resolve(chain)
-        direct = self.index.functions.get(resolved)
-        if direct is not None:
-            self.targets.append(direct)
-            return
-        # A class constructor is an edge into ``__init__`` / ``__post_init__``.
-        cls = self.index.resolve_class(self.module, chain)
-        if cls is not None:
-            for name in ("__init__", "__post_init__"):
-                method = self.index.resolve_method(cls, name)
-                if method is not None:
-                    self.targets.append(method)
-            return
-        # Unresolved attribute call: fan out over analyzed methods of that
-        # name (receiver types are unknown statically).
-        if isinstance(func, ast.Attribute):
-            candidates = self.index.methods_by_name.get(func.attr, [])
-            if 0 < len(candidates) <= _FANOUT_CAP:
-                self.targets.extend(candidates)
-
-
-def _reachable(index: ProjectIndex) -> dict[str, str]:
-    """Qualname -> root provenance for every function reachable from the
-    cell-execution roots."""
-    provenance: dict[str, str] = {}
-    queue: list[FunctionInfo] = []
-    for info, origin in list(_celltask_execute_roots(index)) + list(
-        _executor_roots(index)
-    ):
-        if info.qualname not in provenance:
-            provenance[info.qualname] = origin
-            queue.append(info)
-    while queue:
-        info = queue.pop(0)
-        collector = _CallCollector(index, info)
-        collector.visit(info.node)
-        origin = provenance[info.qualname]
-        for target in collector.targets:
-            if target.qualname not in provenance:
-                provenance[target.qualname] = origin
-                queue.append(target)
-    return provenance
-
-
-def _is_set_display(module: ModuleInfo, node: ast.expr) -> bool:
-    """Whether the expression is syntactically a set: a ``{...}`` display, a
-    set comprehension, or a direct ``set(...)``/``frozenset(...)`` call."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        chain = dotted_chain(node.func)
-        if chain is not None and module.resolve(chain) in _SET_CONSTRUCTORS:
-            return True
-    return False
-
-
-class _PurityScanner(ast.NodeVisitor):
-    """Flags nondeterminism sources inside one reachable function."""
-
-    def __init__(self, info: FunctionInfo, origin: str) -> None:
-        self.info = info
-        self.module = info.module
-        self.origin = origin
-        self.findings: list[Finding] = []
-
-    def _flag(self, node: ast.AST, message: str) -> None:
-        line = getattr(node, "lineno", self.info.node.lineno)
-        col = getattr(node, "col_offset", 0)
-        self.findings.append(
-            Finding(
-                path=self.module.display_path,
-                line=line,
-                col=col,
-                rule=RULE_ID,
-                symbol=self.info.qualname,
-                message=f"{message} (reachable from {self.origin})",
-            )
-        )
-
-    # ------------------------- forbidden calls ------------------------- #
-    def visit_Call(self, node: ast.Call) -> None:
-        chain = dotted_chain(node.func)
-        if chain is not None:
-            resolved = self.module.resolve(chain)
-            self._check_call_target(node, resolved)
-            if resolved in _ORDERING_CONSUMERS and node.args:
-                if _is_set_display(self.module, node.args[0]):
-                    self._flag(
-                        node,
-                        f"{resolved}() over a set materialises salted set order "
-                        "into an ordered output; wrap the set in sorted(...)",
-                    )
-        self.generic_visit(node)
-
-    def _check_call_target(self, node: ast.Call, resolved: str) -> None:
-        if resolved == "time" or resolved.startswith("time."):
-            self._flag(
-                node,
-                f"calls {resolved}: wall-clock reads make cell results "
-                "irreproducible",
-            )
-        elif resolved == "random" or resolved.startswith("random."):
-            self._flag(
-                node,
-                f"calls {resolved}: the global random module is unseeded "
-                "process state; use a seeded np.random.default_rng",
-            )
-        elif resolved.startswith("numpy.random."):
-            api = resolved.split(".", 2)[2].partition(".")[0]
-            if api not in _SEEDED_RNG_APIS:
-                self._flag(
-                    node,
-                    f"calls {resolved}: legacy numpy global-state RNG; use a "
-                    "seeded np.random.default_rng",
-                )
-        elif resolved in ("os.getenv", "os.environ.get"):
-            self._flag(
-                node,
-                f"calls {resolved}: environment reads differ between hosts "
-                "and worker processes",
-            )
-
-    # ------------------------ environment reads ------------------------ #
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        chain = dotted_chain(node)
-        if chain is not None and self.module.resolve(chain) == "os.environ":
-            self._flag(
-                node,
-                "reads os.environ: environment state differs between hosts "
-                "and worker processes",
-            )
-            return  # the nested Name is part of the same chain
-        self.generic_visit(node)
-
-    def visit_Name(self, node: ast.Name) -> None:
-        if isinstance(node.ctx, ast.Load):
-            if self.module.resolve(node.id) == "os.environ":
-                self._flag(
-                    node,
-                    "reads os.environ: environment state differs between "
-                    "hosts and worker processes",
-                )
-        self.generic_visit(node)
-
-    # ------------------------- set iteration --------------------------- #
-    def _check_iteration(self, iterable: ast.expr) -> None:
-        if _is_set_display(self.module, iterable):
-            self._flag(
-                iterable,
-                "iterates a set into an ordered output; set order is salted "
-                "per process — wrap it in sorted(...)",
-            )
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iteration(node.iter)
-        self.generic_visit(node)
-
-    def _visit_comprehension(
-        self, node: ast.ListComp | ast.GeneratorExp | ast.DictComp | ast.SetComp
-    ) -> None:
-        for comp in node.generators:
-            self._check_iteration(comp.iter)
-        self.generic_visit(node)
-
-    def visit_ListComp(self, node: ast.ListComp) -> None:
-        self._visit_comprehension(node)
-
-    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
-        self._visit_comprehension(node)
-
-    def visit_DictComp(self, node: ast.DictComp) -> None:
-        self._visit_comprehension(node)
 
 
 @rule(
@@ -311,10 +82,25 @@ class _PurityScanner(ast.NodeVisitor):
     "set-order-dependent outputs)",
 )
 def check_cell_purity(index: ProjectIndex) -> list[Finding]:
+    flow = FlowAnalysis.for_index(index)
+    roots = list(_celltask_execute_roots(index)) + list(_executor_roots(index))
     findings: list[Finding] = []
-    for qualname, origin in sorted(_reachable(index).items()):
+    for qualname, origin in sorted(reachable(flow.graph, roots).items()):
+        summary = flow.summary(qualname)
+        if summary is None:
+            continue
         info = index.functions[qualname]
-        scanner = _PurityScanner(info, origin)
-        scanner.visit(info.node)
-        findings.extend(scanner.findings)
+        for site in summary.sites:
+            if site.kind not in PURITY_KINDS:
+                continue
+            findings.append(
+                Finding(
+                    path=info.module.display_path,
+                    line=site.line,
+                    col=site.col,
+                    rule=RULE_ID,
+                    symbol=qualname,
+                    message=f"{site.detail} (reachable from {origin})",
+                )
+            )
     return findings

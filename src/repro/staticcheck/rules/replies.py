@@ -1,0 +1,192 @@
+"""SC005 — reply protocol: handler loops answer every request exactly once.
+
+PR 9's serving stack guarantees *exactly one response per accepted
+request* dynamically (chaos-tested under worker kills, hangs and pipe
+corruption); this rule mirrors the guarantee statically over every
+**handler loop** in the tree — a ``for``/``while`` loop that both receives
+messages from a channel (``.recv()``/``.recv_bytes()``/``.readline()``
+calls, or iterating an ``rfile``) and emits replies on it (``.send*``
+calls, ``wfile`` writes, or helper calls that were handed the channel).
+
+Each loop iteration handles one received request, so the abstract path
+evaluator (:class:`repro.staticcheck.flow.ReplyEvaluator`) checks every
+normal, exception and ``finally`` path through one iteration:
+
+* a path that **falls through** to the next iteration without emitting a
+  reply silently drops a request — intentional no-reply paths (a shutdown
+  sentinel, an empty line) must exit via explicit ``continue``, ``break``
+  or ``return`` so the decision is visible;
+* a path that emits **two or more** replies for one request corrupts the
+  stream framing;
+* a path that **raises** out of the loop (uncaught by a catch-all handler)
+  before replying tears down the transport with the request unanswered.
+
+Reply counting is channel-aware and interprocedural: a helper's summary
+reply counts are charged only when the loop passes its channel to the
+helper, so serving work (``service.predict(...)``) submitted over *other*
+pipes never miscounts as a client reply.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .. import effects
+from ..findings import Finding
+from ..flow import FALL, RAISE, ZERO, FlowAnalysis, ReplyEvaluator
+from ..project import FunctionInfo, ProjectIndex, dotted_chain
+from ..registry import rule
+
+__all__ = ["check_reply_protocol"]
+
+RULE_ID = "SC005"
+
+_LOOP = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _shallow_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk without descending into nested loops or function definitions.
+
+    A receive op inside a nested loop anchors *that* loop, not this one.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(
+            current, _LOOP + (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _deep_walk(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk the whole loop body, skipping only nested function definitions."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _loop_channel(loop: ast.For | ast.AsyncFor | ast.While) -> str | None:
+    """The receive channel of a handler loop, or None for ordinary loops."""
+    if isinstance(loop, (ast.For, ast.AsyncFor)):
+        chain = dotted_chain(loop.iter)
+        if chain is not None and chain.split(".")[-1] == "rfile":
+            return chain
+    for node in _shallow_walk(loop):
+        if isinstance(node, ast.Call):
+            receiver = effects.receive_receiver(node)
+            if receiver is not None:
+                return receiver
+    return None
+
+
+def _loop_replies(
+    evaluator: ReplyEvaluator, loop: ast.For | ast.AsyncFor | ast.While
+) -> bool:
+    """Whether the loop body can reply *on its own channel*.
+
+    Channel-aware on purpose: a loop that receives on one pipe and sends
+    on others (the pool's ``collect`` dispatching work to workers) is the
+    client end of those pipes, not a request handler.
+    """
+    for node in _deep_walk(loop):
+        if isinstance(node, ast.Call) and evaluator.call_emits(node):
+            return True
+    return False
+
+
+def _handler_loops(
+    index: ProjectIndex, info: FunctionInfo, flow: FlowAnalysis
+) -> Iterator[tuple[ast.For | ast.AsyncFor | ast.While, str, ReplyEvaluator]]:
+    for node in _deep_walk(info.node):
+        if isinstance(node, _LOOP):
+            channel = _loop_channel(node)
+            if channel is None:
+                continue
+            evaluator = ReplyEvaluator(
+                index, info, flow.reply_counts, channel=channel
+            )
+            if _loop_replies(evaluator, node):
+                yield node, channel, evaluator
+
+
+@rule(
+    RULE_ID,
+    "reply-protocol",
+    "every path through a serve handler loop (normal, exception, finally) "
+    "must emit exactly one reply per received request — no silent drops, "
+    "no double replies, no raising out before answering",
+)
+def check_reply_protocol(index: ProjectIndex) -> list[Finding]:
+    flow = FlowAnalysis.for_index(index)
+    findings: list[Finding] = []
+    for info in sorted(index.iter_functions(), key=lambda f: f.qualname):
+        summary = flow.summary(info.qualname)
+        if summary is not None and (
+            effects.BLOCKING not in summary.direct
+            and effects.REPLY not in summary.effects
+        ):
+            # A handler loop needs a receive op here (a direct blocking
+            # site) or a reachable reply op; neither exists, so skip the
+            # body walk entirely.
+            continue
+        for loop, channel, evaluator in _handler_loops(index, info, flow):
+            outcomes, _ = evaluator.eval_block(list(loop.body), {ZERO})
+            seen: set[tuple[int, str]] = set()
+
+            def flag(line: int, message: str) -> None:
+                if (line, message) in seen:
+                    return
+                seen.add((line, message))
+                findings.append(
+                    Finding(
+                        path=info.module.display_path,
+                        line=line,
+                        col=loop.col_offset,
+                        rule=RULE_ID,
+                        symbol=info.qualname,
+                        message=message,
+                    )
+                )
+
+            ordered = sorted(
+                outcomes,
+                key=lambda o: (
+                    o.exit,
+                    o.val.count,
+                    o.val.first or 0,
+                    o.val.second or 0,
+                    o.line or 0,
+                ),
+            )
+            for outcome in ordered:
+                if outcome.val.count >= 2:
+                    flag(
+                        outcome.val.second or loop.lineno,
+                        "a path through this handler loop emits two or more "
+                        f"replies on {channel} for one received request; "
+                        "exactly one reply per request",
+                    )
+                elif outcome.exit == FALL and outcome.val.count == 0:
+                    flag(
+                        loop.lineno,
+                        "a path through this handler loop falls through "
+                        "without emitting a reply, silently dropping the "
+                        "received request; reply on every path (or make an "
+                        "intentional skip explicit with continue)",
+                    )
+                elif outcome.exit == RAISE and outcome.val.count == 0:
+                    flag(
+                        outcome.line or loop.lineno,
+                        "a path through this handler loop raises before any "
+                        "reply is emitted, tearing down the transport with "
+                        "the request unanswered; answer with a structured "
+                        "error reply instead",
+                    )
+    return findings

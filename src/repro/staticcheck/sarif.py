@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 rendering of a staticcheck report.
+
+``--format sarif`` converts the native JSON report (see
+:func:`repro.staticcheck.cli._report`) into a minimal, schema-valid SARIF
+log: one run, one driver carrying the executed rule metadata, one result
+per active finding and one per parse error.  Columns are converted from the
+``ast`` 0-indexed convention to SARIF's 1-indexed one.  GitHub code
+scanning and most SARIF viewers ingest this shape directly; the CI lint job
+uploads it as an artifact next to the JSON report.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["to_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(report: dict[str, Any]) -> dict[str, Any]:
+    """The SARIF 2.1.0 log equivalent to one native JSON report."""
+    driver_rules = [
+        {
+            "id": entry["id"],
+            "name": entry["name"],
+            "shortDescription": {"text": entry["description"]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for entry in report["rules"]
+    ]
+    rule_index = {entry["id"]: pos for pos, entry in enumerate(driver_rules)}
+    results: list[dict[str, Any]] = []
+    for finding in report["findings"]:
+        result: dict[str, Any] = {
+            "ruleId": finding["rule"],
+            "level": "error",
+            "message": {"text": f"{finding['symbol']}: {finding['message']}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding["path"]},
+                        "region": {
+                            "startLine": finding["line"],
+                            "startColumn": finding["col"] + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding["rule"] in rule_index:
+            result["ruleIndex"] = rule_index[finding["rule"]]
+        results.append(result)
+    for error in report["parse_errors"]:
+        results.append(
+            {
+                "ruleId": "parse-error",
+                "level": "error",
+                "message": {"text": error["error"]},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": error["path"]},
+                            "region": {"startLine": 1, "startColumn": 1},
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": report["tool"],
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -1,46 +1,99 @@
-"""Inline suppression comments: ``# staticcheck: ignore[RULE, ...]``.
+"""Inline suppression comments: ``# staticcheck: ignore[RULE, ...] -- why``.
 
 A finding is suppressed when the physical line it points at carries an
-ignore comment naming its rule (``# staticcheck: ignore[SC001]``, with a
-comma-separated list for several rules) or a blanket ignore with no rule
-list (``# staticcheck: ignore``).  Suppressions are per-line — there is no
-file- or block-level form — so every silenced violation stays visible next
-to the code it excuses.
+ignore comment naming its rule (``# staticcheck: ignore[SC001] -- seeded
+upstream``, with a comma-separated list for several rules) or a blanket
+ignore with no rule list.  Suppressions are per-line — there is no file- or
+block-level form — so every silenced violation stays visible next to the
+code it excuses.
+
+Only real ``#`` comment tokens count: the source is tokenized, so the
+ignore syntax quoted inside a docstring or a test fixture string is never
+mistaken for a live suppression.
+
+The ``-- reason`` trailer is part of the contract: the SC008 hygiene rule
+flags every suppression without one, and flags suppressions that no longer
+match any finding (so stale ignores cannot rot in place).  The parsed
+:class:`SuppressionEntry` records feed that rule.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
+from dataclasses import dataclass
 
-__all__ = ["Suppressions"]
+__all__ = ["SuppressionEntry", "Suppressions"]
 
 _IGNORE_RE = re.compile(
-    r"#\s*staticcheck:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+    r"#\s*staticcheck:\s*ignore"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+    r"(?:\s*--\s*(?P<reason>\S.*?)\s*$)?"
 )
+
+
+@dataclass(frozen=True)
+class SuppressionEntry:
+    """One parsed ignore comment."""
+
+    line: int
+    col: int
+    #: ``None`` for a blanket ignore; a (possibly empty) id set otherwise.
+    rules: frozenset[str] | None
+    #: The ``-- ...`` trailer, or ``None`` when the comment has no reason.
+    reason: str | None
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """(line, col, text) of every comment token; best-effort on bad input."""
+    comments: list[tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # an unparsable file produces no findings to suppress anyway
+    return comments
 
 
 class Suppressions:
     """Per-line suppression index of one source file."""
 
     def __init__(self, source: str) -> None:
+        self._entries: list[SuppressionEntry] = []
         # line number (1-indexed) -> frozenset of rule ids, or None for a
         # blanket ignore that silences every rule on that line.
         self._by_line: dict[int, frozenset[str] | None] = {}
-        for lineno, text in enumerate(source.splitlines(), start=1):
+        for lineno, col, text in _comment_tokens(source):
             match = _IGNORE_RE.search(text)
             if match is None:
                 continue
             rules = match.group("rules")
             if rules is None:
-                self._by_line[lineno] = None
-                continue
-            ids = frozenset(part.strip() for part in rules.split(",") if part.strip())
-            # ``ignore[]`` with an empty list suppresses nothing (it is a
-            # malformed comment, not a blanket ignore).
-            self._by_line[lineno] = ids if ids else frozenset()
+                ids: frozenset[str] | None = None
+            else:
+                # ``ignore[]`` with an empty list suppresses nothing (it is
+                # a malformed comment, not a blanket ignore).
+                ids = frozenset(
+                    part.strip() for part in rules.split(",") if part.strip()
+                )
+            self._entries.append(
+                SuppressionEntry(
+                    line=lineno,
+                    col=col + match.start(),
+                    rules=ids,
+                    reason=match.group("reason"),
+                )
+            )
+            self._by_line[lineno] = ids
 
     def __len__(self) -> int:
         return len(self._by_line)
+
+    def entries(self) -> list[SuppressionEntry]:
+        """Every parsed ignore comment, in line order."""
+        return list(self._entries)
 
     def is_suppressed(self, line: int, rule: str) -> bool:
         """Whether ``rule`` is silenced on the given 1-indexed line."""

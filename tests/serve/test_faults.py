@@ -284,6 +284,29 @@ class TestPoolChaos:
         assert pool.quarantined == 0
         assert len(pool) == workers  # every casualty was replaced
 
+    def test_corrupt_reply_is_exactly_one_message_per_batch(self, plan):
+        """A corrupted reply must *replace* the real result, not precede it.
+
+        Regression: the worker once sent the garbage message and then fell
+        through to send the real result as well — two replies for one
+        batch desynchronised the stream framing.  Exactly one result per
+        batch id must come back, with the corrupted attempt retried.
+        """
+        batches = self.make_batches(plan, 6)
+        fault_plan = FaultPlan((FaultSpec(kind="corrupt", batch_id=0, times=1),))
+        pool = WorkerPool(1, fault_plan=fault_plan, backoff_base_s=0.01)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", PoolStompedWarning)
+                for batch in batches:
+                    pool.submit(batch)
+                results = pool.collect_all()
+        finally:
+            pool.close()
+        assert sorted(r.batch.batch_id for r in results) == list(range(6))
+        assert all(r.error is None for r in results)
+        assert pool.retried >= 1  # the corrupted attempt was resubmitted
+
     def test_seeded_pool_schedule_is_reproducible(self, plan):
         """The same seed yields the same retry/quarantine accounting."""
         outcomes = []

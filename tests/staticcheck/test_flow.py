@@ -1,0 +1,241 @@
+"""Dataflow-layer tests: call graph, effect summaries, fixpoint, monotonicity.
+
+The key invariant every interprocedural rule leans on is *monotonicity*:
+for every call edge ``caller -> callee`` the caller's transitive effect set
+(and acquired-lock set) is a superset of the callee's.  The property test
+generates random call graphs — including cycles — renders them to source,
+and checks the invariant on the computed summaries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.staticcheck import ProjectIndex
+from repro.staticcheck import effects
+from repro.staticcheck.flow import FlowAnalysis, reachable
+
+
+def build_index(tmp_path: Path, files: dict[str, str]) -> ProjectIndex:
+    root = tmp_path / "pkg"
+    root.mkdir(exist_ok=True)
+    (root / "__init__.py").write_text("", encoding="utf-8")
+    paths = [root / "__init__.py"]
+    for name, source in files.items():
+        path = root / name
+        path.write_text(source, encoding="utf-8")
+        paths.append(path)
+    return ProjectIndex.from_files(paths)
+
+
+class TestCallGraph:
+    def test_same_module_and_imported_calls_resolve(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "util.py": """
+def helper():
+    return 1
+""",
+                "app.py": """
+from .util import helper
+
+
+def local():
+    return helper()
+
+
+def entry():
+    return local()
+""",
+            },
+        )
+        flow = FlowAnalysis.for_index(index)
+        assert "pkg.util.helper" in flow.graph.callees("pkg.app.local")
+        assert "pkg.app.local" in flow.graph.callees("pkg.app.entry")
+
+    def test_method_calls_resolve_through_self(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "svc.py": """
+class Service:
+    def step(self):
+        return 1
+
+    def run(self):
+        return self.step()
+""",
+            },
+        )
+        flow = FlowAnalysis.for_index(index)
+        assert "pkg.svc.Service.step" in flow.graph.callees("pkg.svc.Service.run")
+
+    def test_reachable_carries_provenance(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "chain.py": """
+def leaf():
+    return 1
+
+
+def mid():
+    return leaf()
+
+
+def root():
+    return mid()
+""",
+            },
+        )
+        flow = FlowAnalysis.for_index(index)
+        root = index.functions["pkg.chain.root"]
+        provenance = reachable(flow.graph, [(root, "the-root")])
+        assert provenance["pkg.chain.leaf"] == "the-root"
+        assert provenance["pkg.chain.mid"] == "the-root"
+
+
+class TestSummaries:
+    def test_direct_effects_propagate_to_callers(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "mod.py": """
+def _blocking(queue):
+    return queue.get()
+
+
+def caller(queue):
+    return _blocking(queue)
+
+
+def pure(x):
+    return x + 1
+""",
+            },
+        )
+        flow = FlowAnalysis.for_index(index)
+        leaf = flow.summary("pkg.mod._blocking")
+        caller = flow.summary("pkg.mod.caller")
+        pure = flow.summary("pkg.mod.pure")
+        assert leaf is not None and effects.BLOCKING in leaf.direct
+        assert caller is not None and effects.BLOCKING in caller.effects
+        assert effects.BLOCKING not in caller.direct  # transitive only
+        assert pure is not None and pure.effects == frozenset()
+
+    def test_fixpoint_terminates_on_cycles(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "mut.py": """
+def ping(queue, depth):
+    if depth:
+        return pong(queue, depth - 1)
+    return queue.get()
+
+
+def pong(queue, depth):
+    return ping(queue, depth)
+""",
+            },
+        )
+        flow = FlowAnalysis.for_index(index)
+        for qualname in ("pkg.mut.ping", "pkg.mut.pong"):
+            summary = flow.summary(qualname)
+            assert summary is not None
+            assert effects.BLOCKING in summary.effects
+
+    def test_acquires_propagate(self, tmp_path: Path) -> None:
+        index = build_index(
+            tmp_path,
+            {
+                "locked.py": """
+import threading
+
+_LOCK = threading.Lock()
+
+
+def critical():
+    with _LOCK:
+        return 1
+
+
+def outer():
+    return critical()
+""",
+            },
+        )
+        flow = FlowAnalysis.for_index(index)
+        outer = flow.summary("pkg.locked.outer")
+        assert outer is not None
+        assert "pkg.locked._LOCK" in outer.acquires
+
+
+def _assert_monotone(flow: FlowAnalysis) -> None:
+    for caller, callees in flow.graph.edges.items():
+        caller_summary = flow.summary(caller)
+        assert caller_summary is not None
+        for callee in callees:
+            callee_summary = flow.summary(callee)
+            if callee_summary is None:
+                continue
+            assert caller_summary.effects >= callee_summary.effects, (
+                f"effects not monotone on edge {caller} -> {callee}"
+            )
+            assert caller_summary.acquires >= callee_summary.acquires, (
+                f"acquires not monotone on edge {caller} -> {callee}"
+            )
+
+
+class TestMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_call_graphs_are_monotone(
+        self, data: st.DataObject, tmp_path_factory: pytest.TempPathFactory
+    ) -> None:
+        n = data.draw(st.integers(min_value=2, max_value=7), label="n")
+        blocking = data.draw(
+            st.lists(st.booleans(), min_size=n, max_size=n), label="blocking"
+        )
+        callees = data.draw(
+            st.lists(
+                st.sets(st.integers(min_value=0, max_value=n - 1), max_size=3),
+                min_size=n,
+                max_size=n,
+            ),
+            label="edges",
+        )
+        lines = []
+        for i in range(n):
+            lines.append(f"def f{i}(q):")
+            body = []
+            if blocking[i]:
+                body.append("    q.get()")
+            for j in sorted(callees[i]):
+                body.append(f"    f{j}(q)")
+            body.append("    return None")
+            lines.extend(body)
+            lines.append("")
+        tmp = tmp_path_factory.mktemp("monotone")
+        index = build_index(tmp, {"gen.py": "\n".join(lines)})
+        assert index.parse_errors == []
+        flow = FlowAnalysis.for_index(index)
+        _assert_monotone(flow)
+        # A function with a direct blocking site must carry the effect.
+        for i in range(n):
+            summary = flow.summary(f"pkg.gen.f{i}")
+            assert summary is not None
+            if blocking[i]:
+                assert effects.BLOCKING in summary.effects
+
+    def test_repo_tree_is_monotone(self) -> None:
+        src = Path(__file__).resolve().parents[2] / "src"
+        if not src.is_dir():
+            pytest.skip("src/ layout not available (installed package)")
+        index = ProjectIndex.from_files(sorted(src.rglob("*.py")))
+        _assert_monotone(FlowAnalysis.for_index(index))

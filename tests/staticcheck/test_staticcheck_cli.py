@@ -85,6 +85,10 @@ class TestJsonReport:
             "SC002",
             "SC003",
             "SC004",
+            "SC005",
+            "SC006",
+            "SC007",
+            "SC008",
         }
         assert report["files_scanned"] == 2
         assert report["parse_errors"] == []
@@ -108,7 +112,16 @@ class TestJsonReport:
     def test_list_rules(self, capsys) -> None:
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("SC001", "SC002", "SC003", "SC004"):
+        for rule_id in (
+            "SC001",
+            "SC002",
+            "SC003",
+            "SC004",
+            "SC005",
+            "SC006",
+            "SC007",
+            "SC008",
+        ):
             assert rule_id in out
 
 
@@ -117,7 +130,8 @@ class TestSuppressions:
         self, tmp_path: Path, capsys
     ) -> None:
         source = DIRTY_MODULE.replace(
-            "    n: int", "    n: int  # staticcheck: ignore[SC003]"
+            "    n: int",
+            "    n: int  # staticcheck: ignore[SC003] -- fixture: hash is partial",
         )
         root = write_tree(tmp_path, source)
         assert main([str(root)]) == 0
@@ -139,7 +153,7 @@ class TestSuppressions:
         self, tmp_path: Path, capsys
     ) -> None:
         source = DIRTY_MODULE.replace(
-            "    n: int", "    n: int  # staticcheck: ignore"
+            "    n: int", "    n: int  # staticcheck: ignore -- fixture blanket"
         )
         root = write_tree(tmp_path, source)
         assert main([str(root)]) == 0
@@ -147,10 +161,140 @@ class TestSuppressions:
 
     def test_suppressed_count_lands_in_json(self, tmp_path: Path, capsys) -> None:
         source = DIRTY_MODULE.replace(
-            "    n: int", "    n: int  # staticcheck: ignore[SC003]"
+            "    n: int",
+            "    n: int  # staticcheck: ignore[SC003] -- fixture: hash is partial",
         )
         root = write_tree(tmp_path, source)
         assert main([str(root), "--format", "json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["suppressed"] == 1
         assert report["findings"] == []
+
+
+class TestSuppressionHygiene:
+    def test_reasonless_suppression_is_flagged(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        source = DIRTY_MODULE.replace(
+            "    n: int", "    n: int  # staticcheck: ignore[SC003]"
+        )
+        root = write_tree(tmp_path, source)
+        assert main([str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "SC008" in out
+        assert "without a reason" in out
+
+    def test_unused_suppression_is_flagged(self, tmp_path: Path, capsys) -> None:
+        source = CLEAN_MODULE.replace(
+            "    return a + b",
+            "    return a + b  # staticcheck: ignore[SC001] -- stale",
+        )
+        root = write_tree(tmp_path, source)
+        assert main([str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "SC008" in out
+        assert "unused suppression of SC001" in out
+
+    def test_unused_not_decided_for_unexecuted_rules(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        source = CLEAN_MODULE.replace(
+            "    return a + b",
+            "    return a + b  # staticcheck: ignore[SC001] -- stale",
+        )
+        root = write_tree(tmp_path, source)
+        # SC001 did not run, so its suppression cannot be proved stale.
+        assert main([str(root), "--rules", "SC003,SC008"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_ignore_syntax_inside_string_is_not_a_suppression(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        source = CLEAN_MODULE + '\nDOC = "# staticcheck: ignore[SC001]"\n'
+        root = write_tree(tmp_path, source)
+        assert main([str(root)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_sc008_itself_cannot_be_suppressed(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        source = CLEAN_MODULE.replace(
+            "    return a + b",
+            "    return a + b  # staticcheck: ignore[SC001, SC008] -- nice try",
+        )
+        root = write_tree(tmp_path, source)
+        assert main([str(root)]) == 1
+        assert "unused suppression" in capsys.readouterr().out
+
+
+class TestSarif:
+    def test_sarif_log_shape(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, DIRTY_MODULE)
+        assert main([str(root), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.staticcheck"
+        rule_ids = {entry["id"] for entry in driver["rules"]}
+        assert "SC003" in rule_ids and "SC008" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "SC003"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1  # SARIF columns are 1-indexed
+
+    def test_sarif_clean_run_has_no_results(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, CLEAN_MODULE)
+        assert main([str(root), "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
+
+
+class TestPathsFilter:
+    def test_paths_prefix_restricts_reporting(
+        self, tmp_path: Path, capsys
+    ) -> None:
+        root = write_tree(tmp_path, DIRTY_MODULE)
+        other = tmp_path / "other"
+        other.mkdir()
+        (other / "clean.py").write_text(CLEAN_MODULE, encoding="utf-8")
+        # Index both trees, report only the clean one: exit goes to 0.
+        assert main([str(root), str(other), "--paths", str(other)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_paths_keeps_matching_findings(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, DIRTY_MODULE)
+        assert main([str(root), "--paths", str(root)]) == 1
+        assert "SC003" in capsys.readouterr().out
+
+
+class TestCacheDir:
+    def test_warm_run_reproduces_report(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, DIRTY_MODULE)
+        cache = tmp_path / "cache"
+        assert main([str(root), "--cache-dir", str(cache), "--format", "json"]) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert main([str(root), "--cache-dir", str(cache), "--format", "json"]) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm == cold
+        assert any(cache.rglob("*.pkl"))  # entries actually persisted
+
+    def test_edited_file_misses_cache(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, DIRTY_MODULE)
+        cache = tmp_path / "cache"
+        assert main([str(root), "--cache-dir", str(cache)]) == 1
+        capsys.readouterr()
+        (root / "mod.py").write_text(CLEAN_MODULE, encoding="utf-8")
+        assert main([str(root), "--cache-dir", str(cache)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path: Path, capsys) -> None:
+        root = write_tree(tmp_path, DIRTY_MODULE)
+        cache = tmp_path / "cache"
+        assert main([str(root), "--cache-dir", str(cache)]) == 1
+        capsys.readouterr()
+        for blob in cache.rglob("*.pkl"):
+            blob.write_bytes(b"not a pickle")
+        assert main([str(root), "--cache-dir", str(cache)]) == 1
+        assert "SC003" in capsys.readouterr().out
